@@ -1,0 +1,59 @@
+// DSE throughput scaling — the paper ran its exhaustive exploration in
+// <2h on 6 host threads; this harness measures configs/second of our DSE
+// across thread counts on the LeNet pipeline and reports the projected
+// wall time of the paper-scale sweep.
+#include "bench/bench_common.hpp"
+#include "src/common/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ataman;
+  using namespace ataman::bench;
+  const Scale scale = parse_scale(argc, argv);
+  print_header("DSE throughput scaling (paper: <2h on 6 threads)", scale);
+
+  const BenchModel lenet = load_lenet();
+  PipelineOptions opts;
+  opts.dse = dse_options_for("lenet", Scale::kQuick);
+  opts.dse.eval_images = scale == Scale::kQuick ? 96 : 192;
+  opts.dse.tau_step = 0.02;  // small fixed sweep re-run per thread count
+  AtamanPipeline pipe(&lenet.qmodel, &lenet.data.train, &lenet.data.test,
+                      opts);
+  pipe.analyze();
+
+  CsvWriter csv(results_dir() + "/dse_scaling.csv",
+                {"threads", "configs", "seconds", "configs_per_sec"});
+  ConsoleTable table({"Threads", "Configs", "Wall(s)", "Configs/s",
+                      "Speedup"});
+
+  const int hw = num_threads();
+  double t1 = 0.0;
+  for (int threads = 1; threads <= hw; threads *= 2) {
+    set_num_threads(threads);
+    const DseOutcome outcome = pipe.explore();
+    set_num_threads(0);
+    const double cps =
+        static_cast<double>(outcome.results.size()) / outcome.wall_seconds;
+    if (threads == 1) t1 = outcome.wall_seconds;
+    table.row({std::to_string(threads),
+               std::to_string(outcome.results.size()),
+               fmt(outcome.wall_seconds, 2), fmt(cps, 1),
+               fmt(t1 / outcome.wall_seconds, 2)});
+    csv.row({CsvWriter::num(threads),
+             CsvWriter::num(static_cast<double>(outcome.results.size())),
+             CsvWriter::num(outcome.wall_seconds), CsvWriter::num(cps)});
+    // Paper-scale projection at 6 threads.
+    if (threads >= 6 && threads / 2 < 6) {  // first count >= 6
+      const double paper_configs = 10000.0;
+      const double projected_min =
+          paper_configs / cps / 60.0 *
+          // paper evaluates the full test set; scale from our subset
+          (2000.0 / opts.dse.eval_images);
+      std::printf("  projected paper-scale sweep (10k configs, full test "
+                  "set) at %d threads: %.0f min (paper: <120 min)\n",
+                  threads, projected_min);
+    }
+  }
+  std::printf("%s\n", table.render("DSE scaling").c_str());
+  std::printf("CSV: %s/dse_scaling.csv\n", results_dir().c_str());
+  return 0;
+}

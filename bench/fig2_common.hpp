@@ -1,0 +1,74 @@
+// Shared driver for the Fig. 2 Pareto-space harnesses.
+#pragma once
+
+#include "bench/bench_common.hpp"
+
+namespace ataman::bench {
+
+inline int run_fig2(const BenchModel& m, Scale scale) {
+  print_header("Fig. 2: accuracy vs normalized conv-MAC reduction (" +
+                   m.name + ")",
+               scale);
+
+  PipelineOptions opts;
+  opts.dse = dse_options_for(m.name, scale);
+  AtamanPipeline pipe(&m.qmodel, &m.data.train, &m.data.test, opts);
+
+  Stopwatch watch;
+  const DseOutcome outcome = pipe.explore([](int done, int total) {
+    std::printf("\r  DSE %d/%d configs", done, total);
+    std::fflush(stdout);
+  });
+  std::printf("\n  swept %zu configs in %.1fs on %d threads "
+              "(paper: >10,000 configs, <2h on 6 threads)\n",
+              outcome.results.size(), outcome.wall_seconds,
+              outcome.threads_used);
+
+  // Scatter (all designs) + Pareto front, both axes of the figure.
+  CsvWriter scatter(results_dir() + "/fig2_" + m.name + "_scatter.csv",
+                    {"mac_reduction", "latency_reduction", "accuracy",
+                     "is_pareto", "config"});
+  std::vector<bool> on_front(outcome.results.size(), false);
+  for (const int idx : outcome.pareto)
+    on_front[static_cast<size_t>(idx)] = true;
+  for (size_t i = 0; i < outcome.results.size(); ++i) {
+    const DseResult& r = outcome.results[i];
+    scatter.row({CsvWriter::num(r.conv_mac_reduction),
+                 CsvWriter::num(r.latency_reduction),
+                 CsvWriter::num(r.accuracy), on_front[i] ? "1" : "0",
+                 r.config.to_string()});
+  }
+
+  // Console rendering of the front (the figure's green triangles).
+  std::printf("\n  exact design ('x' in the figure): accuracy %.4f\n",
+              outcome.exact_accuracy);
+  std::printf("  Pareto front (%zu points):\n", outcome.pareto.size());
+  std::printf("    %-14s %-14s %-10s %s\n", "MAC-reduction",
+              "latency-red.", "accuracy", "config");
+  for (const int idx : outcome.pareto) {
+    const DseResult& r = outcome.results[static_cast<size_t>(idx)];
+    std::printf("    %-14.3f %-14.3f %-10.4f %s\n", r.conv_mac_reduction,
+                r.latency_reduction, r.accuracy, r.config.to_string().c_str());
+  }
+
+  // §III headline statistics for this model.
+  double best_iso = 0.0, best_5 = 0.0;
+  for (const DseResult& r : outcome.results) {
+    if (r.accuracy >= outcome.exact_accuracy - 1e-12)
+      best_iso = std::max(best_iso, r.conv_mac_reduction);
+    if (r.accuracy >= outcome.exact_accuracy - 0.05)
+      best_5 = std::max(best_5, r.conv_mac_reduction);
+  }
+  std::printf("\n  max conv-MAC reduction @ iso-accuracy : %.1f%%"
+              "  (paper avg across models: 44%%)\n",
+              100 * best_iso);
+  std::printf("  max conv-MAC reduction @ 5%% loss      : %.1f%%"
+              "  (paper avg across models: 57%%)\n",
+              100 * best_5);
+  std::printf("  CSV: %s/fig2_%s_scatter.csv\n", results_dir().c_str(),
+              m.name.c_str());
+  (void)watch;
+  return 0;
+}
+
+}  // namespace ataman::bench

@@ -1,0 +1,9 @@
+// Fig. 2(a) — Pareto space between accuracy and normalized MAC reduction
+// for AlexNet, all conv layers approximated (tau in [0, 0.1], paper step
+// 0.01).
+#include "bench/fig2_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = ataman::bench::parse_scale(argc, argv);
+  return ataman::bench::run_fig2(ataman::bench::load_alexnet(), scale);
+}

@@ -1,0 +1,9 @@
+// Fig. 2(b) — Pareto space between accuracy and normalized MAC reduction
+// for LeNet, all conv layers approximated (tau in [0, 0.1], paper step
+// 0.001).
+#include "bench/fig2_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto scale = ataman::bench::parse_scale(argc, argv);
+  return ataman::bench::run_fig2(ataman::bench::load_lenet(), scale);
+}

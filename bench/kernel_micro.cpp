@@ -1,0 +1,120 @@
+// google-benchmark microbenches for the kernel substrates: host execution
+// throughput of packed vs unpacked vs skipped convolutions, plus the
+// modeled MCU cycles attached as counters (the numbers that actually
+// decide Table II). Host ns/op and modeled device cycles are independent
+// axes; both should move the same direction under skipping.
+#include <benchmark/benchmark.h>
+
+#include "src/cmsisnn/im2col_q15.hpp"
+#include "src/cmsisnn/packed_kernels.hpp"
+#include "src/cmsisnn/smlad.hpp"
+#include "src/mcu/cost_model.hpp"
+#include "src/nn/qkernels_ref.hpp"
+#include "src/unpack/unpacked_layer.hpp"
+#include "tests/test_util.hpp"
+
+namespace {
+
+using namespace ataman;
+
+QConv2D bench_conv() {
+  ConvGeom g;
+  g.in_h = 16; g.in_w = 16; g.in_c = 16;
+  g.out_c = 16; g.kernel = 3; g.stride = 1; g.pad = 1;
+  return ataman::testing::make_random_qconv(g, 4242);
+}
+
+void BM_ConvReference(benchmark::State& state) {
+  const QConv2D conv = bench_conv();
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 1);
+  std::vector<int8_t> out(static_cast<size_t>(conv.geom.positions()) *
+                          conv.geom.out_c);
+  for (auto _ : state) {
+    conv2d_ref(conv, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["macs"] = static_cast<double>(conv.geom.macs());
+}
+BENCHMARK(BM_ConvReference);
+
+void BM_ConvPackedCmsis(benchmark::State& state) {
+  const QConv2D conv = bench_conv();
+  const PackedWeights packed = PackedWeights::pack(
+      conv.weights, conv.geom.out_c, conv.geom.patch_size());
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 2);
+  std::vector<int8_t> out(static_cast<size_t>(conv.geom.positions()) *
+                          conv.geom.out_c);
+  for (auto _ : state) {
+    packed_conv2d(conv, packed, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["modeled_mcu_cycles"] =
+      static_cast<double>(packed_conv_cycles(conv));
+}
+BENCHMARK(BM_ConvPackedCmsis);
+
+void BM_ConvUnpacked(benchmark::State& state) {
+  // state.range(0): percent of operands skipped.
+  const QConv2D conv = bench_conv();
+  const auto skip = ataman::testing::make_random_skip(
+      conv.geom, state.range(0) / 100.0, 77);
+  const UnpackedConv u = UnpackedConv::build(
+      conv, state.range(0) > 0 ? skip.data() : nullptr);
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 3);
+  std::vector<int8_t> out(static_cast<size_t>(conv.geom.positions()) *
+                          conv.geom.out_c);
+  for (auto _ : state) {
+    u.run(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["modeled_mcu_cycles"] = static_cast<double>(
+      unpacked_conv_cycles(conv, u.static_pairs(), u.static_singles()));
+  state.counters["retained_macs"] = static_cast<double>(u.retained_macs());
+}
+BENCHMARK(BM_ConvUnpacked)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_Im2ColQ15(benchmark::State& state) {
+  const QConv2D conv = bench_conv();
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 4);
+  std::vector<int16_t> col(static_cast<size_t>(conv.geom.patch_size()));
+  int pos = 0;
+  for (auto _ : state) {
+    im2col_patch_q15(conv, in, pos % 16, (pos / 16) % 16, col.data());
+    benchmark::DoNotOptimize(col.data());
+    ++pos;
+  }
+}
+BENCHMARK(BM_Im2ColQ15);
+
+void BM_SmladSemantics(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint32_t> xs(1024), ys(1024);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<uint32_t>(rng.next_u64());
+    ys[i] = static_cast<uint32_t>(rng.next_u64());
+  }
+  int32_t acc = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < xs.size(); ++i) acc = smlad(xs[i], ys[i], acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(xs.size()) * 2);
+}
+BENCHMARK(BM_SmladSemantics);
+
+void BM_UnpackedBuild(benchmark::State& state) {
+  // Offline cost of building (and re-pairing) an unpacked layer — the
+  // paper runs this once per DSE config at compile time.
+  const QConv2D conv = bench_conv();
+  const auto skip = ataman::testing::make_random_skip(conv.geom, 0.5, 99);
+  for (auto _ : state) {
+    UnpackedConv u = UnpackedConv::build(conv, skip.data());
+    benchmark::DoNotOptimize(u.channels.data());
+  }
+}
+BENCHMARK(BM_UnpackedBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

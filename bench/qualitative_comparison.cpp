@@ -1,0 +1,71 @@
+// §III qualitative comparison — reproduces the paper's last-paragraph
+// claims against CMix-NN [9] and μTVM [10] using their published
+// operating points (neither tool is executed in the paper either).
+#include "bench/bench_common.hpp"
+#include "src/baselines/qualitative.hpp"
+#include "src/cmsisnn/cmsis_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ataman;
+  using namespace ataman::bench;
+  const Scale scale = parse_scale(argc, argv);
+  print_header("Qualitative comparison: CMix-NN and uTVM (paper SIII)",
+               scale);
+
+  const BoardSpec board = stm32u575_board();
+  CsvWriter csv(results_dir() + "/qualitative_comparison.csv",
+                {"comparison", "baseline_ms", "ours_ms", "reduction_pct"});
+
+  // --- CMix-NN: paper compares "a model with 13.8M MACs" running at
+  // 124 ms under our framework vs CMix-NN's published point (~326 ms).
+  // Our AlexNet design at a ~5% budget executes a similar MAC volume.
+  const BenchModel alexnet = load_alexnet();
+  PipelineOptions opts;
+  opts.dse = dse_options_for("alexnet", scale);
+  AtamanPipeline pipe(&alexnet.qmodel, &alexnet.data.train,
+                      &alexnet.data.test, opts);
+  const DseOutcome outcome = pipe.explore();
+  const int idx5 = pipe.select(outcome, 0.05);
+  check(idx5 >= 0, "no 5% design found");
+  const DseResult& ours = outcome.results[static_cast<size_t>(idx5)];
+  const double ours_ms = board.cycles_to_ms(ours.cycles);
+
+  const CMixNNModel cmix;
+  // Model of comparable total MAC volume to the paper's 13.8M reference.
+  const int64_t cmix_macs = 13'800'000;
+  const double cmix_ms = cmix.latency_ms(cmix_macs, board);
+  const double cmix_red = 100.0 * (1.0 - ours_ms / cmix_ms);
+  std::printf("CMix-NN @ %.1fM MACs : %6.1f ms\n", cmix_macs / 1e6, cmix_ms);
+  std::printf("ours (AlexNet, 5%%)  : %6.1f ms  -> %.0f%% latency reduction"
+              "  (paper: ours 124 ms, 62%% reduction)\n",
+              ours_ms, cmix_red);
+  csv.row({"cmix-nn", CsvWriter::num(cmix_ms), CsvWriter::num(ours_ms),
+           CsvWriter::num(cmix_red)});
+
+  // --- uTVM: publishes a 13% latency overhead vs CMSIS on a LeNet-class
+  // model; our LeNet design at <5% loss must beat it by ~32%.
+  const BenchModel lenet = load_lenet();
+  PipelineOptions lopts;
+  lopts.dse = dse_options_for("lenet", scale);
+  AtamanPipeline lpipe(&lenet.qmodel, &lenet.data.train, &lenet.data.test,
+                       lopts);
+  const DseOutcome loutcome = lpipe.explore();
+  const int lidx = lpipe.select(loutcome, 0.05);
+  check(lidx >= 0, "no 5% design found");
+  const double ours_lenet_ms =
+      board.cycles_to_ms(loutcome.results[static_cast<size_t>(lidx)].cycles);
+
+  const CmsisEngine cmsis(&lenet.qmodel);
+  const MicroTvmModel utvm;
+  const double utvm_ms = board.cycles_to_ms(utvm.cycles(cmsis.total_cycles()));
+  const double utvm_red = 100.0 * (1.0 - ours_lenet_ms / utvm_ms);
+  std::printf("uTVM (LeNet)        : %6.1f ms (1.13x CMSIS)\n", utvm_ms);
+  std::printf("ours (LeNet, <5%%)   : %6.1f ms  -> %.0f%% speedup vs uTVM"
+              "  (paper: +32%% at <5%% loss)\n",
+              ours_lenet_ms, utvm_red);
+  csv.row({"utvm", CsvWriter::num(utvm_ms), CsvWriter::num(ours_lenet_ms),
+           CsvWriter::num(utvm_red)});
+
+  std::printf("CSV: %s/qualitative_comparison.csv\n", results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table I — baseline characteristics of the two CNNs deployed with the
+// exact CMSIS-NN-style engine on the STM32U575 substrate: Top-1 accuracy,
+// topology, MAC count, latency, flash %, RAM.
+#include "bench/bench_common.hpp"
+#include "src/cmsisnn/cmsis_engine.hpp"
+
+namespace {
+
+using namespace ataman;
+using namespace ataman::bench;
+
+void run_model(const BenchModel& m, const BoardSpec& board,
+               ConsoleTable& table, CsvWriter& csv, int eval_limit) {
+  const CmsisEngine engine(&m.qmodel);
+  const DeployReport r = engine.deploy(m.data.test, board, eval_limit);
+  const PaperTable1Row paper = paper_table1(m.name);
+
+  table.row({m.name + " (paper)", fmt(paper.accuracy, 1), paper.topology,
+             fmt(paper.mac_m, 1) + "M", fmt(paper.latency_ms, 1),
+             fmt(paper.flash_percent, 0), fmt(paper.ram_kb, 1)});
+  table.row({m.name + " (measured)", fmt(100 * r.top1_accuracy, 1),
+             m.qmodel.topology,
+             fmt(static_cast<double>(r.mac_ops) / 1e6, 1) + "M",
+             fmt(r.latency_ms, 1), fmt(r.flash_percent, 0),
+             fmt(static_cast<double>(r.ram_bytes) / 1024.0, 1)});
+  table.separator();
+
+  csv.row({m.name, CsvWriter::num(100 * r.top1_accuracy),
+           CsvWriter::num(static_cast<double>(r.mac_ops)),
+           CsvWriter::num(r.latency_ms), CsvWriter::num(r.flash_percent),
+           CsvWriter::num(static_cast<double>(r.ram_bytes) / 1024.0),
+           CsvWriter::num(r.energy_mj)});
+
+  // Per-operator cycle breakdown (the paper's §II-A kernel counters).
+  std::printf("%s per-operator cycles:\n", m.name.c_str());
+  for (const LayerProfile& p : engine.layer_profile()) {
+    if (p.cycles < 1000) continue;
+    std::printf("  %-10s %12lld cycles  (%5.1f%%)\n", p.kind.c_str(),
+                static_cast<long long>(p.cycles),
+                100.0 * static_cast<double>(p.cycles) /
+                    static_cast<double>(engine.total_cycles()));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  print_header("Table I: baseline CNNs on STM32-Nucleo (CMSIS-NN exact)",
+               scale);
+  const int eval_limit = scale == Scale::kQuick ? 400 : -1;
+
+  const BoardSpec board = stm32u575_board();
+  ConsoleTable table({"CNN", "Acc(%)", "Topol.", "#MAC", "Latency(ms)",
+                      "Flash(%)", "RAM(KB)"});
+  CsvWriter csv(results_dir() + "/table1_baseline.csv",
+                {"network", "accuracy", "macs", "latency_ms", "flash_pct",
+                 "ram_kb", "energy_mj"});
+
+  const BenchModel lenet = load_lenet();
+  run_model(lenet, board, table, csv, eval_limit);
+  const BenchModel alexnet = load_alexnet();
+  run_model(alexnet, board, table, csv, eval_limit);
+
+  std::printf("%s\n", table.render("Table I (paper vs measured)").c_str());
+  std::printf("CSV: %s/table1_baseline.csv\n", results_dir().c_str());
+  return 0;
+}

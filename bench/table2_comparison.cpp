@@ -1,0 +1,115 @@
+// Table II — CMSIS-NN vs X-CUBE-AI vs the proposed framework at three
+// accuracy-loss thresholds (0%, 5%, 10%): Top-1, latency, flash, #MACs,
+// energy. Also prints the §III headline claims (average speedup at 0% and
+// ~10% loss).
+#include "bench/bench_common.hpp"
+#include "src/cmsisnn/cmsis_engine.hpp"
+
+namespace {
+
+using namespace ataman;
+using namespace ataman::bench;
+
+struct Row {
+  std::string label;
+  DeployReport report;
+  PaperTable2Row paper;
+};
+
+void add_rows(ConsoleTable& table, CsvWriter& csv, const std::string& network,
+              const std::vector<Row>& rows) {
+  const auto emit = [&](const std::string& label, double acc, double lat,
+                        double flash_kb, double mac_m, double energy,
+                        const std::string& kind) {
+    table.row({network, label, kind, fmt(acc, 1), fmt(lat, 1),
+               fmt(flash_kb, 0), fmt(mac_m, 1) + "M", fmt(energy, 2)});
+  };
+  for (const Row& r : rows) {
+    emit(r.label, r.paper.accuracy, r.paper.latency_ms, r.paper.flash_kb,
+         r.paper.mac_m, r.paper.energy_mj, "paper");
+    emit(r.label, 100 * r.report.top1_accuracy, r.report.latency_ms,
+         static_cast<double>(r.report.flash_bytes) / 1024.0,
+         static_cast<double>(r.report.mac_ops) / 1e6, r.report.energy_mj,
+         "measured");
+    csv.row({network, r.label,
+             CsvWriter::num(100 * r.report.top1_accuracy),
+             CsvWriter::num(r.report.latency_ms),
+             CsvWriter::num(static_cast<double>(r.report.flash_bytes) / 1024.0),
+             CsvWriter::num(static_cast<double>(r.report.mac_ops)),
+             CsvWriter::num(r.report.energy_mj)});
+  }
+  table.separator();
+}
+
+std::vector<Row> bench_network(const BenchModel& m, Scale scale,
+                               ConsoleTable& table, CsvWriter& csv,
+                               double* speedup0, double* speedup10) {
+  PipelineOptions opts;
+  opts.dse = dse_options_for(m.name, scale);
+  AtamanPipeline pipe(&m.qmodel, &m.data.train, &m.data.test, opts);
+
+  const int eval_limit = scale == Scale::kQuick ? 400 : -1;
+  std::printf("[%s] running DSE...\n", m.name.c_str());
+  std::fflush(stdout);
+  const DseOutcome outcome = pipe.explore();
+
+  std::vector<Row> rows;
+  rows.push_back({"CMSIS-NN", pipe.deploy_cmsis_baseline(eval_limit),
+                  paper_table2(m.name, "cmsis")});
+  rows.push_back(
+      {"X-CUBE-AI", pipe.deploy_xcube(eval_limit), paper_table2(m.name, "xcube")});
+
+  const double losses[] = {0.0, 0.05, 0.10};
+  const char* keys[] = {"ours0", "ours5", "ours10"};
+  const char* labels[] = {"ours(0%)", "ours(5%)", "ours(10%)"};
+  for (int i = 0; i < 3; ++i) {
+    const int idx = pipe.select(outcome, losses[i]);
+    check(idx >= 0, "no design satisfies the accuracy threshold");
+    rows.push_back(
+        {labels[i],
+         pipe.deploy(outcome.results[static_cast<size_t>(idx)].config,
+                     labels[i], eval_limit),
+         paper_table2(m.name, keys[i])});
+  }
+
+  const double base_lat = rows[0].report.latency_ms;
+  *speedup0 = 1.0 - rows[2].report.latency_ms / base_lat;
+  *speedup10 = 1.0 - rows[4].report.latency_ms / base_lat;
+
+  add_rows(table, csv, m.name, rows);
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = parse_scale(argc, argv);
+  print_header(
+      "Table II: CMSIS-NN vs X-CUBE-AI vs proposed (0/5/10% loss)", scale);
+
+  ConsoleTable table({"Network", "Design", "Row", "Top-1(%)", "Latency(ms)",
+                      "Flash(KB)", "#MAC", "Energy(mJ)"});
+  CsvWriter csv(results_dir() + "/table2_comparison.csv",
+                {"network", "design", "accuracy", "latency_ms", "flash_kb",
+                 "macs", "energy_mj"});
+
+  double lenet_s0 = 0, lenet_s10 = 0, alexnet_s0 = 0, alexnet_s10 = 0;
+  const BenchModel lenet = load_lenet();
+  bench_network(lenet, scale, table, csv, &lenet_s0, &lenet_s10);
+  const BenchModel alexnet = load_alexnet();
+  bench_network(alexnet, scale, table, csv, &alexnet_s0, &alexnet_s10);
+
+  std::printf("%s\n", table.render("Table II (paper vs measured)").c_str());
+
+  // §III headline claims.
+  const double avg0 = 0.5 * (lenet_s0 + alexnet_s0);
+  const double avg10 = 0.5 * (lenet_s10 + alexnet_s10);
+  std::printf("headline: avg latency reduction vs CMSIS @ 0%%  loss: %5.1f%%"
+              "   (paper: 21%%)\n",
+              100 * avg0);
+  std::printf("headline: avg latency reduction vs CMSIS @ 10%% loss: %5.1f%%"
+              "   (paper: 36%%)\n",
+              100 * avg10);
+  std::printf("CSV: %s/table2_comparison.csv\n", results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Command-line front end for the full framework — the closest analogue to
+// the paper's "automated toolkit" entry point.
+//
+// Usage:
+//   ataman_cli [--model lenet|alexnet|micronet] [--loss 0.05]
+//              [--eval-images N] [--tau-step S]
+//              [--emit out.c] [--json report.json] [--hybrid]
+//
+// Runs: load/train + quantize -> analyze -> DSE -> select at the given
+// accuracy-loss budget -> deploy (vs CMSIS-NN and X-CUBE-AI) -> optional
+// C emission, with a machine-readable JSON report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/ataman.hpp"
+#include "src/unpack/layer_selection.hpp"
+#include "src/unpack/unpacked_engine.hpp"
+
+namespace {
+
+using namespace ataman;
+
+struct CliArgs {
+  std::string model = "micronet";
+  double loss = 0.05;
+  int eval_images = 400;
+  double tau_step = 0.01;
+  std::string emit_path;
+  std::string json_path;
+  bool hybrid = false;
+};
+
+CliArgs parse_args(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      check(i + 1 < argc, "missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--model") {
+      args.model = next();
+    } else if (a == "--loss") {
+      args.loss = std::stod(next());
+    } else if (a == "--eval-images") {
+      args.eval_images = std::stoi(next());
+    } else if (a == "--tau-step") {
+      args.tau_step = std::stod(next());
+    } else if (a == "--emit") {
+      args.emit_path = next();
+    } else if (a == "--json") {
+      args.json_path = next();
+    } else if (a == "--hybrid") {
+      args.hybrid = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: ataman_cli [--model lenet|alexnet|micronet] [--loss F]\n"
+          "                  [--eval-images N] [--tau-step S] [--emit F.c]\n"
+          "                  [--json F.json] [--hybrid]\n");
+      std::exit(0);
+    } else {
+      fail("unknown argument: " + a);
+    }
+  }
+  return args;
+}
+
+Json report_json(const DeployReport& r) {
+  JsonObject o;
+  o.emplace("design", r.design);
+  o.emplace("accuracy", r.top1_accuracy);
+  o.emplace("latency_ms", r.latency_ms);
+  o.emplace("flash_bytes", static_cast<int64_t>(r.flash_bytes));
+  o.emplace("ram_bytes", static_cast<int64_t>(r.ram_bytes));
+  o.emplace("energy_mj", r.energy_mj);
+  o.emplace("mac_ops", static_cast<int64_t>(r.mac_ops));
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = parse_args(argc, argv);
+
+  const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
+                       : args.model == "alexnet" ? alexnet_spec()
+                                                 : micronet_spec();
+  std::printf("[cli] model=%s loss=%.3f\n", args.model.c_str(), args.loss);
+  const QModel model = get_or_build_qmodel(spec);
+  const SynthCifar data = make_synth_cifar(spec.data);
+
+  PipelineOptions options;
+  options.dse.eval_images = args.eval_images;
+  options.dse.tau_step = args.tau_step;
+  AtamanPipeline pipeline(&model, &data.train, &data.test, options);
+
+  const DseOutcome outcome = pipeline.explore([](int done, int total) {
+    std::printf("\r[cli] DSE %d/%d", done, total);
+    std::fflush(stdout);
+  });
+  std::printf("\n");
+  const int idx = pipeline.select(outcome, args.loss);
+  check(idx >= 0, "no design satisfies the requested accuracy budget");
+  const DseResult& chosen = outcome.results[static_cast<size_t>(idx)];
+  std::printf("[cli] selected %s\n", chosen.config.to_string().c_str());
+
+  const DeployReport cmsis = pipeline.deploy_cmsis_baseline(args.eval_images);
+  const DeployReport xcube = pipeline.deploy_xcube(args.eval_images);
+  DeployReport ours;
+  const SkipMask mask = pipeline.mask_for(chosen.config);
+  if (args.hybrid) {
+    const HybridPlan plan = select_layers_to_unpack(
+        model, mask, pipeline.options().board.flash_bytes);
+    const std::vector<uint8_t> selection = plan.unpack_selection();
+    const UnpackedEngine engine(&model, &mask, pipeline.options().costs,
+                                pipeline.options().memory, &selection);
+    ours = engine.deploy(data.test, pipeline.options().board,
+                         args.eval_images, "ataman-hybrid");
+  } else {
+    ours = pipeline.deploy(chosen.config, "ataman", args.eval_images);
+  }
+
+  for (const DeployReport* r :
+       {&cmsis, &xcube, static_cast<const DeployReport*>(&ours)}) {
+    std::printf("[cli] %-14s acc %.4f  %7.2f ms  %6.0f KB  %.3f mJ\n",
+                r->design.c_str(), r->top1_accuracy, r->latency_ms,
+                static_cast<double>(r->flash_bytes) / 1024.0, r->energy_mj);
+  }
+
+  if (!args.emit_path.empty()) {
+    write_text_file(args.emit_path, pipeline.generate_code(chosen.config));
+    std::printf("[cli] wrote %s\n", args.emit_path.c_str());
+  }
+  if (!args.json_path.empty()) {
+    JsonObject root;
+    root.emplace("model", args.model);
+    root.emplace("loss_budget", args.loss);
+    root.emplace("config", chosen.config.to_json());
+    root.emplace("exact_accuracy", outcome.exact_accuracy);
+    root.emplace("conv_mac_reduction", chosen.conv_mac_reduction);
+    root.emplace("configs_evaluated",
+                 static_cast<int64_t>(outcome.results.size()));
+    root.emplace("pareto_points",
+                 static_cast<int64_t>(outcome.pareto.size()));
+    JsonArray reports;
+    reports.push_back(report_json(cmsis));
+    reports.push_back(report_json(xcube));
+    reports.push_back(report_json(ours));
+    root.emplace("deployments", std::move(reports));
+    write_text_file(args.json_path, Json(std::move(root)).dump_pretty());
+    std::printf("[cli] wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

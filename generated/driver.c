@@ -1,0 +1,13 @@
+
+#include <stdint.h>
+#include <stdio.h>
+extern void ataman_run(const uint8_t* image, int8_t* logits);
+extern const int ataman_num_classes;
+int main(void) {
+  uint8_t img[32*32*3];
+  if (fread(img, 1, sizeof img, stdin) != sizeof img) return 1;
+  int8_t logits[64];
+  ataman_run(img, logits);
+  for (int i = 0; i < ataman_num_classes; ++i) printf("%d\n", (int)logits[i]);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Analytic models for the paper's qualitative comparisons (§III, last
+// paragraph). Neither CMix-NN nor μTVM is executed in the paper — it
+// compares against their published operating points — so these are
+// latency models with constants pinned to the cited numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/mcu/board.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// CMix-NN [9]: mixed low-precision CNN library. The paper's comparison:
+// "compared to CMix-NN using a model with 13.8M MAC operations, our
+// framework achieves a latency of 124 ms … a remarkable 62% reduction" —
+// implying CMix-NN ≈ 326 ms at 13.8 M MACs on the same 160 MHz class of
+// core, i.e. ≈ 3.78 cycles/MAC end to end.
+struct CMixNNModel {
+  double cycles_per_mac = 3.78;
+
+  double latency_ms(int64_t macs, const BoardSpec& board) const {
+    return board.cycles_to_ms(
+        static_cast<int64_t>(cycles_per_mac * static_cast<double>(macs)));
+  }
+};
+
+// μTVM [10]: reports a 13% latency overhead versus CMSIS-NN on a similar
+// LeNet, i.e. latency = 1.13 x the CMSIS baseline for the same model.
+struct MicroTvmModel {
+  double overhead_vs_cmsis = 1.13;
+
+  int64_t cycles(int64_t cmsis_cycles) const {
+    return static_cast<int64_t>(overhead_vs_cmsis *
+                                static_cast<double>(cmsis_cycles));
+  }
+};
+
+}  // namespace ataman

@@ -1,0 +1,110 @@
+#include "src/cmsisnn/cmsis_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/nn/qkernels_ref.hpp"
+
+namespace ataman {
+
+CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
+                         MemoryCostTable memory)
+    : model_(model), costs_(costs), memory_(memory) {
+  check(model != nullptr, "engine needs a model");
+
+  int out_dim = 0;
+  double cycles = 0.0;
+  for (const QLayer& layer : model_->layers) {
+    cycles += costs_.layer_dispatch;
+    profile_.push_back({"dispatch",
+                        static_cast<int64_t>(costs_.layer_dispatch), 0});
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      packed_.push_back(PackedWeights::pack(conv->weights, conv->geom.out_c,
+                                            conv->geom.patch_size()));
+      const int64_t c = packed_conv_cycles(*conv, costs_);
+      profile_.push_back({"conv", c, conv->geom.macs()});
+      cycles += static_cast<double>(c);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      const int64_t c = pool_cycles(*pool, costs_);
+      profile_.push_back({"pool", c, 0});
+      cycles += static_cast<double>(c);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      packed_.push_back(
+          PackedWeights::pack(fc->weights, fc->out_dim, fc->in_dim));
+      const int64_t c = dense_cycles(*fc, costs_);
+      profile_.push_back({"fc", c, fc->macs()});
+      cycles += static_cast<double>(c);
+      out_dim = fc->out_dim;
+    }
+  }
+  const auto softmax_c =
+      static_cast<int64_t>(costs_.softmax_per_logit * out_dim);
+  profile_.push_back({"softmax", softmax_c, 0});
+  cycles += static_cast<double>(softmax_c);
+  total_cycles_ = static_cast<int64_t>(cycles);
+}
+
+std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
+  const int64_t expected =
+      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
+  check(static_cast<int64_t>(image.size()) == expected,
+        "input image size mismatch");
+
+  std::vector<int8_t> cur(image.size());
+  for (size_t i = 0; i < image.size(); ++i)
+    cur[i] = model_->input.quantize(static_cast<float>(image[i]) / 255.0f);
+
+  std::vector<int8_t> next;
+  size_t packed_idx = 0;
+  for (const QLayer& layer : model_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      next.assign(
+          static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
+      packed_conv2d(*conv, packed_[packed_idx++], cur, next);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
+                      pool->channels,
+                  0);
+      maxpool_ref(*pool, cur, next);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      next.assign(static_cast<size_t>(fc->out_dim), 0);
+      packed_dense(*fc, packed_[packed_idx++], cur, next);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+int CmsisEngine::classify(std::span<const uint8_t> image) const {
+  const std::vector<int8_t> logits = run(image);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+DeployReport CmsisEngine::deploy(const Dataset& eval, const BoardSpec& board,
+                                 int limit) const {
+  const int n = limit < 0 ? eval.size() : std::min(limit, eval.size());
+  check(n > 0, "no images to evaluate");
+  std::atomic<int> correct{0};
+  parallel_for(0, n, [&](int64_t i) {
+    if (classify(eval.image(static_cast<int>(i))) ==
+        eval.label(static_cast<int>(i)))
+      correct.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  DeployReport r;
+  r.design = "cmsis-nn";
+  r.network = model_->name;
+  r.top1_accuracy = static_cast<double>(correct.load()) / n;
+  r.cycles = total_cycles_;
+  r.mac_ops = model_->mac_count();
+  r.flash_bytes = packed_flash(*model_, memory_).total_bytes;
+  r.ram_bytes = model_ram_bytes(*model_, /*packed_engine=*/true, memory_);
+  r.per_layer = profile_;
+  r.finalize(board);
+  return r;
+}
+
+}  // namespace ataman

@@ -1,0 +1,52 @@
+// Full-model packed engine: the "exact baseline [2]" column of Table II.
+//
+// Executes the QModel with packed kernels (bit-exact with the reference
+// engine) and produces the MCU deployment report — cycles from the cost
+// model, flash/RAM from the memory model. The per-layer cycle profile is
+// the software analogue of the paper's kernel cycle counters (§II-A),
+// which are "deactivated during runtime": profiling here is free because
+// cycles are a pure function of the layer geometry.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/cmsisnn/packed_kernels.hpp"
+#include "src/data/dataset.hpp"
+#include "src/mcu/board.hpp"
+#include "src/mcu/cost_model.hpp"
+#include "src/mcu/deploy_report.hpp"
+#include "src/mcu/memory_model.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+class CmsisEngine {
+ public:
+  explicit CmsisEngine(const QModel* model, CortexM33CostTable costs = {},
+                       MemoryCostTable memory = {});
+
+  std::vector<int8_t> run(std::span<const uint8_t> image) const;
+  int classify(std::span<const uint8_t> image) const;
+
+  // Structure-derived metrics (no execution needed).
+  int64_t total_cycles() const { return total_cycles_; }
+  const std::vector<LayerProfile>& layer_profile() const { return profile_; }
+
+  // Full deployment report; accuracy is measured on `eval` (up to `limit`
+  // images, all if < 0).
+  DeployReport deploy(const Dataset& eval, const BoardSpec& board,
+                      int limit = -1) const;
+
+  const QModel& model() const { return *model_; }
+
+ private:
+  const QModel* model_;
+  CortexM33CostTable costs_;
+  MemoryCostTable memory_;
+  std::vector<PackedWeights> packed_;  // conv + fc, in layer order
+  std::vector<LayerProfile> profile_;
+  int64_t total_cycles_ = 0;
+};
+
+}  // namespace ataman

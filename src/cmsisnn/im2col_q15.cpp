@@ -1,0 +1,26 @@
+#include "src/cmsisnn/im2col_q15.hpp"
+
+namespace ataman {
+
+void im2col_patch_q15(const QConv2D& layer, std::span<const int8_t> in,
+                      int oy, int ox, int16_t* col) {
+  const ConvGeom& g = layer.geom;
+  const int32_t zp = layer.in.zero_point;
+  int idx = 0;
+  for (int ky = 0; ky < g.kernel; ++ky) {
+    const int iy = oy * g.stride - g.pad + ky;
+    for (int kx = 0; kx < g.kernel; ++kx) {
+      const int ix = ox * g.stride - g.pad + kx;
+      const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+      const int8_t* src =
+          inside ? in.data() + (static_cast<size_t>(iy) * g.in_w + ix) * g.in_c
+                 : nullptr;
+      for (int c = 0; c < g.in_c; ++c, ++idx) {
+        const int32_t x = inside ? src[c] : zp;
+        col[idx] = static_cast<int16_t>(x - zp);
+      }
+    }
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,18 @@
+// q15 im2col: expands one receptive field of int8 activations to
+// zero-point-corrected int16 — the "time-consuming pre-processing" the
+// paper's unpacked kernels avoid (§II-B item 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// Fill `col` (patch_size int16 values, (ky,kx,in_c) order) for output
+// position (oy, ox). Padding taps become 0 (== zero-point corrected).
+void im2col_patch_q15(const QConv2D& layer, std::span<const int8_t> in,
+                      int oy, int ox, int16_t* col);
+
+}  // namespace ataman

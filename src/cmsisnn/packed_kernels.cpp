@@ -1,0 +1,111 @@
+#include "src/cmsisnn/packed_kernels.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+#include "src/cmsisnn/im2col_q15.hpp"
+#include "src/cmsisnn/smlad.hpp"
+
+namespace ataman {
+
+PackedWeights PackedWeights::pack(std::span<const int8_t> weights, int out_c,
+                                  int patch) {
+  check(static_cast<int64_t>(weights.size()) ==
+            static_cast<int64_t>(out_c) * patch,
+        "weight tensor size mismatch");
+  PackedWeights p;
+  p.patch = patch;
+  p.out_c = out_c;
+  p.pairs_per_chan = patch / 2;
+  p.has_single = (patch % 2) != 0;
+  p.pair_constants.resize(static_cast<size_t>(out_c) * p.pairs_per_chan);
+  if (p.has_single) p.single_weights.resize(static_cast<size_t>(out_c));
+
+  for (int oc = 0; oc < out_c; ++oc) {
+    const int8_t* w = weights.data() + static_cast<size_t>(oc) * patch;
+    for (int i = 0; i < p.pairs_per_chan; ++i) {
+      // Even operand in the low lane, odd operand in the high lane; the
+      // activation packer uses the same convention.
+      p.pair_constants[static_cast<size_t>(oc) * p.pairs_per_chan + i] =
+          pack_weight_pair(/*hi=*/w[2 * i + 1], /*lo=*/w[2 * i]);
+    }
+    if (p.has_single)
+      p.single_weights[static_cast<size_t>(oc)] = w[patch - 1];
+  }
+  return p;
+}
+
+namespace {
+
+// Dual-MAC dot product over one q15 column; identical accumulation order
+// to the reference kernel (int32 addition is exact, so order is moot).
+int32_t packed_dot(const PackedWeights& packed, int oc, const int16_t* col,
+                   int32_t acc) {
+  const uint32_t* wp = packed.pair_constants.data() +
+                       static_cast<size_t>(oc) * packed.pairs_per_chan;
+  for (int i = 0; i < packed.pairs_per_chan; ++i) {
+    const uint32_t apair = pack_q15_pair(col[2 * i + 1], col[2 * i]);
+    acc = smlad(wp[i], apair, acc);
+  }
+  if (packed.has_single) {
+    const uint32_t wlast = pack_q15_pair(
+        0, packed.single_weights[static_cast<size_t>(oc)]);
+    const uint32_t alast = pack_q15_pair(0, col[packed.patch - 1]);
+    acc = smlabb(wlast, alast, acc);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void packed_conv2d(const QConv2D& layer, const PackedWeights& packed,
+                   std::span<const int8_t> in, std::span<int8_t> out) {
+  const ConvGeom& g = layer.geom;
+  check(packed.patch == g.patch_size() && packed.out_c == g.out_c,
+        "packed weights do not match layer");
+  const int oh = g.out_h(), ow = g.out_w();
+  std::vector<int16_t> col(static_cast<size_t>(g.patch_size()));
+
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      im2col_patch_q15(layer, in, oy, ox, col.data());
+      int8_t* orow =
+          out.data() + (static_cast<size_t>(oy) * ow + ox) * g.out_c;
+      for (int oc = 0; oc < g.out_c; ++oc) {
+        const int32_t acc = packed_dot(
+            packed, oc, col.data(), layer.bias[static_cast<size_t>(oc)]);
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, layer.requant) +
+            layer.out.zero_point;
+        orow[oc] = static_cast<int8_t>(
+            std::clamp(scaled, layer.act_min, layer.act_max));
+      }
+    }
+  }
+}
+
+void packed_dense(const QDense& layer, const PackedWeights& packed,
+                  std::span<const int8_t> in, std::span<int8_t> out) {
+  check(packed.patch == layer.in_dim && packed.out_c == layer.out_dim,
+        "packed weights do not match layer");
+  // Expand the input once to zero-point-corrected q15 (CMSIS expands the
+  // activation vector for its q7 FC kernels the same way).
+  std::vector<int16_t> col(static_cast<size_t>(layer.in_dim));
+  for (int i = 0; i < layer.in_dim; ++i) {
+    col[static_cast<size_t>(i)] = static_cast<int16_t>(
+        static_cast<int32_t>(in[static_cast<size_t>(i)]) -
+        layer.in.zero_point);
+  }
+  for (int oc = 0; oc < layer.out_dim; ++oc) {
+    const int32_t acc =
+        packed_dot(packed, oc, col.data(), layer.bias[static_cast<size_t>(oc)]);
+    const int32_t scaled =
+        multiply_by_quantized_multiplier(acc, layer.requant) +
+        layer.out.zero_point;
+    out[static_cast<size_t>(oc)] = static_cast<int8_t>(
+        std::clamp(scaled, layer.act_min, layer.act_max));
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,40 @@
+// Packed (CMSIS-NN-style) kernels: the exact baseline of the paper [2].
+//
+// Convolution = q15 im2col + dual-MAC matrix multiply over offline-packed
+// weight pairs (SMLAD), exactly the structure of arm_convolve_HWC_q7 /
+// arm_nn_mat_mult_kernel_q7_q15. Numerics are bit-exact with the golden
+// reference kernels (tests assert this across shapes); only the priced
+// instruction stream differs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// Offline-packed weights for one conv/fc layer: per output channel,
+// ceil(patch/2) SMLAD constants (pairs) plus an odd leftover flag.
+struct PackedWeights {
+  int patch = 0;        // operands per output channel
+  int out_c = 0;
+  int pairs_per_chan = 0;
+  bool has_single = false;
+  // [out_c][pairs_per_chan] SMLAD constants; lo lane = even operand.
+  std::vector<uint32_t> pair_constants;
+  // [out_c] leftover last operand (when patch is odd), as int16 lane.
+  std::vector<int16_t> single_weights;
+
+  static PackedWeights pack(std::span<const int8_t> weights, int out_c,
+                            int patch);
+};
+
+void packed_conv2d(const QConv2D& layer, const PackedWeights& packed,
+                   std::span<const int8_t> in, std::span<int8_t> out);
+
+void packed_dense(const QDense& layer, const PackedWeights& packed,
+                  std::span<const int8_t> in, std::span<int8_t> out);
+
+}  // namespace ataman

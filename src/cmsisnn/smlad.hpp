@@ -1,0 +1,63 @@
+// Simulated ARMv8-M DSP-extension semantics used by the packed kernels.
+//
+// The paper's kernels revolve around SMLAD ("signed multiply accumulate
+// dual"): two 16-bit lane products accumulated into a 32-bit register in
+// one cycle. Offline weight packing concatenates two sign-extended int8
+// weights into one 32-bit constant — the paper's own example: w1=64 and
+// w2=20 pack to 64*2^16 + 20 = 4194324 (§II-B item 3). These helpers
+// reproduce the instruction semantics exactly so host tests can assert
+// bit-exactness of every packed/unpacked kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace ataman {
+
+// Two int8 values sign-extended to int16 and packed, `hi` in bits 31:16.
+// pack_weight_pair(64, 20) == 4194324, matching the paper.
+constexpr uint32_t pack_weight_pair(int8_t hi, int8_t lo) {
+  const uint16_t hi16 = static_cast<uint16_t>(static_cast<int16_t>(hi));
+  const uint16_t lo16 = static_cast<uint16_t>(static_cast<int16_t>(lo));
+  return (static_cast<uint32_t>(hi16) << 16) | lo16;
+}
+
+constexpr int16_t lane_lo(uint32_t packed) {
+  return static_cast<int16_t>(packed & 0xFFFFu);
+}
+
+constexpr int16_t lane_hi(uint32_t packed) {
+  return static_cast<int16_t>(packed >> 16);
+}
+
+// Pack two int16 lanes (e.g. zero-point-corrected activations).
+constexpr uint32_t pack_q15_pair(int16_t hi, int16_t lo) {
+  return (static_cast<uint32_t>(static_cast<uint16_t>(hi)) << 16) |
+         static_cast<uint16_t>(lo);
+}
+
+// __SMLAD: acc + lo(x)*lo(y) + hi(x)*hi(y). Wraparound on overflow like
+// the hardware instruction (accumulations here are range-checked by
+// construction: |acc| < 2^30 for every supported layer geometry).
+constexpr int32_t smlad(uint32_t x, uint32_t y, int32_t acc) {
+  return static_cast<int32_t>(
+      static_cast<uint32_t>(acc) +
+      static_cast<uint32_t>(static_cast<int32_t>(lane_lo(x)) * lane_lo(y)) +
+      static_cast<uint32_t>(static_cast<int32_t>(lane_hi(x)) * lane_hi(y)));
+}
+
+// __SMLABB: acc + lo(x)*lo(y) — used for odd leftover operands.
+constexpr int32_t smlabb(uint32_t x, uint32_t y, int32_t acc) {
+  return static_cast<int32_t>(
+      static_cast<uint32_t>(acc) +
+      static_cast<uint32_t>(static_cast<int32_t>(lane_lo(x)) * lane_lo(y)));
+}
+
+// __SXTB16: sign-extend bytes 0 and 2 of a word into two int16 lanes
+// (how CMSIS expands q7 weight words on the fly).
+constexpr uint32_t sxtb16(uint32_t x) {
+  const int16_t lo = static_cast<int8_t>(x & 0xFFu);
+  const int16_t hi = static_cast<int8_t>((x >> 16) & 0xFFu);
+  return pack_q15_pair(hi, lo);
+}
+
+}  // namespace ataman

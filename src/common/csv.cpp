@@ -1,0 +1,46 @@
+#include "src/common/csv.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  check(out_.good(), "cannot open CSV file for writing: " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  check(cells.size() == arity_, "CSV row arity mismatch for " + path_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  check(out_.good(), "CSV write failed: " + path_);
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace ataman

@@ -1,0 +1,30 @@
+// Minimal CSV writer used by the benchmark harnesses to dump table/figure
+// series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ataman {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // Append one row; must match the header arity.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience: format doubles with enough digits for round-tripping.
+  static std::string num(double v);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t arity_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,27 @@
+#include "src/common/error.hpp"
+
+#include <sstream>
+
+namespace ataman::detail {
+
+namespace {
+std::string format(const std::string& message, const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": " << message;
+  return os.str();
+}
+}  // namespace
+
+void throw_error(const std::string& message, const std::source_location& loc) {
+  throw Error(format(message, loc));
+}
+
+void assertion_failure(const char* expr, const std::string& message,
+                       const std::source_location& loc) {
+  std::ostringstream os;
+  os << "internal assertion failed: (" << expr << ")";
+  if (!message.empty()) os << " — " << message;
+  throw Error(format(os.str(), loc));
+}
+
+}  // namespace ataman::detail

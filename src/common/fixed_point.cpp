@@ -1,0 +1,56 @@
+#include "src/common/fixed_point.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+QuantizedMultiplier quantize_multiplier(double real_multiplier) {
+  check(real_multiplier >= 0.0, "quantized multiplier must be non-negative");
+  if (real_multiplier == 0.0) return {0, 0};
+
+  int exponent = 0;
+  const double significand = std::frexp(real_multiplier, &exponent);
+  // significand in [0.5, 1); scale to [2^30, 2^31).
+  auto mult = static_cast<int64_t>(std::round(significand * (1LL << 31)));
+  ATAMAN_ASSERT(mult <= (1LL << 31));
+  if (mult == (1LL << 31)) {  // rounding carried: 0.5 -> 1.0
+    mult /= 2;
+    ++exponent;
+  }
+  check(exponent <= 30, "multiplier too large to represent");
+  return {static_cast<int32_t>(mult), exponent};
+}
+
+int32_t saturating_rounding_doubling_high_mul(int32_t a, int32_t b) {
+  const bool overflow =
+      a == b && a == std::numeric_limits<int32_t>::min();
+  if (overflow) return std::numeric_limits<int32_t>::max();
+  const int64_t ab = static_cast<int64_t>(a) * static_cast<int64_t>(b);
+  const int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<int32_t>((ab + nudge) / (1LL << 31));
+}
+
+int32_t rounding_divide_by_pot(int32_t x, int exponent) {
+  ATAMAN_ASSERT(exponent >= 0 && exponent <= 31);
+  if (exponent == 0) return x;
+  const int32_t mask = static_cast<int32_t>((1LL << exponent) - 1);
+  const int32_t remainder = x & mask;
+  int32_t threshold = mask >> 1;
+  if (x < 0) threshold += 1;
+  int32_t result = x >> exponent;
+  if (remainder > threshold) ++result;
+  return result;
+}
+
+int32_t multiply_by_quantized_multiplier(int32_t x, QuantizedMultiplier qm) {
+  const int left_shift = qm.shift > 0 ? qm.shift : 0;
+  const int right_shift = qm.shift > 0 ? 0 : -qm.shift;
+  const int32_t shifted = x * (1 << left_shift);
+  return rounding_divide_by_pot(
+      saturating_rounding_doubling_high_mul(shifted, qm.mult), right_shift);
+}
+
+}  // namespace ataman

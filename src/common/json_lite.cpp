@@ -1,0 +1,305 @@
+#include "src/common/json_lite.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+bool Json::as_bool() const {
+  check(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  check(is_number(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+int64_t Json::as_int() const {
+  const double d = as_number();
+  check(std::nearbyint(d) == d, "JSON number is not integral");
+  return static_cast<int64_t>(d);
+}
+
+const std::string& Json::as_string() const {
+  check(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  check(is_array(), "JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  check(is_object(), "JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& Json::as_array() {
+  check(is_array(), "JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& Json::as_object() {
+  check(is_object(), "JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  check(it != obj.end(), "JSON object missing key: " + key);
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(std::ostream& os, double d) {
+  if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
+    os << static_cast<int64_t>(d);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << d;
+    os << tmp.str();
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  char get() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    check(get() == c, std::string("expected '") + c + "' in JSON input");
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't': literal("true"); return Json(true);
+      case 'f': literal("false"); return Json(false);
+      case 'n': literal("null"); return Json(nullptr);
+      default: return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p) expect(*p);
+  }
+
+  Json object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), value());
+      skip_ws();
+      const char c = get();
+      if (c == '}') return Json(std::move(obj));
+      check(c == ',', "expected ',' or '}' in JSON object");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(value());
+      skip_ws();
+      const char c = get();
+      if (c == ']') return Json(std::move(arr));
+      check(c == ',', "expected ',' or ']' in JSON array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = get();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = get();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Only BMP escapes the library itself emits (control chars).
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = get();
+              code = code * 16 +
+                     (h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+            }
+            check(code < 0x80, "non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("bad escape in JSON string");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            strchr("+-.eE", text_[pos_]) != nullptr))
+      ++pos_;
+    check(pos_ > start, "invalid JSON number");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    check(end == tok.c_str() + tok.size(), "invalid JSON number: " + tok);
+    return Json(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void dump_impl(const Json& v, std::ostream& os, int indent, int depth);
+
+void dump_children(const Json& v, std::ostream& os, int indent, int depth) {
+  const std::string pad(indent > 0 ? (depth + 1) * indent : 0, ' ');
+  const std::string close_pad(indent > 0 ? depth * indent : 0, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  if (v.is_array()) {
+    const auto& arr = v.as_array();
+    os << '[' << nl;
+    for (size_t i = 0; i < arr.size(); ++i) {
+      os << pad;
+      dump_impl(arr[i], os, indent, depth + 1);
+      if (i + 1 < arr.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << ']';
+  } else {
+    const auto& obj = v.as_object();
+    os << '{' << nl;
+    size_t i = 0;
+    for (const auto& [key, val] : obj) {
+      os << pad;
+      dump_string(os, key);
+      os << (indent > 0 ? ": " : ":");
+      dump_impl(val, os, indent, depth + 1);
+      if (++i < obj.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << '}';
+  }
+}
+
+void dump_impl(const Json& v, std::ostream& os, int indent, int depth) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    dump_number(os, v.as_number());
+  } else if (v.is_string()) {
+    dump_string(os, v.as_string());
+  } else {
+    dump_children(v, os, indent, depth);
+  }
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump_impl(*this, os, 0, 0);
+  return os.str();
+}
+
+std::string Json::dump_pretty() const {
+  std::ostringstream os;
+  dump_impl(*this, os, 2, 0);
+  return os.str();
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace ataman

@@ -1,0 +1,70 @@
+// Minimal JSON value model, parser and printer.
+//
+// Used to serialize approximation configs and DSE results (the paper's
+// framework exports "configs" that the code generator consumes — see
+// Fig. 1 step 4/5). Supports the JSON subset the library emits: objects,
+// arrays, finite numbers, strings, booleans and null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ataman {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic for golden-file tests.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(int64_t v) : value_(static_cast<double>(v)) {}
+  Json(size_t v) : value_(static_cast<double>(v)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const;
+  double as_number() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  // Object field access; throws if not an object / key missing.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  // Compact single-line serialization.
+  std::string dump() const;
+  // Pretty-printed with 2-space indent.
+  std::string dump_pretty() const;
+
+  static Json parse(const std::string& text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,42 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+constexpr int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Saturate an int32 accumulator into int8 (CMSIS __SSAT(x, 8)).
+constexpr int8_t saturate_int8(int32_t v) {
+  return static_cast<int8_t>(std::clamp<int32_t>(v, -128, 127));
+}
+
+constexpr int16_t saturate_int16(int32_t v) {
+  return static_cast<int16_t>(std::clamp<int32_t>(v, -32768, 32767));
+}
+
+// Checked narrowing conversion (Core Guidelines ES.46 narrow_cast with check).
+template <typename To, typename From>
+To narrow(From value) {
+  const To result = static_cast<To>(value);
+  check(static_cast<From>(result) == value, "narrowing conversion lost value");
+  return result;
+}
+
+// Round-to-nearest-even float->int conversion used by the quantizer.
+inline int32_t round_to_int32(float v) {
+  return static_cast<int32_t>(std::lrintf(v));
+}
+
+// Output spatial extent of a conv/pool window.
+constexpr int conv_out_extent(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace ataman

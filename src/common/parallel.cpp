@@ -1,0 +1,78 @@
+#include "src/common/parallel.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <exception>
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+
+namespace ataman {
+
+namespace {
+std::atomic<int> g_thread_override{0};
+
+int effective_threads() {
+  const int o = g_thread_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : omp_get_max_threads();
+}
+}  // namespace
+
+int num_threads() { return effective_threads(); }
+
+void set_num_threads(int n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body) {
+  if (begin >= end) return;
+  std::exception_ptr first_error = nullptr;
+  std::atomic<bool> has_error{false};
+#pragma omp parallel for schedule(dynamic, 1) num_threads(effective_threads())
+  for (int64_t i = begin; i < end; ++i) {
+    if (has_error.load(std::memory_order_relaxed)) continue;
+    try {
+      body(i);
+    } catch (...) {
+#pragma omp critical(ataman_parallel_for_error)
+      {
+        if (!first_error) first_error = std::current_exception();
+        has_error.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+int parallel_for_indexed(int64_t begin, int64_t end,
+                         const std::function<void(int, int64_t)>& body) {
+  if (begin >= end) return 0;
+  const int64_t n = end - begin;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(effective_threads(), n));
+  const int64_t chunk = ceil_div(n, workers);
+  parallel_for(0, workers, [&](int64_t w) {
+    const int64_t lo = begin + w * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    for (int64_t i = lo; i < hi; ++i) body(static_cast<int>(w), i);
+  });
+  return workers;
+}
+
+void parallel_for_chunked(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  const int64_t n = end - begin;
+  const int64_t workers = std::min<int64_t>(effective_threads(), n);
+  const int64_t chunk = ceil_div(n, workers);
+  parallel_for(0, workers, [&](int64_t w) {
+    const int64_t lo = begin + w * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace ataman

@@ -1,0 +1,43 @@
+// Thin OpenMP wrappers.
+//
+// All data-parallel loops in the library (batch evaluation, activation
+// statistics capture, DSE sweeps, GEMM) go through these helpers so thread
+// control lives in one place. Results must not depend on the thread count:
+// callers either write to disjoint slots or reduce with order-insensitive
+// (integer) arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ataman {
+
+// Number of worker threads the wrappers will use (OpenMP default unless
+// overridden via set_num_threads or the OMP_NUM_THREADS environment).
+int num_threads();
+
+// Override the worker count for subsequent parallel_for calls; n <= 0
+// restores the OpenMP default.
+void set_num_threads(int n);
+
+// Parallel loop over [begin, end). `body(i)` must be safe to call
+// concurrently for distinct i. Exceptions thrown by `body` are captured
+// and rethrown (first one wins) after the loop completes.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body);
+
+// As parallel_for, but hands each worker its contiguous chunk
+// [chunk_begin, chunk_end) — useful when per-iteration work is tiny.
+void parallel_for_chunked(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body);
+
+// Parallel loop where `body(worker, i)` also receives a stable worker id in
+// [0, workers). The i -> worker mapping is static (contiguous chunks), so
+// per-worker partial results — and any sequential reduction over them —
+// are bitwise deterministic for a fixed worker count. Returns the number
+// of workers used.
+int parallel_for_indexed(int64_t begin, int64_t end,
+                         const std::function<void(int, int64_t)>& body);
+
+}  // namespace ataman

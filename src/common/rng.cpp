@@ -1,0 +1,89 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+namespace {
+constexpr uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(uint64_t stream_id) const {
+  // Mix the base seed with the stream id through splitmix so forked
+  // streams are decorrelated even for consecutive ids.
+  uint64_t mix = seed_ ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+  return Rng(splitmix64(mix));
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  check(bound > 0, "Rng::next_below requires bound > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  check(lo <= hi, "Rng::next_int requires lo <= hi");
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_float() { return static_cast<float>(next_double()); }
+
+float Rng::next_uniform(float lo, float hi) {
+  return lo + (hi - lo) * next_float();
+}
+
+float Rng::next_normal() {
+  // Box-Muller; draws two uniforms per call (second value discarded to
+  // keep the generator stateless w.r.t. call sites).
+  const double u1 = 1.0 - next_double();  // (0, 1]
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * std::numbers::pi * u2));
+}
+
+float Rng::next_normal(float mean, float stddev) {
+  return mean + stddev * next_normal();
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+}  // namespace ataman

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (dataset synthesis, weight
+// init, shuffling, subsampling) draws from an explicitly seeded Rng so
+// whole-pipeline runs are reproducible across platforms and thread counts.
+// The generator is xoshiro256** seeded through splitmix64, chosen for
+// quality and for being trivially portable (no libstdc++ distribution
+// differences leak into results: all distributions are implemented here).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ataman {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Derive an independent stream (e.g. one per image index) so parallel
+  // generation does not depend on iteration order.
+  Rng fork(uint64_t stream_id) const;
+
+  uint64_t next_u64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+  // Uniform in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+  // Uniform in [0, 1).
+  double next_double();
+  float next_float();
+  // Uniform in [lo, hi).
+  float next_uniform(float lo, float hi);
+  // Standard normal via Box-Muller (stateless pairing for determinism).
+  float next_normal();
+  float next_normal(float mean, float stddev);
+  bool next_bool(double p_true = 0.5);
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,78 @@
+// Tagged binary serialization for model artifacts.
+//
+// Trained float models, quantized models and calibration statistics are
+// cached on disk between runs (training the AlexNet-class model takes
+// minutes; benches and examples share one artifact). The format is a
+// sequence of (tag, payload) records with explicit sizes, little-endian,
+// guarded by a magic header and format version.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+class BinaryWriter {
+ public:
+  BinaryWriter(const std::string& path, const std::string& magic);
+  ~BinaryWriter();
+
+  void u32(uint32_t v);
+  void i32(int32_t v);
+  void u64(uint64_t v);
+  void f32(float v);
+  void f64(double v);
+  void str(const std::string& s);
+  void bytes(const void* data, size_t n);
+
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, const std::string& magic);
+
+  uint32_t u32();
+  int32_t i32();
+  uint64_t u64();
+  float f32();
+  double f64();
+  std::string str();
+  void bytes(void* data, size_t n);
+
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t n = u64();
+    check(n < (1ULL << 32), "implausible vector size in " + path_);
+    std::vector<T> v(static_cast<size_t>(n));
+    bytes(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  bool at_end();
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+};
+
+bool file_exists(const std::string& path);
+void ensure_directory(const std::string& path);
+
+}  // namespace ataman

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for host-side timing (training, DSE duration).
+// Device latency is never measured with this: it comes from the MCU cycle
+// model in src/mcu.
+#pragma once
+
+#include <chrono>
+
+namespace ataman {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ataman

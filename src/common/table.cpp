@@ -1,0 +1,67 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check(!header_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(), "table row arity mismatch");
+  lines_.push_back({false, std::move(cells)});
+}
+
+void ConsoleTable::separator() { lines_.push_back({true, {}}); }
+
+std::string ConsoleTable::render(const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& line : lines_) {
+    if (line.is_separator) continue;
+    for (size_t c = 0; c < line.cells.size(); ++c)
+      width[c] = std::max(width[c], line.cells[c].size());
+  }
+
+  std::ostringstream os;
+  const auto hline = [&] {
+    os << '+';
+    for (const size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& line : lines_) {
+    if (line.is_separator) {
+      hline();
+    } else {
+      print_row(line.cells);
+    }
+  }
+  hline();
+  return os.str();
+}
+
+std::string ConsoleTable::fmt(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace ataman

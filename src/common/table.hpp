@@ -1,0 +1,31 @@
+// Console table printer for paper-style result tables (Table I, Table II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ataman {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  // Insert a horizontal separator before the next row.
+  void separator();
+
+  // Render with column alignment; `title` is printed above when non-empty.
+  std::string render(const std::string& title = "") const;
+
+  static std::string fmt(double v, int decimals);
+
+ private:
+  struct Line {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,109 @@
+#include "src/core/ataman.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "src/cmsisnn/cmsis_engine.hpp"
+#include "src/common/serialize.hpp"
+#include "src/unpack/unpacked_engine.hpp"
+
+namespace ataman {
+
+AtamanPipeline::AtamanPipeline(const QModel* model, const Dataset* calib,
+                               const Dataset* eval, PipelineOptions options)
+    : model_(model), calib_(calib), eval_(eval), options_(options) {
+  check(model != nullptr && calib != nullptr && eval != nullptr,
+        "pipeline needs model, calibration and eval datasets");
+  check(model->conv_layer_count() > 0,
+        "the approximation targets conv layers; model has none");
+}
+
+void AtamanPipeline::analyze() {
+  if (analyzed()) return;
+  stats_ = capture_activation_stats(*model_, *calib_,
+                                    options_.calibration_images);
+  significance_ = compute_model_significance(*model_, stats_);
+}
+
+const std::vector<LayerSignificance>& AtamanPipeline::significance() const {
+  check(analyzed(), "call analyze() first");
+  return significance_;
+}
+
+const std::vector<ConvInputStats>& AtamanPipeline::activation_stats() const {
+  check(analyzed(), "call analyze() first");
+  return stats_;
+}
+
+DseOutcome AtamanPipeline::explore(const DseProgress& progress) {
+  analyze();
+  return explore(
+      generate_configs(model_->conv_layer_count(), options_.dse), progress);
+}
+
+DseOutcome AtamanPipeline::explore(const std::vector<ApproxConfig>& configs,
+                                   const DseProgress& progress) {
+  analyze();
+  const ConfigEvaluator evaluator(model_, &significance_, eval_,
+                                  options_.dse.eval_images, options_.costs,
+                                  options_.memory);
+  return run_dse(evaluator, configs, progress);
+}
+
+int AtamanPipeline::select(const DseOutcome& outcome,
+                           double max_accuracy_loss) const {
+  return select_design(outcome, max_accuracy_loss,
+                       options_.board.flash_bytes);
+}
+
+SkipMask AtamanPipeline::mask_for(const ApproxConfig& config) const {
+  check(analyzed(), "call analyze() first");
+  return make_skip_mask(*model_, significance_, config);
+}
+
+DeployReport AtamanPipeline::deploy(const ApproxConfig& config,
+                                    const std::string& name,
+                                    int eval_limit) const {
+  const SkipMask mask = mask_for(config);
+  const UnpackedEngine engine(model_, &mask, options_.costs,
+                              options_.memory);
+  return engine.deploy(*eval_, options_.board, eval_limit, name);
+}
+
+DeployReport AtamanPipeline::deploy_cmsis_baseline(int eval_limit) const {
+  const CmsisEngine engine(model_, options_.costs, options_.memory);
+  return engine.deploy(*eval_, options_.board, eval_limit);
+}
+
+DeployReport AtamanPipeline::deploy_xcube(int eval_limit) const {
+  const XCubeEngine engine(model_, options_.xcube);
+  return engine.deploy(*eval_, options_.board, eval_limit);
+}
+
+std::string AtamanPipeline::generate_code(const ApproxConfig& config,
+                                          const CodegenOptions& options) const {
+  const SkipMask mask = mask_for(config);
+  return emit_model_c(*model_, &mask, options);
+}
+
+QModel get_or_build_qmodel(const ZooSpec& spec, const std::string& cache_dir) {
+  ensure_directory(cache_dir);
+  // Key the quantized artifact off the same fingerprint space as the
+  // float model by hashing the architecture name + dataset + training
+  // configuration through the float cache path machinery: simplest is to
+  // derive it from the float model file itself.
+  std::ostringstream key;
+  key << spec.arch.name << "_q8_" << spec.data.seed << "_"
+      << spec.data.train_images << "_" << spec.train.epochs << "_"
+      << std::hash<std::string>{}(spec.arch.topology);
+  const std::string path = cache_dir + "/" + key.str() + ".qm";
+  if (file_exists(path)) return load_qmodel(path);
+
+  TrainedModel trained = get_or_train(spec, cache_dir);
+  const SynthCifar data = make_synth_cifar(spec.data);
+  QModel qm = quantize_model(trained.net, data.train);
+  save_qmodel(qm, path);
+  return qm;
+}
+
+}  // namespace ataman

@@ -1,0 +1,91 @@
+// ATAMAN pipeline facade — the five steps of the paper's Fig. 1:
+//
+//   (1) layer-based code unpacking          -> unpack/ + mcu/ models
+//   (2) input-distribution capture          -> analyze()
+//   (3) significance S[] calculation        -> analyze()
+//   (4) design-space exploration + configs  -> explore(), select()
+//   (5) approximate CNN deployment          -> deploy(), generate_code()
+//
+// plus convenience plumbing to obtain a trained + quantized model from
+// the zoo with on-disk caching.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/codegen/c_emitter.hpp"
+#include "src/data/synth_cifar.hpp"
+#include "src/dse/dse_runner.hpp"
+#include "src/mcu/board.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/train/model_zoo.hpp"
+#include "src/xcube/xcube_engine.hpp"
+
+namespace ataman {
+
+struct PipelineOptions {
+  int calibration_images = 256;   // for activation statistics (step 2)
+  DseOptions dse;                 // step 4
+  BoardSpec board = stm32u575_board();
+  CortexM33CostTable costs;
+  MemoryCostTable memory;
+  XCubeCostTable xcube;
+};
+
+class AtamanPipeline {
+ public:
+  // `model`, `calib` and `eval` must outlive the pipeline.
+  AtamanPipeline(const QModel* model, const Dataset* calib,
+                 const Dataset* eval, PipelineOptions options = {});
+
+  // Steps 2+3: capture E[a_i] on the calibration subset and compute the
+  // per-channel significance of every conv product. Idempotent.
+  void analyze();
+  bool analyzed() const { return !significance_.empty(); }
+  const std::vector<LayerSignificance>& significance() const;
+  const std::vector<ConvInputStats>& activation_stats() const;
+
+  // Step 4: sweep the configured design space (or an explicit list).
+  DseOutcome explore(const DseProgress& progress = nullptr);
+  DseOutcome explore(const std::vector<ApproxConfig>& configs,
+                     const DseProgress& progress = nullptr);
+
+  // Step 5: pick the latency-optimal design within `max_accuracy_loss`
+  // (absolute Top-1 fraction, e.g. 0.05) that fits the board's flash.
+  int select(const DseOutcome& outcome, double max_accuracy_loss) const;
+
+  SkipMask mask_for(const ApproxConfig& config) const;
+
+  // Deploy the approximate design on the MCU substrate and measure the
+  // full Table II row. `eval_limit` < 0 evaluates the whole eval set.
+  DeployReport deploy(const ApproxConfig& config, const std::string& name,
+                      int eval_limit = -1) const;
+  // Comparators.
+  DeployReport deploy_cmsis_baseline(int eval_limit = -1) const;
+  DeployReport deploy_xcube(int eval_limit = -1) const;
+
+  // Generated C for the approximate model (framework output 4 in Fig. 1).
+  std::string generate_code(const ApproxConfig& config,
+                            const CodegenOptions& options = {}) const;
+
+  const QModel& model() const { return *model_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const QModel* model_;
+  const Dataset* calib_;
+  const Dataset* eval_;
+  PipelineOptions options_;
+  std::vector<ConvInputStats> stats_;
+  std::vector<LayerSignificance> significance_;
+};
+
+// Train (or load from cache) the float model for `spec`, quantize it with
+// PTQ (calibrated on the training split) and cache the result. The
+// returned QModel is self-contained.
+QModel get_or_build_qmodel(const ZooSpec& spec,
+                           const std::string& cache_dir = artifact_cache_dir());
+
+}  // namespace ataman

@@ -1,0 +1,83 @@
+#include "src/data/dataset.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+Dataset::Dataset(ImageShape shape, int num_classes)
+    : shape_(shape), num_classes_(num_classes) {
+  check(num_classes > 0, "dataset needs at least one class");
+  check(shape.pixels() > 0, "dataset image shape must be non-empty");
+}
+
+void Dataset::add(std::span<const uint8_t> pixels, int label) {
+  check(static_cast<int>(pixels.size()) == shape_.pixels(),
+        "image size does not match dataset shape");
+  check(label >= 0 && label < num_classes_, "label out of range");
+  pixels_.insert(pixels_.end(), pixels.begin(), pixels.end());
+  labels_.push_back(static_cast<uint8_t>(label));
+}
+
+std::span<const uint8_t> Dataset::image(int index) const {
+  check(index >= 0 && index < size(), "image index out of range");
+  const size_t stride = static_cast<size_t>(shape_.pixels());
+  return {pixels_.data() + stride * static_cast<size_t>(index), stride};
+}
+
+int Dataset::label(int index) const {
+  check(index >= 0 && index < size(), "label index out of range");
+  return labels_[static_cast<size_t>(index)];
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<int> order(static_cast<size_t>(size()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<uint8_t> new_pixels(pixels_.size());
+  std::vector<uint8_t> new_labels(labels_.size());
+  const size_t stride = static_cast<size_t>(shape_.pixels());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const auto src = image(order[i]);
+    std::copy(src.begin(), src.end(), new_pixels.begin() + stride * i);
+    new_labels[i] = labels_[static_cast<size_t>(order[i])];
+  }
+  pixels_ = std::move(new_pixels);
+  labels_ = std::move(new_labels);
+}
+
+Dataset Dataset::head(int n) const {
+  check(n >= 0 && n <= size(), "subset size out of range");
+  Dataset out(shape_, num_classes_);
+  for (int i = 0; i < n; ++i) out.add(image(i), label(i));
+  return out;
+}
+
+std::vector<int> Dataset::class_histogram() const {
+  std::vector<int> hist(static_cast<size_t>(num_classes_), 0);
+  for (const uint8_t l : labels_) ++hist[l];
+  return hist;
+}
+
+double Dataset::pixel_mean() const {
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const uint8_t p : pixels_) sum += p;
+  return sum / static_cast<double>(pixels_.size());
+}
+
+double Dataset::pixel_stddev() const {
+  if (pixels_.empty()) return 0.0;
+  const double mean = pixel_mean();
+  double acc = 0.0;
+  for (const uint8_t p : pixels_) {
+    const double d = p - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pixels_.size()));
+}
+
+}  // namespace ataman

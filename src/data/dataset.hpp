@@ -1,0 +1,59 @@
+// Labelled image dataset container (NHWC uint8), the unit of exchange
+// between the data substrate, the trainer, the quantizer's calibration
+// pass and the DSE's accuracy evaluator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace ataman {
+
+struct ImageShape {
+  int height = 32;
+  int width = 32;
+  int channels = 3;
+
+  int pixels() const { return height * width * channels; }
+  bool operator==(const ImageShape&) const = default;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(ImageShape shape, int num_classes);
+
+  // Append one image; `pixels` must have shape.pixels() elements.
+  void add(std::span<const uint8_t> pixels, int label);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  const ImageShape& shape() const { return shape_; }
+  int num_classes() const { return num_classes_; }
+
+  std::span<const uint8_t> image(int index) const;
+  int label(int index) const;
+
+  // Deterministically shuffle image order.
+  void shuffle(Rng& rng);
+
+  // First `n` images as a new dataset (use after shuffle for subsets).
+  Dataset head(int n) const;
+
+  // Per-class histogram (size num_classes).
+  std::vector<int> class_histogram() const;
+
+  // Mean/stddev over all pixel values (dataset sanity metrics).
+  double pixel_mean() const;
+  double pixel_stddev() const;
+
+ private:
+  ImageShape shape_;
+  int num_classes_ = 0;
+  std::vector<uint8_t> pixels_;
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace ataman

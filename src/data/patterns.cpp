@@ -1,0 +1,102 @@
+#include "src/data/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+namespace {
+constexpr float kTau = 2.0f * std::numbers::pi_v<float>;
+
+// Smooth square wave: sin wave pushed toward +-1 by `sharp`, mapped to [0,1].
+float wave(float t, float sharp) {
+  const float s = std::sin(t);
+  const float pushed = std::tanh(sharp * 2.5f * s);
+  return 0.5f + 0.5f * pushed;
+}
+
+struct Rotated {
+  float ru, rv;
+};
+
+Rotated rotate(float u, float v, const PatternParams& p) {
+  const float du = u - p.cx;
+  const float dv = v - p.cy;
+  const float c = std::cos(p.angle);
+  const float s = std::sin(p.angle);
+  return {du * c - dv * s, du * s + dv * c};
+}
+}  // namespace
+
+PatternParams sample_pattern_params(Rng& rng) {
+  PatternParams p;
+  p.freq = rng.next_uniform(2.5f, 6.0f);
+  p.phase = rng.next_uniform(0.0f, kTau);
+  p.angle = rng.next_uniform(-0.35f, 0.35f);
+  p.cx = rng.next_uniform(0.35f, 0.65f);
+  p.cy = rng.next_uniform(0.35f, 0.65f);
+  p.aspect = rng.next_uniform(0.8f, 1.25f);
+  p.sharp = rng.next_uniform(0.8f, 2.0f);
+  return p;
+}
+
+float pattern_value(PatternFamily family, float u, float v,
+                    const PatternParams& p) {
+  switch (family) {
+    case PatternFamily::kHorizontalStripes:
+      return wave(kTau * p.freq * v + p.phase + p.angle * u * 4.0f, p.sharp);
+    case PatternFamily::kVerticalStripes:
+      return wave(kTau * p.freq * u + p.phase + p.angle * v * 4.0f, p.sharp);
+    case PatternFamily::kDiagonalStripes:
+      return wave(kTau * p.freq * 0.7071f * (u + v) + p.phase, p.sharp);
+    case PatternFamily::kCheckerboard: {
+      const float a = wave(kTau * p.freq * u + p.phase, p.sharp);
+      const float b = wave(kTau * p.freq * v + p.phase, p.sharp);
+      // XOR-like mix of the two square waves.
+      return a + b - 2.0f * a * b;
+    }
+    case PatternFamily::kRings: {
+      const auto [ru, rv] = rotate(u, v, p);
+      const float r = std::sqrt(ru * ru + (rv * rv) * p.aspect);
+      return wave(kTau * p.freq * 1.4f * r + p.phase, p.sharp);
+    }
+    case PatternFamily::kGaussianBlob: {
+      const auto [ru, rv] = rotate(u, v, p);
+      const float r2 = ru * ru * p.aspect + rv * rv / p.aspect;
+      const float sigma = 0.16f + 0.10f / p.freq;
+      return std::exp(-r2 / (2.0f * sigma * sigma));
+    }
+    case PatternFamily::kCross: {
+      const auto [ru, rv] = rotate(u, v, p);
+      const float bar = 0.06f + 0.05f / p.freq;
+      const float on_h = std::exp(-(rv * rv) / (2.0f * bar * bar));
+      const float on_v = std::exp(-(ru * ru) / (2.0f * bar * bar));
+      return std::min(1.0f, on_h + on_v);
+    }
+    case PatternFamily::kQuadrants: {
+      const auto [ru, rv] = rotate(u, v, p);
+      const float a = ru >= 0 ? 1.0f : 0.0f;
+      const float b = rv >= 0 ? 1.0f : 0.0f;
+      return 0.15f + 0.7f * (a + b - 2.0f * a * b);
+    }
+    case PatternFamily::kDots: {
+      // Grid of soft dots.
+      const auto [ru, rv] = rotate(u, v, p);
+      const float gu = ru * p.freq - std::floor(ru * p.freq) - 0.5f;
+      const float gv = rv * p.freq - std::floor(rv * p.freq) - 0.5f;
+      const float r2 = gu * gu + gv * gv;
+      return std::exp(-r2 / 0.045f);
+    }
+    case PatternFamily::kRadialSectors: {
+      const auto [ru, rv] = rotate(u, v, p);
+      const float theta = std::atan2(rv, ru);
+      return wave(std::round(p.freq) * theta + p.phase, p.sharp);
+    }
+  }
+  fail("unknown pattern family");
+}
+
+}  // namespace ataman

@@ -1,0 +1,45 @@
+// Procedural texture primitives for SynthCIFAR classes.
+//
+// Each primitive maps normalized coordinates (u, v) in [0, 1) plus a
+// per-instance parameter bundle to a base intensity in [0, 1]. Classes are
+// distinct pattern families; instances within a class vary in frequency,
+// phase, orientation and palette, so a classifier must learn the family
+// structure rather than memorize pixels.
+#pragma once
+
+#include "src/common/rng.hpp"
+
+namespace ataman {
+
+// Per-instance pattern parameters drawn once per image.
+struct PatternParams {
+  float freq = 4.0f;      // stripes per image
+  float phase = 0.0f;     // radians
+  float angle = 0.0f;     // radians, pattern orientation
+  float cx = 0.5f;        // pattern center
+  float cy = 0.5f;
+  float aspect = 1.0f;    // anisotropy for blobs/rings
+  float sharp = 1.0f;     // edge sharpness
+};
+
+PatternParams sample_pattern_params(Rng& rng);
+
+enum class PatternFamily : int {
+  kHorizontalStripes = 0,
+  kVerticalStripes = 1,
+  kDiagonalStripes = 2,
+  kCheckerboard = 3,
+  kRings = 4,
+  kGaussianBlob = 5,
+  kCross = 6,
+  kQuadrants = 7,
+  kDots = 8,
+  kRadialSectors = 9,
+};
+constexpr int kNumPatternFamilies = 10;
+
+// Base intensity of `family` at (u, v) under `p`; result in [0, 1].
+float pattern_value(PatternFamily family, float u, float v,
+                    const PatternParams& p);
+
+}  // namespace ataman

@@ -1,0 +1,133 @@
+#include "src/data/synth_cifar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/data/patterns.hpp"
+
+namespace ataman {
+
+namespace {
+
+constexpr int kSize = 32;
+constexpr int kChannels = 3;
+constexpr int kClasses = 10;
+
+// Base RGB palette per class: (foreground, background), chosen so color
+// alone is informative but not sufficient (several classes share hues).
+struct Palette {
+  std::array<float, 3> fg;
+  std::array<float, 3> bg;
+};
+
+constexpr std::array<Palette, kClasses> kPalettes = {{
+    {{0.85f, 0.30f, 0.25f}, {0.15f, 0.10f, 0.12f}},  // 0 stripes-h, red
+    {{0.25f, 0.75f, 0.35f}, {0.10f, 0.16f, 0.12f}},  // 1 stripes-v, green
+    {{0.30f, 0.45f, 0.85f}, {0.08f, 0.10f, 0.18f}},  // 2 diag, blue
+    {{0.80f, 0.72f, 0.25f}, {0.18f, 0.15f, 0.08f}},  // 3 checker, yellow
+    {{0.78f, 0.35f, 0.75f}, {0.14f, 0.08f, 0.15f}},  // 4 rings, magenta
+    {{0.30f, 0.78f, 0.78f}, {0.08f, 0.15f, 0.16f}},  // 5 blob, cyan
+    {{0.85f, 0.55f, 0.25f}, {0.16f, 0.12f, 0.08f}},  // 6 cross, orange
+    {{0.70f, 0.70f, 0.72f}, {0.12f, 0.12f, 0.14f}},  // 7 quadrants, grey
+    {{0.45f, 0.30f, 0.78f}, {0.10f, 0.08f, 0.16f}},  // 8 dots, violet
+    {{0.55f, 0.80f, 0.30f}, {0.12f, 0.16f, 0.08f}},  // 9 sectors, lime
+}};
+
+constexpr std::array<const char*, kClasses> kClassNames = {
+    "stripes-h", "stripes-v", "stripes-d", "checker", "rings",
+    "blob",      "cross",     "quadrant",  "dots",    "sectors"};
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+void render_image(const SynthCifarSpec& spec, Rng& rng, int label,
+                  std::array<uint8_t, kSize * kSize * kChannels>& out) {
+  const auto family = static_cast<PatternFamily>(label);
+  const PatternParams params = sample_pattern_params(rng);
+
+  // A distractor texture from a different family is blended in at low
+  // weight: it forces the classifier to separate overlapping evidence and
+  // is the main difficulty source besides pixel noise.
+  const int distractor_label =
+      (label + rng.next_int(1, kClasses - 1)) % kClasses;
+  const auto distractor_family = static_cast<PatternFamily>(distractor_label);
+  const PatternParams distractor_params = sample_pattern_params(rng);
+
+  Palette pal = kPalettes[static_cast<size_t>(label)];
+  for (auto& c : pal.fg)
+    c = clamp01(c + rng.next_uniform(-spec.palette_jitter, spec.palette_jitter));
+  for (auto& c : pal.bg)
+    c = clamp01(c + rng.next_uniform(-spec.palette_jitter, spec.palette_jitter));
+
+  const float brightness = rng.next_uniform(0.85f, 1.15f);
+  const float contrast = rng.next_uniform(0.8f, 1.2f);
+
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) {
+      const float u = (static_cast<float>(x) + 0.5f) / kSize;
+      const float v = (static_cast<float>(y) + 0.5f) / kSize;
+      float t = pattern_value(family, u, v, params);
+      const float d =
+          pattern_value(distractor_family, u, v, distractor_params);
+      t = (1.0f - spec.distractor_alpha) * t + spec.distractor_alpha * d;
+      t = clamp01(0.5f + (t - 0.5f) * contrast);
+      for (int c = 0; c < kChannels; ++c) {
+        const float base =
+            pal.bg[static_cast<size_t>(c)] +
+            t * (pal.fg[static_cast<size_t>(c)] - pal.bg[static_cast<size_t>(c)]);
+        float value = 255.0f * brightness * base +
+                      rng.next_normal(0.0f, spec.noise_sigma);
+        value = std::clamp(value, 0.0f, 255.0f);
+        out[static_cast<size_t>((y * kSize + x) * kChannels + c)] =
+            static_cast<uint8_t>(std::lround(value));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_cifar_split(const SynthCifarSpec& spec, int count,
+                               uint64_t split_salt) {
+  check(count >= 0, "split size must be non-negative");
+  Dataset ds(ImageShape{kSize, kSize, kChannels}, kClasses);
+
+  // Render in parallel into a flat buffer, then append sequentially so the
+  // dataset layout is identical for any thread count.
+  std::vector<std::array<uint8_t, kSize * kSize * kChannels>> images(
+      static_cast<size_t>(count));
+  std::vector<uint8_t> labels(static_cast<size_t>(count));
+  const Rng base(spec.seed ^ split_salt);
+  parallel_for(0, count, [&](int64_t i) {
+    Rng rng = base.fork(static_cast<uint64_t>(i));
+    // Balanced classes by construction; label noise reassigns a small
+    // fraction to a random class to cap achievable accuracy realistically.
+    int label = static_cast<int>(i) % kClasses;
+    if (rng.next_bool(spec.label_noise)) label = rng.next_int(0, kClasses - 1);
+    labels[static_cast<size_t>(i)] = static_cast<uint8_t>(label);
+    render_image(spec, rng, label, images[static_cast<size_t>(i)]);
+  });
+  for (int i = 0; i < count; ++i)
+    ds.add(images[static_cast<size_t>(i)], labels[static_cast<size_t>(i)]);
+
+  // Shuffle so class order is not periodic (matters for mini-batch SGD).
+  Rng shuffle_rng(spec.seed ^ (split_salt * 0x9E3779B9ULL) ^ 0xC0FFEE);
+  ds.shuffle(shuffle_rng);
+  return ds;
+}
+
+SynthCifar make_synth_cifar(const SynthCifarSpec& spec) {
+  SynthCifar out;
+  out.train = make_synth_cifar_split(spec, spec.train_images, /*salt=*/1);
+  out.test = make_synth_cifar_split(spec, spec.test_images, /*salt=*/2);
+  return out;
+}
+
+const char* synth_cifar_class_name(int label) {
+  check(label >= 0 && label < kClasses, "class label out of range");
+  return kClassNames[static_cast<size_t>(label)];
+}
+
+}  // namespace ataman

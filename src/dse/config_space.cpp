@@ -1,0 +1,101 @@
+#include "src/dse/config_space.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ataman {
+
+namespace {
+
+std::vector<double> tau_grid(const DseOptions& o) {
+  check(o.tau_step > 0.0 && o.tau_max >= o.tau_min && o.tau_min >= 0.0,
+        "invalid tau grid");
+  std::vector<double> grid;
+  for (double t = o.tau_min; t <= o.tau_max + 1e-12; t += o.tau_step)
+    grid.push_back(t);
+  return grid;
+}
+
+std::vector<ApproxConfig> uniform_by_subset(int conv_count,
+                                            const DseOptions& o) {
+  const std::vector<double> grid = tau_grid(o);
+  std::vector<ApproxConfig> configs;
+  configs.push_back(ApproxConfig::exact(conv_count));
+  const uint32_t subsets = 1u << conv_count;
+  for (uint32_t mask = 1; mask < subsets; ++mask) {
+    for (const double tau : grid) {
+      ApproxConfig c = ApproxConfig::exact(conv_count);
+      for (int l = 0; l < conv_count; ++l)
+        if (mask & (1u << l)) c.tau[static_cast<size_t>(l)] = tau;
+      configs.push_back(std::move(c));
+    }
+  }
+  return configs;
+}
+
+std::vector<ApproxConfig> per_layer_grid(int conv_count,
+                                         const DseOptions& o) {
+  // Per-layer levels: "exact" plus `per_layer_levels` log-spaced taus.
+  check(o.per_layer_levels >= 1, "need at least one tau level");
+  std::vector<double> levels;
+  levels.push_back(-1.0);  // exact
+  const double lo = std::max(o.tau_min, o.tau_step / 4.0);
+  const double hi = std::max(o.tau_max, lo * (1.0 + 1e-9));
+  for (int i = 0; i < o.per_layer_levels; ++i) {
+    const double f = o.per_layer_levels == 1
+                         ? 1.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(o.per_layer_levels - 1);
+    levels.push_back(lo * std::pow(hi / lo, f));
+  }
+
+  const size_t n_levels = levels.size();
+  size_t total = 1;
+  for (int l = 0; l < conv_count; ++l) total *= n_levels;
+
+  std::vector<ApproxConfig> configs;
+  configs.reserve(total);
+  for (size_t code = 0; code < total; ++code) {
+    ApproxConfig c;
+    c.tau.resize(static_cast<size_t>(conv_count));
+    size_t rest = code;
+    for (int l = 0; l < conv_count; ++l) {
+      c.tau[static_cast<size_t>(l)] = levels[rest % n_levels];
+      rest /= n_levels;
+    }
+    configs.push_back(std::move(c));
+  }
+  return configs;  // code 0 is the all-exact config
+}
+
+}  // namespace
+
+std::vector<ApproxConfig> generate_configs(int conv_count,
+                                           const DseOptions& options) {
+  check(conv_count >= 1, "model has no conv layers");
+  check(conv_count <= 24, "subset enumeration limited to 24 conv layers");
+  std::vector<ApproxConfig> configs =
+      options.mode == DseMode::kUniformTauBySubset
+          ? uniform_by_subset(conv_count, options)
+          : per_layer_grid(conv_count, options);
+
+  if (options.max_configs > 0 &&
+      static_cast<int>(configs.size()) > options.max_configs) {
+    // Deterministic subsample; always keep the exact config at slot 0.
+    Rng rng(0xD5Eu);
+    std::vector<ApproxConfig> sampled;
+    sampled.push_back(configs.front());
+    std::vector<int> order(configs.size() - 1);
+    for (size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<int>(i + 1);
+    rng.shuffle(order);
+    for (int i = 0; i + 1 < options.max_configs; ++i)
+      sampled.push_back(configs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+    configs = std::move(sampled);
+  }
+  return configs;
+}
+
+}  // namespace ataman

@@ -1,0 +1,40 @@
+// Design-space generation (§II-C): "exhaustive DSE w.r.t. the targeted
+// layers and the values of tau".
+//
+// Two generation modes, matching the paper's description:
+//  * kUniformTauBySubset: for every non-empty subset of conv layers and
+//    every tau in [tau_min, tau_max] at tau_step, approximate exactly the
+//    layers in the subset with that tau.
+//  * kPerLayerGrid: cartesian product of a per-layer tau grid (including
+//    "exact") — the mode that reaches the paper's >10,000 designs.
+#pragma once
+
+#include <vector>
+
+#include "src/sig/skip_plan.hpp"
+
+namespace ataman {
+
+enum class DseMode { kUniformTauBySubset, kPerLayerGrid };
+
+struct DseOptions {
+  DseMode mode = DseMode::kUniformTauBySubset;
+  double tau_min = 0.0;
+  double tau_max = 0.1;    // paper: tau in [0, 0.1]
+  double tau_step = 0.01;  // paper: 0.001 (LeNet) / 0.01 (AlexNet)
+  // kPerLayerGrid: number of tau levels per layer (log-spaced over
+  // [tau_min(+eps), tau_max]) plus the "exact" level.
+  int per_layer_levels = 4;
+  // Images used per accuracy evaluation (-1 = whole eval set).
+  int eval_images = 512;
+  // Cap on generated configs (0 = no cap); configs are subsampled
+  // deterministically when the space is larger.
+  int max_configs = 0;
+};
+
+// All candidate configurations for a model with `conv_count` conv layers.
+// Always includes the all-exact baseline config at index 0.
+std::vector<ApproxConfig> generate_configs(int conv_count,
+                                           const DseOptions& options);
+
+}  // namespace ataman

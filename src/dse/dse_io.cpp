@@ -1,0 +1,90 @@
+#include "src/dse/dse_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+namespace {
+
+Json result_to_json(const DseResult& r) {
+  JsonObject o;
+  o.emplace("config", r.config.to_json());
+  o.emplace("accuracy", r.accuracy);
+  o.emplace("executed_macs", static_cast<int64_t>(r.executed_macs));
+  o.emplace("skipped_conv_macs", static_cast<int64_t>(r.skipped_conv_macs));
+  o.emplace("conv_mac_reduction", r.conv_mac_reduction);
+  o.emplace("cycles", static_cast<int64_t>(r.cycles));
+  o.emplace("latency_reduction", r.latency_reduction);
+  o.emplace("flash_bytes", static_cast<int64_t>(r.flash_bytes));
+  return Json(std::move(o));
+}
+
+DseResult result_from_json(const Json& j) {
+  DseResult r;
+  r.config = ApproxConfig::from_json(j.at("config"));
+  r.accuracy = j.at("accuracy").as_number();
+  r.executed_macs = j.at("executed_macs").as_int();
+  r.skipped_conv_macs = j.at("skipped_conv_macs").as_int();
+  r.conv_mac_reduction = j.at("conv_mac_reduction").as_number();
+  r.cycles = j.at("cycles").as_int();
+  r.latency_reduction = j.at("latency_reduction").as_number();
+  r.flash_bytes = j.at("flash_bytes").as_int();
+  return r;
+}
+
+}  // namespace
+
+Json dse_outcome_to_json(const DseOutcome& outcome) {
+  JsonObject o;
+  JsonArray results;
+  results.reserve(outcome.results.size());
+  for (const DseResult& r : outcome.results)
+    results.push_back(result_to_json(r));
+  o.emplace("results", std::move(results));
+  JsonArray pareto;
+  pareto.reserve(outcome.pareto.size());
+  for (const int idx : outcome.pareto) pareto.emplace_back(idx);
+  o.emplace("pareto", std::move(pareto));
+  o.emplace("exact_accuracy", outcome.exact_accuracy);
+  o.emplace("baseline_cycles", static_cast<int64_t>(outcome.baseline_cycles));
+  o.emplace("wall_seconds", outcome.wall_seconds);
+  o.emplace("threads_used", outcome.threads_used);
+  return Json(std::move(o));
+}
+
+DseOutcome dse_outcome_from_json(const Json& j) {
+  DseOutcome outcome;
+  for (const Json& r : j.at("results").as_array())
+    outcome.results.push_back(result_from_json(r));
+  for (const Json& p : j.at("pareto").as_array())
+    outcome.pareto.push_back(static_cast<int>(p.as_int()));
+  outcome.exact_accuracy = j.at("exact_accuracy").as_number();
+  outcome.baseline_cycles = j.at("baseline_cycles").as_int();
+  outcome.wall_seconds = j.at("wall_seconds").as_number();
+  outcome.threads_used = static_cast<int>(j.at("threads_used").as_int());
+  for (const int idx : outcome.pareto) {
+    check(idx >= 0 && idx < static_cast<int>(outcome.results.size()),
+          "pareto index out of range in DSE file");
+  }
+  return outcome;
+}
+
+void save_dse_outcome(const DseOutcome& outcome, const std::string& path) {
+  std::ofstream out(path);
+  check(out.good(), "cannot open for writing: " + path);
+  out << dse_outcome_to_json(outcome).dump_pretty() << '\n';
+  check(out.good(), "write failed: " + path);
+}
+
+DseOutcome load_dse_outcome(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "cannot open for reading: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return dse_outcome_from_json(Json::parse(buffer.str()));
+}
+
+}  // namespace ataman

@@ -1,0 +1,18 @@
+// DSE outcome serialization — the framework's exported artifact (Fig. 1
+// step 4 "configs"): every evaluated design with its metrics plus the
+// Pareto front, as JSON for downstream tooling, and back.
+#pragma once
+
+#include <string>
+
+#include "src/dse/dse_runner.hpp"
+
+namespace ataman {
+
+Json dse_outcome_to_json(const DseOutcome& outcome);
+DseOutcome dse_outcome_from_json(const Json& j);
+
+void save_dse_outcome(const DseOutcome& outcome, const std::string& path);
+DseOutcome load_dse_outcome(const std::string& path);
+
+}  // namespace ataman

@@ -1,0 +1,67 @@
+#include "src/dse/dse_runner.hpp"
+
+#include <atomic>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/stopwatch.hpp"
+
+namespace ataman {
+
+DseOutcome run_dse(const ConfigEvaluator& evaluator,
+                   const std::vector<ApproxConfig>& configs,
+                   const DseProgress& progress) {
+  check(!configs.empty(), "no configurations to evaluate");
+  check(!configs.front().approximates_anything(),
+        "configs[0] must be the exact baseline");
+
+  Stopwatch watch;
+  DseOutcome outcome;
+  outcome.results.resize(configs.size());
+  outcome.threads_used = num_threads();
+
+  std::atomic<int> done{0};
+  parallel_for(0, static_cast<int64_t>(configs.size()), [&](int64_t i) {
+    outcome.results[static_cast<size_t>(i)] =
+        evaluator.evaluate(configs[static_cast<size_t>(i)]);
+    const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress && (d % 16 == 0 || d == static_cast<int>(configs.size())))
+      progress(d, static_cast<int>(configs.size()));
+  });
+
+  outcome.exact_accuracy = outcome.results.front().accuracy;
+  outcome.baseline_cycles = evaluator.baseline_cycles();
+
+  std::vector<ParetoPoint> points;
+  points.reserve(outcome.results.size());
+  for (size_t i = 0; i < outcome.results.size(); ++i) {
+    points.push_back({outcome.results[i].conv_mac_reduction,
+                      outcome.results[i].accuracy, static_cast<int>(i)});
+  }
+  outcome.pareto = pareto_front(points);
+  outcome.wall_seconds = watch.seconds();
+  return outcome;
+}
+
+DseOutcome run_dse(const ConfigEvaluator& evaluator, int conv_count,
+                   const DseOptions& options, const DseProgress& progress) {
+  return run_dse(evaluator, generate_configs(conv_count, options), progress);
+}
+
+int select_design(const DseOutcome& outcome, double max_accuracy_loss,
+                  int64_t flash_capacity) {
+  const double floor_acc = outcome.exact_accuracy - max_accuracy_loss;
+  int best = -1;
+  for (size_t i = 0; i < outcome.results.size(); ++i) {
+    const DseResult& r = outcome.results[i];
+    if (r.accuracy + 1e-12 < floor_acc) continue;
+    if (flash_capacity > 0 && r.flash_bytes > flash_capacity) continue;
+    if (best < 0 ||
+        r.cycles < outcome.results[static_cast<size_t>(best)].cycles) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace ataman

@@ -1,0 +1,43 @@
+// DSE driver: sweeps the configuration space in parallel (the paper ran
+// its exhaustive exploration offline on 6 host threads), extracts the
+// accuracy/MAC-reduction Pareto front (Fig. 2), and selects deployment
+// configs for user accuracy-loss thresholds (Table II's 0%/5%/10%).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dse/config_space.hpp"
+#include "src/dse/evaluator.hpp"
+#include "src/dse/pareto.hpp"
+
+namespace ataman {
+
+struct DseOutcome {
+  std::vector<DseResult> results;  // results[0] is the all-exact config
+  std::vector<int> pareto;         // indices into results (ascending x)
+  double exact_accuracy = 0.0;     // accuracy of results[0]
+  int64_t baseline_cycles = 0;     // packed exact engine cycles
+  double wall_seconds = 0.0;
+  int threads_used = 0;
+};
+
+using DseProgress = std::function<void(int done, int total)>;
+
+DseOutcome run_dse(const ConfigEvaluator& evaluator,
+                   const std::vector<ApproxConfig>& configs,
+                   const DseProgress& progress = nullptr);
+
+// Convenience: generate + sweep in one call.
+DseOutcome run_dse(const ConfigEvaluator& evaluator, int conv_count,
+                   const DseOptions& options,
+                   const DseProgress& progress = nullptr);
+
+// Latency-optimized design meeting `accuracy >= exact - max_loss`
+// and fitting `flash_capacity` (bytes; <=0 disables the check).
+// Returns results index, or -1 when nothing qualifies.
+int select_design(const DseOutcome& outcome, double max_accuracy_loss,
+                  int64_t flash_capacity = 0);
+
+}  // namespace ataman

@@ -1,0 +1,116 @@
+#include "src/dse/evaluator.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/nn/engine.hpp"
+
+namespace ataman {
+
+UnpackStats compute_unpack_stats(const QModel& model, const SkipMask& mask) {
+  mask.validate(model);
+  UnpackStats stats;
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    const int patch = conv->geom.patch_size();
+    const uint8_t* m = nullptr;
+    if (ordinal < static_cast<int>(mask.conv_masks.size()) &&
+        !mask.conv_masks[static_cast<size_t>(ordinal)].empty()) {
+      m = mask.conv_masks[static_cast<size_t>(ordinal)].data();
+    }
+    int64_t pairs = 0, singles = 0, retained_static = 0;
+    for (int oc = 0; oc < conv->geom.out_c; ++oc) {
+      int retained = 0;
+      if (m == nullptr) {
+        retained = patch;
+      } else {
+        const uint8_t* row = m + static_cast<size_t>(oc) * patch;
+        for (int i = 0; i < patch; ++i) retained += row[i] ? 0 : 1;
+      }
+      pairs += retained / 2;
+      singles += retained % 2;
+      retained_static += retained;
+    }
+    stats.static_pairs.push_back(pairs);
+    stats.static_singles.push_back(singles);
+    stats.retained_conv_macs += retained_static * conv->geom.positions();
+    ++ordinal;
+  }
+  return stats;
+}
+
+ConfigEvaluator::ConfigEvaluator(
+    const QModel* model, const std::vector<LayerSignificance>* significance,
+    const Dataset* eval, int eval_images, CortexM33CostTable costs,
+    MemoryCostTable memory)
+    : model_(model),
+      significance_(significance),
+      eval_(eval),
+      eval_images_(eval_images),
+      costs_(costs),
+      memory_(memory) {
+  check(model != nullptr && significance != nullptr && eval != nullptr,
+        "evaluator needs model, significance and eval set");
+  check(static_cast<int>(significance->size()) == model->conv_layer_count(),
+        "significance does not match model");
+  baseline_cycles_ = packed_model_cycles(*model_, costs_);
+  conv_total_macs_ = model_->conv_mac_count();
+  fc_total_macs_ = model_->mac_count() - conv_total_macs_;
+}
+
+DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
+  check(static_cast<int>(config.tau.size()) == model_->conv_layer_count(),
+        "config does not match model");
+  const SkipMask mask = make_skip_mask(*model_, *significance_, config);
+
+  DseResult r;
+  r.config = config;
+  // Zeroed-weight copy: numerically identical to skip-aware execution
+  // (tests assert it) but branch-free, so the sweep runs ~2x faster.
+  const QModel masked = apply_skip_mask(*model_, mask);
+  r.accuracy =
+      evaluate_quantized_accuracy(masked, *eval_, nullptr, eval_images_);
+
+  const UnpackStats stats = compute_unpack_stats(*model_, mask);
+  r.executed_macs = stats.retained_conv_macs + fc_total_macs_;
+  r.skipped_conv_macs = conv_total_macs_ - stats.retained_conv_macs;
+  r.conv_mac_reduction =
+      conv_total_macs_ > 0
+          ? static_cast<double>(r.skipped_conv_macs) /
+                static_cast<double>(conv_total_macs_)
+          : 0.0;
+
+  // Unpacked deployment cycles: unpacked convs + packed FC/pool/softmax.
+  double cycles = 0.0;
+  int ordinal = 0;
+  int out_dim = 0;
+  for (const QLayer& layer : model_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      cycles += static_cast<double>(unpacked_conv_cycles(
+          *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
+          stats.static_singles[static_cast<size_t>(ordinal)], costs_));
+      ++ordinal;
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      cycles += costs_.layer_dispatch +
+                static_cast<double>(pool_cycles(*pool, costs_));
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      cycles += costs_.layer_dispatch +
+                static_cast<double>(dense_cycles(*fc, costs_));
+      out_dim = fc->out_dim;
+    }
+  }
+  cycles += costs_.softmax_per_logit * out_dim;
+  r.cycles = static_cast<int64_t>(cycles);
+  r.latency_reduction =
+      1.0 - static_cast<double>(r.cycles) /
+                static_cast<double>(baseline_cycles_);
+  r.flash_bytes =
+      unpacked_flash(*model_, stats.static_pairs, stats.static_singles,
+                     memory_)
+          .total_bytes;
+  return r;
+}
+
+}  // namespace ataman

@@ -1,0 +1,65 @@
+// Per-configuration evaluation: classification accuracy via masked
+// reference inference (numerically identical to running the skipped
+// unpacked code) plus the static deployment metrics (retained MACs,
+// predicted cycles, flash) from the MCU models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/mcu/board.hpp"
+#include "src/mcu/cost_model.hpp"
+#include "src/mcu/memory_model.hpp"
+#include "src/sig/skip_plan.hpp"
+
+namespace ataman {
+
+struct DseResult {
+  ApproxConfig config;
+  double accuracy = 0.0;
+  int64_t executed_macs = 0;       // retained conv + fc MACs per inference
+  int64_t skipped_conv_macs = 0;
+  double conv_mac_reduction = 0.0;  // Fig. 2 x-axis (conv layers only)
+  int64_t cycles = 0;               // unpacked deployment cycles
+  double latency_reduction = 0.0;   // vs. packed exact baseline
+  int64_t flash_bytes = 0;          // unpacked deployment flash
+};
+
+// Static (per-layer) unpacking statistics induced by a skip mask.
+struct UnpackStats {
+  std::vector<int64_t> static_pairs;    // by conv ordinal
+  std::vector<int64_t> static_singles;  // by conv ordinal
+  int64_t retained_conv_macs = 0;       // dynamic, per inference
+};
+
+UnpackStats compute_unpack_stats(const QModel& model, const SkipMask& mask);
+
+class ConfigEvaluator {
+ public:
+  // `eval` must outlive the evaluator. `eval_images` caps accuracy
+  // evaluation (-1 = all).
+  ConfigEvaluator(const QModel* model,
+                  const std::vector<LayerSignificance>* significance,
+                  const Dataset* eval, int eval_images,
+                  CortexM33CostTable costs = {}, MemoryCostTable memory = {});
+
+  DseResult evaluate(const ApproxConfig& config) const;
+
+  // Cycle count of the packed exact baseline (latency_reduction reference).
+  int64_t baseline_cycles() const { return baseline_cycles_; }
+  int64_t conv_total_macs() const { return conv_total_macs_; }
+
+ private:
+  const QModel* model_;
+  const std::vector<LayerSignificance>* significance_;
+  const Dataset* eval_;
+  int eval_images_;
+  CortexM33CostTable costs_;
+  MemoryCostTable memory_;
+  int64_t baseline_cycles_ = 0;
+  int64_t conv_total_macs_ = 0;
+  int64_t fc_total_macs_ = 0;
+};
+
+}  // namespace ataman

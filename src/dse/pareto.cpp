@@ -1,0 +1,41 @@
+#include "src/dse/pareto.hpp"
+
+#include <algorithm>
+
+namespace ataman {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.x >= b.x && a.y >= b.y && (a.x > b.x || a.y > b.y);
+}
+
+std::vector<int> pareto_front(const std::vector<ParetoPoint>& points) {
+  // Sort by descending x, then descending y; sweep keeping the best y.
+  std::vector<int> order(points.size());
+  for (size_t i = 0; i < points.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& pa = points[static_cast<size_t>(a)];
+    const auto& pb = points[static_cast<size_t>(b)];
+    if (pa.x != pb.x) return pa.x > pb.x;
+    return pa.y > pb.y;
+  });
+
+  std::vector<int> front;
+  double best_y = -1e300;
+  double last_x = 0.0;
+  bool first = true;
+  for (const int idx : order) {
+    const auto& p = points[static_cast<size_t>(idx)];
+    if (first || p.y > best_y) {
+      // Equal-x points: only the first (highest y) survives.
+      if (!first && p.x == last_x) continue;
+      front.push_back(idx);
+      best_y = p.y;
+      last_x = p.x;
+      first = false;
+    }
+  }
+  std::reverse(front.begin(), front.end());  // ascending x
+  return front;
+}
+
+}  // namespace ataman

@@ -1,0 +1,24 @@
+// Pareto analysis over (objective-to-maximize, objective-to-maximize)
+// pairs — used for the accuracy vs. MAC-reduction trade-off of Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ataman {
+
+struct ParetoPoint {
+  double x = 0.0;  // e.g. normalized MAC reduction (maximize)
+  double y = 0.0;  // e.g. accuracy (maximize)
+  int index = 0;   // caller's design index
+};
+
+// Indices (into `points`) of the non-dominated subset, sorted by ascending
+// x. A point is dominated when another point is >= in both coordinates
+// and strictly greater in at least one.
+std::vector<int> pareto_front(const std::vector<ParetoPoint>& points);
+
+// True when a dominates b (maximizing both coordinates).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace ataman

@@ -1,0 +1,90 @@
+#include "src/mcu/cost_model.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+bool packed_conv_uses_fast_path(const QConv2D& layer) {
+  return layer.geom.in_c % 4 == 0 && layer.geom.out_c % 2 == 0;
+}
+
+int64_t packed_conv_cycles(const QConv2D& layer, const CortexM33CostTable& t) {
+  const ConvGeom& g = layer.geom;
+  const int64_t positions = g.positions();
+  const int64_t patch = g.patch_size();
+  const int64_t macs = g.macs();
+
+  double cycles = 0.0;
+  // im2col fills one q15 patch per output position.
+  cycles += t.im2col_per_elem * static_cast<double>(positions * patch);
+  if (packed_conv_uses_fast_path(layer)) {
+    const int64_t pairs_per_chan = patch / 2;
+    const int64_t singles_per_chan = patch % 2;
+    cycles += t.packed_fast_per_pair *
+              static_cast<double>(positions * g.out_c * pairs_per_chan);
+    // Odd leftover per channel costs about one scalar MAC.
+    cycles += t.packed_basic_per_mac *
+              static_cast<double>(positions * g.out_c * singles_per_chan);
+  } else {
+    cycles += t.packed_basic_per_mac * static_cast<double>(macs);
+  }
+  cycles += t.packed_chan_epilogue *
+            static_cast<double>(positions * g.out_c);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+int64_t unpacked_conv_cycles(const QConv2D& layer, int64_t static_pairs,
+                             int64_t static_singles,
+                             const CortexM33CostTable& t) {
+  check(static_pairs >= 0 && static_singles >= 0,
+        "negative retained op counts");
+  const int64_t positions = layer.geom.positions();
+  double cycles = t.unpacked_layer_setup;
+  cycles += t.unpacked_per_pair * static_cast<double>(static_pairs * positions);
+  cycles +=
+      t.unpacked_per_single * static_cast<double>(static_singles * positions);
+  cycles += t.unpacked_chan_epilogue *
+            static_cast<double>(positions * layer.geom.out_c);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+int64_t dense_cycles(const QDense& layer, const CortexM33CostTable& t) {
+  double cycles = 0.0;
+  cycles += t.fc_per_pair *
+            static_cast<double>(layer.out_dim) * (layer.in_dim / 2);
+  cycles += t.fc_per_pair * 2.0 *
+            static_cast<double>(layer.out_dim) * (layer.in_dim % 2);
+  cycles += t.fc_out_epilogue * static_cast<double>(layer.out_dim);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+int64_t pool_cycles(const QMaxPool& layer, const CortexM33CostTable& t) {
+  const int64_t outputs =
+      static_cast<int64_t>(layer.out_h()) * layer.out_w() * layer.channels;
+  const int64_t taps = static_cast<int64_t>(layer.kernel) * layer.kernel;
+  return static_cast<int64_t>(
+      std::llround(t.pool_per_output_elem_per_tap *
+                   static_cast<double>(outputs * taps)));
+}
+
+int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
+  double total = 0.0;
+  int out_dim = 0;
+  for (const QLayer& layer : model.layers) {
+    total += t.layer_dispatch;
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      total += static_cast<double>(packed_conv_cycles(*conv, t));
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      total += static_cast<double>(pool_cycles(*pool, t));
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      total += static_cast<double>(dense_cycles(*fc, t));
+      out_dim = fc->out_dim;
+    }
+  }
+  total += t.softmax_per_logit * out_dim;
+  return static_cast<int64_t>(std::llround(total));
+}
+
+}  // namespace ataman

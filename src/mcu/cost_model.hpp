@@ -1,0 +1,98 @@
+// Cortex-M33 cycle cost model.
+//
+// Latency on this MCU class is a deterministic function of the executed
+// instruction stream (in-order core, no data cache, flat flash with a
+// prefetch buffer); the paper itself relies on this by reporting that its
+// offline cycle counters "closely align with the cycles of the actual
+// model deployment" (§II-C). This model prices the instruction streams of
+// the three kernel families in the repo:
+//
+// 1. Packed CMSIS-NN-style convolution (the exact baseline [2]).
+//    im2col expands the receptive field to int16 (q15), then a dual-MAC
+//    inner loop runs SMLAD over weight pairs. CMSIS has two variants:
+//      * FAST  (in_c % 4 == 0 and out_c % 2 == 0): 2 output channels x
+//        2 columns per iteration, weights expanded with SXTB16; ~2.9
+//        cycles per weight pair (1.45/MAC).
+//      * BASIC (everything else, e.g. RGB input layers): scalar LDRSB/
+//        SMLABB code, ~11.8 cycles per pair (5.9/MAC).
+//    This split is what makes small/odd-geometry CNNs (the paper's LeNet,
+//    2.94 cyc/MAC end to end) proportionally slower than wide 3x3 CNNs
+//    (AlexNet, 1.79 cyc/MAC): the RGB stem runs on the basic path and
+//    per-channel epilogues amortize worse.
+//
+// 2. Unpacked fixed-weight convolution (the paper's §II-B contribution).
+//    Straight-line code; per retained pair: MOVW+MOVT materialize the
+//    packed 32-bit weight constant (two sign-extended int8 weights, e.g.
+//    64*2^16 + 20 = 4194324 for w1=64, w2=20), one activation-pair load,
+//    one SMLAD, plus amortized flash-fetch stalls (straight-line code
+//    defeats the loop prefetch buffer). No im2col, no loop/branch
+//    overhead, cheaper epilogue. Note the per-pair cost (~5.5) sits
+//    *between* the basic and fast packed paths: unpacking alone speeds up
+//    basic-path layers dramatically and costs wide fast-path layers a
+//    little — the headline wins of Table II come from unpacking combined
+//    with significance skipping (fewer executed pairs), which is exactly
+//    the paper's "cooperative" framing.
+//
+// 3. Packed fully-connected / pooling / softmax, common to all engines.
+//
+// All constants live in CortexM33CostTable; change one place to re-price
+// every engine, bench and report.
+#pragma once
+
+#include <cstdint>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+struct CortexM33CostTable {
+  // -- shared --
+  double layer_dispatch = 400.0;     // runtime per-layer call/setup
+  double softmax_per_logit = 30.0;
+
+  // -- packed (CMSIS-like) convolution --
+  double im2col_per_elem = 3.0;      // load q7, extend to q15, store
+  double packed_fast_per_pair = 2.9; // 2x2 SMLAD kernel, per weight pair
+  double packed_basic_per_mac = 5.9; // scalar path, per MAC
+  double packed_chan_epilogue = 30.0;  // bias+requant+saturate+store per
+                                       // (position x channel)
+  // -- packed fully-connected --
+  double fc_per_pair = 2.9;
+  double fc_out_epilogue = 30.0;
+
+  // -- unpacked convolution (this paper) --
+  double unpacked_per_pair = 5.5;    // MOVW+MOVT+LDR+SMLAD+fetch stalls
+  double unpacked_per_single = 3.5;  // MOVW+LDRSB+SMLABB for odd leftovers
+  double unpacked_chan_epilogue = 24.0;  // branchless epilogue
+  double unpacked_layer_setup = 200.0;   // customized runtime, no dispatch
+                                         // table walk
+
+  // -- pooling --
+  double pool_per_output_elem_per_tap = 2.0;  // load+compare per window tap
+};
+
+// True when the layer qualifies for the CMSIS fast (dual-SMLAD) path.
+bool packed_conv_uses_fast_path(const QConv2D& layer);
+
+// Cycle counts -----------------------------------------------------------
+
+int64_t packed_conv_cycles(const QConv2D& layer,
+                           const CortexM33CostTable& t = {});
+
+// `static_pairs`/`static_singles`: retained SMLAD pairs / leftover single
+// MACs summed over all output channels of this layer (static code, reused
+// at every output position).
+int64_t unpacked_conv_cycles(const QConv2D& layer, int64_t static_pairs,
+                             int64_t static_singles,
+                             const CortexM33CostTable& t = {});
+
+int64_t dense_cycles(const QDense& layer, const CortexM33CostTable& t = {});
+
+int64_t pool_cycles(const QMaxPool& layer, const CortexM33CostTable& t = {});
+
+// Whole-model cycles for the packed (exact CMSIS-like) engine, including
+// per-layer dispatch and the final softmax.
+int64_t packed_model_cycles(const QModel& model,
+                            const CortexM33CostTable& t = {});
+
+}  // namespace ataman

@@ -1,0 +1,91 @@
+#include "src/mcu/memory_model.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+FlashReport packed_flash(const QModel& model, const MemoryCostTable& t) {
+  FlashReport r;
+  r.code_bytes = t.generic_runtime_code + t.const_tables +
+                 t.per_layer_descriptor *
+                     static_cast<int64_t>(model.layers.size());
+  r.weight_bytes = model.weight_bytes();
+  r.total_bytes = r.code_bytes + r.weight_bytes;
+  return r;
+}
+
+FlashReport unpacked_flash(const QModel& model,
+                           const std::vector<int64_t>& static_pairs,
+                           const std::vector<int64_t>& static_singles,
+                           const MemoryCostTable& t) {
+  check(static_pairs.size() == static_singles.size(),
+        "pair/single vectors must align");
+  FlashReport r;
+  r.code_bytes = t.custom_runtime_code + t.const_tables;
+
+  int conv_ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      const bool unpacked =
+          conv_ordinal < static_cast<int>(static_pairs.size()) &&
+          static_pairs[static_cast<size_t>(conv_ordinal)] >= 0;
+      if (unpacked) {
+        const int64_t pairs = static_pairs[static_cast<size_t>(conv_ordinal)];
+        const int64_t singles =
+            static_singles[static_cast<size_t>(conv_ordinal)];
+        r.unpacked_code_bytes += t.unpacked_bytes_per_layer +
+                                 t.unpacked_bytes_per_channel * conv->geom.out_c +
+                                 t.unpacked_bytes_per_pair * pairs +
+                                 t.unpacked_bytes_per_single * singles;
+        // Biases remain data (loaded by the per-channel prologue).
+        r.weight_bytes += static_cast<int64_t>(conv->bias.size()) * 4;
+      } else {
+        r.weight_bytes += static_cast<int64_t>(conv->weights.size()) +
+                          static_cast<int64_t>(conv->bias.size()) * 4;
+        r.code_bytes += t.per_layer_descriptor;
+      }
+      ++conv_ordinal;
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      r.weight_bytes += static_cast<int64_t>(fc->weights.size()) +
+                        static_cast<int64_t>(fc->bias.size()) * 4;
+      r.code_bytes += t.per_layer_descriptor;
+    } else {
+      r.code_bytes += t.per_layer_descriptor;
+    }
+  }
+  r.total_bytes = r.code_bytes + r.weight_bytes + r.unpacked_code_bytes;
+  return r;
+}
+
+int64_t model_ram_bytes(const QModel& model, bool packed_engine,
+                        const MemoryCostTable& t) {
+  // Ping-pong arena: the largest (input, output) buffer pair that is live
+  // at once across the layer sequence.
+  int64_t cur = static_cast<int64_t>(model.in_h) * model.in_w * model.in_c;
+  int64_t arena = cur;
+  int64_t im2col = 0;
+  for (const QLayer& layer : model.layers) {
+    int64_t next = 0;
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      next = static_cast<int64_t>(conv->geom.positions()) * conv->geom.out_c;
+      if (packed_engine) {
+        // Two q15 columns of one receptive field each (CMSIS 2-column
+        // mat_mult scratch).
+        im2col = std::max<int64_t>(
+            im2col, 2LL * conv->geom.patch_size() * 2);
+      }
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      next = static_cast<int64_t>(pool->out_h()) * pool->out_w() *
+             pool->channels;
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      next = fc->out_dim;
+    }
+    arena = std::max(arena, cur + next);
+    cur = next;
+  }
+  return arena + im2col + t.runtime_reserve;
+}
+
+}  // namespace ataman

@@ -1,0 +1,70 @@
+// Flash and RAM accounting for deployed models.
+//
+// Flash (packed deployment) = runtime code + kernel code + weights/biases
+// + constant tables. Flash (unpacked deployment) replaces each unpacked
+// conv layer's weights with straight-line code whose size scales with the
+// *retained* operand count — the flash/latency trade-off of §II-B. The
+// paper's customization claim (§II-A: offloading model-structure handling
+// to compile time cuts runtime flash by up to 30%) shows up as
+// `custom_runtime_code` < `generic_runtime_code`.
+//
+// RAM = ping-pong activation arena + im2col scratch (packed only) +
+// a fixed runtime reserve (stack, HAL, I/O staging) calibrated once
+// against Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nn/skip_mask.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+struct MemoryCostTable {
+  // Code sizes (bytes).
+  int64_t generic_runtime_code = 52 * 1024;  // CMSIS-NN + dispatch runtime
+  int64_t custom_runtime_code = 36 * 1024;   // ours: structure at compile time
+  int64_t const_tables = 4 * 1024;           // requant tables, class map, io
+  int64_t per_layer_descriptor = 96;         // packed runtime layer metadata
+
+  // Unpacked code emission (bytes). Per retained SMLAD pair: MOVW+MOVT of
+  // the packed weight constant (8) plus its share of activation loads and
+  // the SMLAD itself (amortized ~4).
+  int64_t unpacked_bytes_per_pair = 12;
+  int64_t unpacked_bytes_per_single = 8;
+  int64_t unpacked_bytes_per_channel = 16;   // bias load + requant + store
+  int64_t unpacked_bytes_per_layer = 256;    // prologue/epilogue, pointers
+
+  // RAM.
+  int64_t runtime_reserve = 168 * 1024;  // stack, HAL, statics, I/O staging
+};
+
+struct FlashReport {
+  int64_t total_bytes = 0;
+  int64_t code_bytes = 0;
+  int64_t weight_bytes = 0;
+  int64_t unpacked_code_bytes = 0;
+  double percent_of(int64_t flash_capacity) const {
+    return 100.0 * static_cast<double>(total_bytes) /
+           static_cast<double>(flash_capacity);
+  }
+};
+
+// Packed (CMSIS-like) deployment: weights stored as data.
+FlashReport packed_flash(const QModel& model, const MemoryCostTable& t = {});
+
+// Unpacked deployment: conv layers in `unpacked_static_pairs` /
+// `unpacked_static_singles` (indexed by conv ordinal, -1 entries = layer
+// kept packed) become straight-line code; their weights disappear from
+// the data segment. FC layers stay packed.
+FlashReport unpacked_flash(const QModel& model,
+                           const std::vector<int64_t>& static_pairs,
+                           const std::vector<int64_t>& static_singles,
+                           const MemoryCostTable& t = {});
+
+// RAM use is engine-independent to first order (same activation buffers);
+// packed adds the im2col q15 scratch.
+int64_t model_ram_bytes(const QModel& model, bool packed_engine,
+                        const MemoryCostTable& t = {});
+
+}  // namespace ataman

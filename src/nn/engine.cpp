@@ -1,0 +1,88 @@
+#include "src/nn/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/parallel.hpp"
+#include "src/nn/qkernels_ref.hpp"
+
+namespace ataman {
+
+RefEngine::RefEngine(const QModel* model) : model_(model) {
+  check(model != nullptr, "engine needs a model");
+  check(!model->layers.empty(), "model has no layers");
+}
+
+std::vector<int8_t> RefEngine::quantize_input(
+    std::span<const uint8_t> image) const {
+  const int64_t expected =
+      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
+  check(static_cast<int64_t>(image.size()) == expected,
+        "input image size mismatch");
+  std::vector<int8_t> q(image.size());
+  for (size_t i = 0; i < image.size(); ++i) {
+    // input scale is 1/255 with zero_point -128: q = pixel - 128 exactly.
+    const float real = static_cast<float>(image[i]) / 255.0f;
+    q[i] = model_->input.quantize(real);
+  }
+  return q;
+}
+
+std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image,
+                                   const SkipMask* mask,
+                                   const ConvTap& tap) const {
+  if (mask != nullptr) mask->validate(*model_);
+  std::vector<int8_t> cur = quantize_input(image);
+  std::vector<int8_t> next;
+
+  int conv_ordinal = 0;
+  for (const QLayer& layer : model_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      if (tap) tap(conv_ordinal, *conv, cur);
+      const uint8_t* skip = nullptr;
+      if (mask != nullptr &&
+          conv_ordinal < static_cast<int>(mask->conv_masks.size()) &&
+          !mask->conv_masks[static_cast<size_t>(conv_ordinal)].empty()) {
+        skip = mask->conv_masks[static_cast<size_t>(conv_ordinal)].data();
+      }
+      next.assign(static_cast<size_t>(conv->geom.positions()) *
+                      conv->geom.out_c,
+                  0);
+      conv2d_ref(*conv, cur, next, skip);
+      ++conv_ordinal;
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
+                      pool->channels,
+                  0);
+      maxpool_ref(*pool, cur, next);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      next.assign(static_cast<size_t>(fc->out_dim), 0);
+      dense_ref(*fc, cur, next);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+int RefEngine::classify(std::span<const uint8_t> image,
+                        const SkipMask* mask) const {
+  const std::vector<int8_t> logits = run(image, mask);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double evaluate_quantized_accuracy(const QModel& model, const Dataset& ds,
+                                   const SkipMask* mask, int limit) {
+  const int n = limit < 0 ? ds.size() : std::min(limit, ds.size());
+  check(n > 0, "no images to evaluate");
+  RefEngine engine(&model);
+  std::atomic<int> correct{0};
+  parallel_for(0, n, [&](int64_t i) {
+    const int pred = engine.classify(ds.image(static_cast<int>(i)), mask);
+    if (pred == ds.label(static_cast<int>(i)))
+      correct.fetch_add(1, std::memory_order_relaxed);
+  });
+  return static_cast<double>(correct.load()) / static_cast<double>(n);
+}
+
+}  // namespace ataman

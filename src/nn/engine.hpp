@@ -1,0 +1,53 @@
+// Reference int8 inference engine.
+//
+// Runs a QModel image-by-image with the golden kernels. Supports
+//   * skip masks (the DSE evaluates approximate configs through here —
+//     masking a product is numerically identical to omitting its
+//     instruction from unpacked code, which tests/test_unpack.cpp asserts)
+//   * conv-input taps (the significance analysis captures activation
+//     statistics through these).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/skip_mask.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// Called before each conv layer executes: (conv_ordinal, layer, input).
+using ConvTap =
+    std::function<void(int, const QConv2D&, std::span<const int8_t>)>;
+
+class RefEngine {
+ public:
+  explicit RefEngine(const QModel* model);
+
+  // Quantize a u8 image into the model's input tensor (q = pixel - 128
+  // for the standard [0,1] input scale).
+  std::vector<int8_t> quantize_input(std::span<const uint8_t> image) const;
+
+  // Full inference; returns the final layer's int8 logits.
+  std::vector<int8_t> run(std::span<const uint8_t> image,
+                          const SkipMask* mask = nullptr,
+                          const ConvTap& tap = nullptr) const;
+
+  int classify(std::span<const uint8_t> image,
+               const SkipMask* mask = nullptr) const;
+
+  const QModel& model() const { return *model_; }
+
+ private:
+  const QModel* model_;
+};
+
+// Top-1 accuracy of `model` on up to `limit` images of `ds` (all if
+// limit < 0). Parallel over images; deterministic.
+double evaluate_quantized_accuracy(const QModel& model, const Dataset& ds,
+                                   const SkipMask* mask = nullptr,
+                                   int limit = -1);
+
+}  // namespace ataman

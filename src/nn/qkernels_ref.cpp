@@ -1,0 +1,113 @@
+#include "src/nn/qkernels_ref.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+
+namespace ataman {
+
+int32_t conv_accumulate_ref(const QConv2D& layer, std::span<const int8_t> in,
+                            int oy, int ox, int oc, const uint8_t* skip) {
+  const ConvGeom& g = layer.geom;
+  const int patch = g.patch_size();
+  const int8_t* w =
+      layer.weights.data() + static_cast<size_t>(oc) * patch;
+  const uint8_t* sk =
+      skip != nullptr ? skip + static_cast<size_t>(oc) * patch : nullptr;
+
+  int32_t acc = layer.bias[static_cast<size_t>(oc)];
+  int idx = 0;
+  for (int ky = 0; ky < g.kernel; ++ky) {
+    const int iy = oy * g.stride - g.pad + ky;
+    for (int kx = 0; kx < g.kernel; ++kx) {
+      const int ix = ox * g.stride - g.pad + kx;
+      const bool inside = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+      for (int c = 0; c < g.in_c; ++c, ++idx) {
+        if (sk != nullptr && sk[idx]) continue;
+        // Padding taps read the zero-point, i.e. real value 0.
+        const int32_t x =
+            inside ? in[(static_cast<size_t>(iy) * g.in_w + ix) * g.in_c + c]
+                   : layer.in.zero_point;
+        acc += (x - layer.in.zero_point) * static_cast<int32_t>(w[idx]);
+      }
+    }
+  }
+  return acc;
+}
+
+void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
+                std::span<int8_t> out, const uint8_t* skip) {
+  const ConvGeom& g = layer.geom;
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(g.in_h) * g.in_w * g.in_c,
+        "conv input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(g.positions()) * g.out_c,
+        "conv output size mismatch");
+
+  const int oh = g.out_h(), ow = g.out_w();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int8_t* orow = out.data() + (static_cast<size_t>(oy) * ow + ox) * g.out_c;
+      for (int oc = 0; oc < g.out_c; ++oc) {
+        const int32_t acc = conv_accumulate_ref(layer, in, oy, ox, oc, skip);
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, layer.requant) +
+            layer.out.zero_point;
+        orow[oc] = static_cast<int8_t>(
+            std::clamp(scaled, layer.act_min, layer.act_max));
+      }
+    }
+  }
+}
+
+void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
+                 std::span<int8_t> out) {
+  const int oh = layer.out_h(), ow = layer.out_w(), c = layer.channels;
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(layer.in_h) * layer.in_w * c,
+        "pool input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(oh) * ow * c,
+        "pool output size mismatch");
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int ch = 0; ch < c; ++ch) {
+        int8_t best = -128;
+        for (int ky = 0; ky < layer.kernel; ++ky) {
+          const int iy = oy * layer.stride + ky;
+          if (iy >= layer.in_h) continue;
+          for (int kx = 0; kx < layer.kernel; ++kx) {
+            const int ix = ox * layer.stride + kx;
+            if (ix >= layer.in_w) continue;
+            best = std::max(
+                best, in[(static_cast<size_t>(iy) * layer.in_w + ix) * c + ch]);
+          }
+        }
+        out[(static_cast<size_t>(oy) * ow + ox) * c + ch] = best;
+      }
+    }
+  }
+}
+
+void dense_ref(const QDense& layer, std::span<const int8_t> in,
+               std::span<int8_t> out) {
+  check(static_cast<int>(in.size()) == layer.in_dim, "dense input mismatch");
+  check(static_cast<int>(out.size()) == layer.out_dim, "dense output mismatch");
+  for (int o = 0; o < layer.out_dim; ++o) {
+    const int8_t* w =
+        layer.weights.data() + static_cast<size_t>(o) * layer.in_dim;
+    int32_t acc = layer.bias[static_cast<size_t>(o)];
+    for (int i = 0; i < layer.in_dim; ++i) {
+      acc += (static_cast<int32_t>(in[static_cast<size_t>(i)]) -
+              layer.in.zero_point) *
+             static_cast<int32_t>(w[i]);
+    }
+    const int32_t scaled =
+        multiply_by_quantized_multiplier(acc, layer.requant) +
+        layer.out.zero_point;
+    out[static_cast<size_t>(o)] =
+        static_cast<int8_t>(std::clamp(scaled, layer.act_min, layer.act_max));
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,30 @@
+// Reference (golden) int8 kernels.
+//
+// Straightforward nested loops with explicit zero-point handling; every
+// optimized engine in the repo (CMSIS-like packed, unpacked/approximate,
+// generated C) is tested bit-exact against these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// out[pos][oc]; `skip` is nullptr or [out_c * patch] (1 = skip operand).
+void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
+                std::span<int8_t> out, const uint8_t* skip = nullptr);
+
+void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
+                 std::span<int8_t> out);
+
+void dense_ref(const QDense& layer, std::span<const int8_t> in,
+               std::span<int8_t> out);
+
+// Single-channel accumulator for one conv output position — shared by the
+// reference kernel and the significance brute-force tests.
+int32_t conv_accumulate_ref(const QConv2D& layer, std::span<const int8_t> in,
+                            int oy, int ox, int oc, const uint8_t* skip);
+
+}  // namespace ataman

@@ -1,0 +1,87 @@
+#include "src/nn/skip_mask.hpp"
+
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+bool SkipMask::empty() const {
+  for (const auto& m : conv_masks)
+    for (const uint8_t v : m)
+      if (v) return false;
+  return true;
+}
+
+int64_t SkipMask::skipped_static_operands() const {
+  int64_t total = 0;
+  for (const auto& m : conv_masks)
+    total += std::accumulate(m.begin(), m.end(), int64_t{0});
+  return total;
+}
+
+int64_t SkipMask::skipped_macs(const QModel& model) const {
+  validate(model);
+  int64_t total = 0;
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    if (ordinal < static_cast<int>(conv_masks.size())) {
+      const auto& m = conv_masks[static_cast<size_t>(ordinal)];
+      const int64_t skipped =
+          std::accumulate(m.begin(), m.end(), int64_t{0});
+      total += skipped * conv->geom.positions();
+    }
+    ++ordinal;
+  }
+  return total;
+}
+
+void SkipMask::validate(const QModel& model) const {
+  const int conv_count = model.conv_layer_count();
+  check(static_cast<int>(conv_masks.size()) <= conv_count,
+        "skip mask has more layers than the model has convs");
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    if (ordinal < static_cast<int>(conv_masks.size())) {
+      const auto& m = conv_masks[static_cast<size_t>(ordinal)];
+      check(m.empty() ||
+                static_cast<int64_t>(m.size()) == conv->geom.weight_count(),
+            "skip mask size mismatch on conv layer " + std::to_string(ordinal));
+    }
+    ++ordinal;
+  }
+}
+
+SkipMask SkipMask::none(const QModel& model) {
+  SkipMask mask;
+  for (const QLayer& layer : model.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer))
+      mask.conv_masks.emplace_back(
+          static_cast<size_t>(conv->geom.weight_count()), 0);
+  }
+  return mask;
+}
+
+QModel apply_skip_mask(const QModel& model, const SkipMask& mask) {
+  mask.validate(model);
+  QModel masked = model;
+  int ordinal = 0;
+  for (QLayer& layer : masked.layers) {
+    auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    if (ordinal < static_cast<int>(mask.conv_masks.size()) &&
+        !mask.conv_masks[static_cast<size_t>(ordinal)].empty()) {
+      const auto& m = mask.conv_masks[static_cast<size_t>(ordinal)];
+      for (size_t i = 0; i < conv->weights.size(); ++i)
+        if (m[i]) conv->weights[i] = 0;
+    }
+    ++ordinal;
+  }
+  return masked;
+}
+
+}  // namespace ataman

@@ -1,0 +1,46 @@
+// Skip mask: which static conv products are omitted.
+//
+// The paper's approximation (§II-C) removes individual products a_i * w_i
+// from each output channel's accumulation. A skipped product is a *static*
+// (conv layer, out channel, filter operand index) triple — the operand
+// index is the (ky, kx, in_c)-flattened position within the filter, the
+// same ordering used by im2col, the unpacked programs and the code
+// generator. Skipping removes that operand at every output spatial
+// position, exactly like deleting its instruction from generated code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+struct SkipMask {
+  // conv_masks[conv_ordinal][out_c * patch_size + operand] == 1 -> skip.
+  // An empty per-layer vector means "layer untouched".
+  std::vector<std::vector<uint8_t>> conv_masks;
+
+  bool empty() const;
+  // Total number of skipped static operands.
+  int64_t skipped_static_operands() const;
+
+  // Dynamic (per-inference) MACs removed from `model` by this mask:
+  // each skipped static operand saves out_h*out_w MACs in its layer.
+  int64_t skipped_macs(const QModel& model) const;
+
+  // Validate dimensions against `model`; throws on mismatch.
+  void validate(const QModel& model) const;
+
+  // All-zeros mask shaped for `model`.
+  static SkipMask none(const QModel& model);
+};
+
+// A copy of `model` with every skipped conv weight set to zero. The
+// quantized product (a - zp) * w vanishes for w == 0, so running the
+// masked copy through any exact engine is numerically identical to
+// skip-aware execution — and faster to evaluate (no per-MAC branch),
+// which is what the DSE uses for its thousands of accuracy evaluations.
+QModel apply_skip_mask(const QModel& model, const SkipMask& mask);
+
+}  // namespace ataman

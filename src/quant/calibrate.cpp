@@ -1,0 +1,161 @@
+#include "src/quant/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+
+namespace ataman {
+
+RangeObserver::RangeObserver(double clip_quantile)
+    : clip_quantile_(clip_quantile) {
+  check(clip_quantile >= 0.0 && clip_quantile < 0.5,
+        "clip quantile must be in [0, 0.5)");
+}
+
+void RangeObserver::observe_one(float v) { observe(&v, 1); }
+
+void RangeObserver::observe(const float* data, int64_t n) {
+  if (n <= 0) return;
+  float lo = min_, hi = max_;
+  if (count_ == 0) {
+    lo = hi = data[0];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  if (count_ == 0 || lo < hist_lo_ || hi > hist_hi_) {
+    min_ = lo;
+    max_ = hi;
+    rebuild_histogram(lo, hi);
+  } else {
+    min_ = lo;
+    max_ = hi;
+  }
+  const float width = hist_hi_ - hist_lo_;
+  for (int64_t i = 0; i < n; ++i) {
+    int bin = width > 0.0f
+                  ? static_cast<int>((data[i] - hist_lo_) / width * (kBins - 1))
+                  : 0;
+    bin = std::clamp(bin, 0, kBins - 1);
+    ++hist_[static_cast<size_t>(bin)];
+  }
+  count_ += n;
+}
+
+void RangeObserver::merge(const RangeObserver& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Re-bin the other histogram into a range covering both.
+  const float lo = std::min(min_, other.min_);
+  const float hi = std::max(max_, other.max_);
+  RangeObserver merged(clip_quantile_);
+  merged.min_ = lo;
+  merged.max_ = hi;
+  merged.rebuild_histogram(lo, hi);
+  merged.count_ = count_ + other.count_;
+  const auto rebin = [&](const RangeObserver& src) {
+    const float width = src.hist_hi_ - src.hist_lo_;
+    for (int b = 0; b < kBins; ++b) {
+      if (src.hist_[static_cast<size_t>(b)] == 0) continue;
+      const float center =
+          src.hist_lo_ + (static_cast<float>(b) + 0.5f) / kBins * width;
+      const float mwidth = merged.hist_hi_ - merged.hist_lo_;
+      int bin = mwidth > 0.0f ? static_cast<int>((center - merged.hist_lo_) /
+                                                 mwidth * (kBins - 1))
+                              : 0;
+      bin = std::clamp(bin, 0, kBins - 1);
+      merged.hist_[static_cast<size_t>(bin)] +=
+          src.hist_[static_cast<size_t>(b)];
+    }
+  };
+  rebin(*this);
+  rebin(other);
+  *this = merged;
+}
+
+float RangeObserver::min() const {
+  check(count_ > 0, "observer has seen no data");
+  return min_;
+}
+
+float RangeObserver::max() const {
+  check(count_ > 0, "observer has seen no data");
+  return max_;
+}
+
+void RangeObserver::rebuild_histogram(float lo, float hi) {
+  // Keep any previously accumulated mass by re-binning into the new range.
+  std::vector<int64_t> old = hist_;
+  const float old_lo = hist_lo_, old_hi = hist_hi_;
+  hist_.assign(kBins, 0);
+  hist_lo_ = lo;
+  hist_hi_ = hi;
+  if (old.empty()) return;
+  const float old_width = old_hi - old_lo;
+  const float width = hi - lo;
+  for (int b = 0; b < kBins; ++b) {
+    if (old[static_cast<size_t>(b)] == 0) continue;
+    const float center =
+        old_lo + (static_cast<float>(b) + 0.5f) / kBins * old_width;
+    int bin = width > 0.0f
+                  ? static_cast<int>((center - lo) / width * (kBins - 1))
+                  : 0;
+    bin = std::clamp(bin, 0, kBins - 1);
+    hist_[static_cast<size_t>(bin)] += old[static_cast<size_t>(b)];
+  }
+}
+
+std::pair<float, float> RangeObserver::clipped_range() const {
+  check(count_ > 0, "observer has seen no data");
+  if (clip_quantile_ <= 0.0) return {min_, max_};
+  const auto target = static_cast<int64_t>(
+      clip_quantile_ * static_cast<double>(count_));
+  int64_t lo_mass = 0;
+  int lo_bin = 0;
+  while (lo_bin < kBins - 1 &&
+         lo_mass + hist_[static_cast<size_t>(lo_bin)] <= target) {
+    lo_mass += hist_[static_cast<size_t>(lo_bin)];
+    ++lo_bin;
+  }
+  int64_t hi_mass = 0;
+  int hi_bin = kBins - 1;
+  while (hi_bin > lo_bin &&
+         hi_mass + hist_[static_cast<size_t>(hi_bin)] <= target) {
+    hi_mass += hist_[static_cast<size_t>(hi_bin)];
+    --hi_bin;
+  }
+  const float width = hist_hi_ - hist_lo_;
+  const float lo = hist_lo_ + static_cast<float>(lo_bin) / kBins * width;
+  const float hi =
+      hist_lo_ + (static_cast<float>(hi_bin) + 1.0f) / kBins * width;
+  return {std::min(lo, 0.0f), std::max(hi, 0.0f)};
+}
+
+QuantParams RangeObserver::to_affine_params() const {
+  auto [lo, hi] = clipped_range();
+  // Zero must be exactly representable.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  if (hi - lo < 1e-8f) hi = lo + 1e-8f;
+  QuantParams p;
+  p.scale = (hi - lo) / 255.0f;
+  p.zero_point = std::clamp(-128 - round_to_int32(lo / p.scale), -128, 127);
+  return p;
+}
+
+QuantParams RangeObserver::to_symmetric_params() const {
+  check(count_ > 0, "observer has seen no data");
+  const float absmax = std::max(std::abs(min_), std::abs(max_));
+  QuantParams p;
+  p.scale = absmax > 0.0f ? absmax / 127.0f : 1e-8f;
+  p.zero_point = 0;
+  return p;
+}
+
+}  // namespace ataman

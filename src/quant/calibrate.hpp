@@ -1,0 +1,52 @@
+// Activation-range calibration for post-training quantization.
+//
+// A RangeObserver accumulates min/max (with optional percentile clipping
+// over a histogram) of float activations seen on a calibration subset;
+// the quantizer turns the observed range into per-tensor affine params.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+class RangeObserver {
+ public:
+  // `clip_quantile` in [0, 0.5): fraction of probability mass clipped at
+  // each tail when deriving the final range (robustness against outliers).
+  explicit RangeObserver(double clip_quantile = 0.0);
+
+  void observe(const float* data, int64_t n);
+  void observe_one(float v);
+
+  // Merge another observer (used for parallel calibration).
+  void merge(const RangeObserver& other);
+
+  bool empty() const { return count_ == 0; }
+  float min() const;
+  float max() const;
+  // Range after percentile clipping (falls back to raw min/max when the
+  // histogram is too sparse).
+  std::pair<float, float> clipped_range() const;
+
+  // Affine int8 params covering the clipped range (zero always exactly
+  // representable, as TFLite requires).
+  QuantParams to_affine_params() const;
+  // Symmetric params (zero_point == 0) for weight tensors.
+  QuantParams to_symmetric_params() const;
+
+ private:
+  void rebuild_histogram(float lo, float hi);
+
+  double clip_quantile_;
+  float min_ = 0.0f, max_ = 0.0f;
+  int64_t count_ = 0;
+  // Fixed-width histogram over [hist_lo_, hist_hi_], rebuilt on range growth.
+  static constexpr int kBins = 512;
+  std::vector<int64_t> hist_;
+  float hist_lo_ = 0.0f, hist_hi_ = 0.0f;
+};
+
+}  // namespace ataman

@@ -1,0 +1,92 @@
+#include "src/quant/qtypes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+
+namespace ataman {
+
+int8_t QuantParams::quantize(float real) const {
+  check(scale > 0.0f, "quantization scale must be positive");
+  const int32_t q = round_to_int32(real / scale) + zero_point;
+  return saturate_int8(q);
+}
+
+float QuantParams::dequantize(int8_t q) const {
+  return scale * static_cast<float>(static_cast<int32_t>(q) - zero_point);
+}
+
+int64_t QModel::mac_count() const {
+  int64_t total = 0;
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      total += conv->geom.macs();
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      total += fc->macs();
+    }
+  }
+  return total;
+}
+
+int64_t QModel::conv_mac_count() const {
+  int64_t total = 0;
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer))
+      total += conv->geom.macs();
+  }
+  return total;
+}
+
+int QModel::conv_layer_count() const {
+  int count = 0;
+  for (const QLayer& layer : layers)
+    if (std::holds_alternative<QConv2D>(layer)) ++count;
+  return count;
+}
+
+int QModel::conv_layer_index(int n) const {
+  int seen = 0;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    if (std::holds_alternative<QConv2D>(layers[i])) {
+      if (seen == n) return static_cast<int>(i);
+      ++seen;
+    }
+  }
+  fail("conv layer ordinal out of range");
+}
+
+int64_t QModel::weight_bytes() const {
+  int64_t total = 0;
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      total += static_cast<int64_t>(conv->weights.size()) +
+               static_cast<int64_t>(conv->bias.size()) * 4;
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      total += static_cast<int64_t>(fc->weights.size()) +
+               static_cast<int64_t>(fc->bias.size()) * 4;
+    }
+  }
+  return total;
+}
+
+std::pair<int64_t, int64_t> QModel::two_largest_activations() const {
+  std::vector<int64_t> sizes;
+  sizes.push_back(static_cast<int64_t>(in_h) * in_w * in_c);
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      sizes.push_back(static_cast<int64_t>(conv->geom.positions()) *
+                      conv->geom.out_c);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      sizes.push_back(static_cast<int64_t>(pool->out_h()) * pool->out_w() *
+                      pool->channels);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      sizes.push_back(fc->out_dim);
+    }
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return {sizes[0], sizes.size() > 1 ? sizes[1] : 0};
+}
+
+}  // namespace ataman

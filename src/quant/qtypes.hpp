@@ -1,0 +1,90 @@
+// Quantized model representation.
+//
+// Scheme (TFLite-Micro / CMSIS-NN int8 convention):
+//   * activations: asymmetric per-tensor  real = scale * (q - zero_point)
+//   * weights:     symmetric  per-tensor  real = scale * q
+//   * bias:        int32 at scale in_scale * w_scale, zero_point 0
+//   * accumulators: int32; rescaled to the output tensor with a
+//     fixed-point multiplier (see common/fixed_point.hpp)
+//   * ReLU is folded into the conv/fc output clamp (act_min/act_max)
+//
+// Layer weight layout is [out_c][kernel][kernel][in_c] for conv and
+// [out][in] for fully-connected — identical to the float substrate and to
+// the operand indexing used by the significance analysis and codegen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/fixed_point.hpp"
+#include "src/train/im2col.hpp"
+
+namespace ataman {
+
+// Per-tensor affine quantization parameters.
+struct QuantParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+
+  int8_t quantize(float real) const;
+  float dequantize(int8_t q) const;
+};
+
+struct QConv2D {
+  ConvGeom geom;
+  std::vector<int8_t> weights;  // [out_c][k][k][in_c]
+  std::vector<int32_t> bias;    // [out_c], scale = in.scale * w_scale
+  QuantParams in, out;
+  float w_scale = 1.0f;
+  QuantizedMultiplier requant;
+  int32_t act_min = -128;  // output clamp (ReLU folding raises act_min)
+  int32_t act_max = 127;
+};
+
+struct QDense {
+  int in_dim = 0, out_dim = 0;
+  std::vector<int8_t> weights;  // [out][in]
+  std::vector<int32_t> bias;
+  QuantParams in, out;
+  float w_scale = 1.0f;
+  QuantizedMultiplier requant;
+  int32_t act_min = -128;
+  int32_t act_max = 127;
+
+  int64_t macs() const {
+    return static_cast<int64_t>(in_dim) * out_dim;
+  }
+};
+
+struct QMaxPool {
+  int in_h = 0, in_w = 0, channels = 0;
+  int kernel = 2, stride = 2;
+
+  int out_h() const { return conv_out_extent(in_h, kernel, stride, 0); }
+  int out_w() const { return conv_out_extent(in_w, kernel, stride, 0); }
+};
+
+using QLayer = std::variant<QConv2D, QMaxPool, QDense>;
+
+struct QModel {
+  std::string name;      // architecture name ("lenet", ...)
+  std::string topology;  // paper notation ("3-2-2")
+  int in_h = 0, in_w = 0, in_c = 0;
+  QuantParams input;     // quantization of the u8/255 input
+  std::vector<QLayer> layers;
+
+  int64_t mac_count() const;          // conv + dense MACs
+  int64_t conv_mac_count() const;     // conv-only (Fig. 2 normalization)
+  int conv_layer_count() const;
+  int64_t weight_bytes() const;       // int8 weights + int32 biases
+  // Index of the n-th conv layer inside `layers` (n in [0, conv_count)).
+  int conv_layer_index(int n) const;
+
+  // Largest activation tensor sizes, for the RAM model: returns the two
+  // biggest inter-layer buffers (bytes) in descending order.
+  std::pair<int64_t, int64_t> two_largest_activations() const;
+};
+
+}  // namespace ataman

@@ -1,0 +1,267 @@
+#include "src/quant/quantizer.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/math_util.hpp"
+#include "src/common/serialize.hpp"
+#include "src/quant/calibrate.hpp"
+
+namespace ataman {
+
+namespace {
+
+constexpr const char* kQModelMagic = "ATAMAN.QMODEL";
+
+// Quantize one weight tensor symmetrically; returns the scale.
+float quantize_weights(const std::vector<float>& w, std::vector<int8_t>& out) {
+  float absmax = 0.0f;
+  for (const float v : w) absmax = std::max(absmax, std::abs(v));
+  const float scale = absmax > 0.0f ? absmax / 127.0f : 1e-8f;
+  out.resize(w.size());
+  for (size_t i = 0; i < w.size(); ++i)
+    out[i] = saturate_int8(round_to_int32(w[i] / scale));
+  return scale;
+}
+
+std::vector<int32_t> quantize_bias(const std::vector<float>& b,
+                                   float in_scale, float w_scale) {
+  std::vector<int32_t> out(b.size());
+  const double s = static_cast<double>(in_scale) * w_scale;
+  for (size_t i = 0; i < b.size(); ++i)
+    out[i] = static_cast<int32_t>(std::llround(b[i] / s));
+  return out;
+}
+
+}  // namespace
+
+QModel quantize_model(Network& net, const Dataset& calib,
+                      const QuantizerConfig& config) {
+  check(calib.size() > 0, "calibration dataset is empty");
+  const int n_calib = std::min(config.calibration_images, calib.size());
+
+  // --- Pass 1: float forward over the calibration subset, observing the
+  // output range of every conv/dense layer (post-ReLU when ReLU follows,
+  // since ReLU is folded into the layer's output clamp).
+  const auto& layers = net.layers();
+  std::vector<RangeObserver> observers(layers.size(),
+                                       RangeObserver(config.clip_quantile));
+
+  std::vector<int> indices(static_cast<size_t>(n_calib));
+  std::iota(indices.begin(), indices.end(), 0);
+  constexpr int kBatch = 32;
+  for (size_t lo = 0; lo < indices.size(); lo += kBatch) {
+    const size_t hi = std::min(indices.size(), lo + kBatch);
+    FTensor cur = to_float_batch(calib, indices, lo, hi);
+    for (size_t li = 0; li < layers.size(); ++li) {
+      Layer* layer = layers[li].get();
+      if (dynamic_cast<DenseLayer*>(layer) != nullptr && cur.rank() != 2) {
+        FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
+        std::copy(cur.data(), cur.data() + cur.size(), flat.data());
+        cur = std::move(flat);
+      }
+      cur = layer->forward(cur, /*train=*/false);
+      observers[li].observe(cur.data(), cur.size());
+    }
+  }
+
+  // --- Pass 2: assemble the QModel.
+  QModel qm;
+  qm.name = net.arch().name;
+  qm.topology = net.arch().topology;
+  qm.in_h = net.input_shape().height;
+  qm.in_w = net.input_shape().width;
+  qm.in_c = net.input_shape().channels;
+  // Inputs are u8/255 in [0,1]: scale 1/255, zero_point -128 is exact
+  // (q = pixel - 128).
+  qm.input = {1.0f / 255.0f, -128};
+
+  QuantParams act = qm.input;
+  for (size_t li = 0; li < layers.size(); ++li) {
+    Layer* layer = layers[li].get();
+    const bool relu_next =
+        li + 1 < layers.size() &&
+        dynamic_cast<ReluLayer*>(layers[li + 1].get()) != nullptr;
+    // Observer of the folded output: post-ReLU range when folding.
+    const RangeObserver& out_obs = observers[relu_next ? li + 1 : li];
+
+    if (auto* conv = dynamic_cast<Conv2DLayer*>(layer)) {
+      QConv2D q;
+      q.geom = conv->geom();
+      q.in = act;
+      q.w_scale = quantize_weights(conv->weights(), q.weights);
+      q.bias = quantize_bias(conv->bias(), act.scale, q.w_scale);
+      q.out = out_obs.to_affine_params();
+      q.requant = quantize_multiplier(
+          static_cast<double>(act.scale) * q.w_scale / q.out.scale);
+      q.act_min = relu_next ? q.out.zero_point : -128;
+      q.act_max = 127;
+      act = q.out;
+      qm.layers.emplace_back(std::move(q));
+    } else if (auto* fc = dynamic_cast<DenseLayer*>(layer)) {
+      QDense q;
+      q.in_dim = fc->in_dim();
+      q.out_dim = fc->out_dim();
+      q.in = act;
+      q.w_scale = quantize_weights(fc->weights(), q.weights);
+      q.bias = quantize_bias(fc->bias(), act.scale, q.w_scale);
+      q.out = out_obs.to_affine_params();
+      q.requant = quantize_multiplier(
+          static_cast<double>(act.scale) * q.w_scale / q.out.scale);
+      q.act_min = relu_next ? q.out.zero_point : -128;
+      q.act_max = 127;
+      act = q.out;
+      qm.layers.emplace_back(std::move(q));
+    } else if (auto* pool = dynamic_cast<MaxPool2DLayer*>(layer)) {
+      // Max pooling commutes with the (monotone) quantization map: params
+      // pass through unchanged. Shape bookkeeping needs the running size.
+      QMaxPool q;
+      // Derive input extent from the previous layer in qm.
+      int h = qm.in_h, w = qm.in_w, c = qm.in_c;
+      for (const QLayer& prev : qm.layers) {
+        if (const auto* pc = std::get_if<QConv2D>(&prev)) {
+          h = pc->geom.out_h();
+          w = pc->geom.out_w();
+          c = pc->geom.out_c;
+        } else if (const auto* pp = std::get_if<QMaxPool>(&prev)) {
+          h = pp->out_h();
+          w = pp->out_w();
+          c = pp->channels;
+        }
+      }
+      q.in_h = h;
+      q.in_w = w;
+      q.channels = c;
+      q.kernel = pool->kernel();
+      q.stride = pool->stride();
+      qm.layers.emplace_back(q);
+    }
+    // ReLU layers are folded; nothing is emitted for them.
+  }
+  return qm;
+}
+
+void save_qmodel(const QModel& m, const std::string& path) {
+  BinaryWriter w(path, kQModelMagic);
+  w.str(m.name);
+  w.str(m.topology);
+  w.i32(m.in_h);
+  w.i32(m.in_w);
+  w.i32(m.in_c);
+  w.f32(m.input.scale);
+  w.i32(m.input.zero_point);
+  w.u32(static_cast<uint32_t>(m.layers.size()));
+  for (const QLayer& layer : m.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      w.u32(0);
+      w.i32(conv->geom.in_h);
+      w.i32(conv->geom.in_w);
+      w.i32(conv->geom.in_c);
+      w.i32(conv->geom.out_c);
+      w.i32(conv->geom.kernel);
+      w.i32(conv->geom.stride);
+      w.i32(conv->geom.pad);
+      w.vec(conv->weights);
+      w.vec(conv->bias);
+      w.f32(conv->in.scale);
+      w.i32(conv->in.zero_point);
+      w.f32(conv->out.scale);
+      w.i32(conv->out.zero_point);
+      w.f32(conv->w_scale);
+      w.i32(conv->requant.mult);
+      w.i32(conv->requant.shift);
+      w.i32(conv->act_min);
+      w.i32(conv->act_max);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      w.u32(1);
+      w.i32(pool->in_h);
+      w.i32(pool->in_w);
+      w.i32(pool->channels);
+      w.i32(pool->kernel);
+      w.i32(pool->stride);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      w.u32(2);
+      w.i32(fc->in_dim);
+      w.i32(fc->out_dim);
+      w.vec(fc->weights);
+      w.vec(fc->bias);
+      w.f32(fc->in.scale);
+      w.i32(fc->in.zero_point);
+      w.f32(fc->out.scale);
+      w.i32(fc->out.zero_point);
+      w.f32(fc->w_scale);
+      w.i32(fc->requant.mult);
+      w.i32(fc->requant.shift);
+      w.i32(fc->act_min);
+      w.i32(fc->act_max);
+    }
+  }
+  w.close();
+}
+
+QModel load_qmodel(const std::string& path) {
+  BinaryReader r(path, kQModelMagic);
+  QModel m;
+  m.name = r.str();
+  m.topology = r.str();
+  m.in_h = r.i32();
+  m.in_w = r.i32();
+  m.in_c = r.i32();
+  m.input.scale = r.f32();
+  m.input.zero_point = r.i32();
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t kind = r.u32();
+    if (kind == 0) {
+      QConv2D conv;
+      conv.geom.in_h = r.i32();
+      conv.geom.in_w = r.i32();
+      conv.geom.in_c = r.i32();
+      conv.geom.out_c = r.i32();
+      conv.geom.kernel = r.i32();
+      conv.geom.stride = r.i32();
+      conv.geom.pad = r.i32();
+      conv.weights = r.vec<int8_t>();
+      conv.bias = r.vec<int32_t>();
+      conv.in.scale = r.f32();
+      conv.in.zero_point = r.i32();
+      conv.out.scale = r.f32();
+      conv.out.zero_point = r.i32();
+      conv.w_scale = r.f32();
+      conv.requant.mult = r.i32();
+      conv.requant.shift = r.i32();
+      conv.act_min = r.i32();
+      conv.act_max = r.i32();
+      m.layers.emplace_back(std::move(conv));
+    } else if (kind == 1) {
+      QMaxPool pool;
+      pool.in_h = r.i32();
+      pool.in_w = r.i32();
+      pool.channels = r.i32();
+      pool.kernel = r.i32();
+      pool.stride = r.i32();
+      m.layers.emplace_back(pool);
+    } else if (kind == 2) {
+      QDense fc;
+      fc.in_dim = r.i32();
+      fc.out_dim = r.i32();
+      fc.weights = r.vec<int8_t>();
+      fc.bias = r.vec<int32_t>();
+      fc.in.scale = r.f32();
+      fc.in.zero_point = r.i32();
+      fc.out.scale = r.f32();
+      fc.out.zero_point = r.i32();
+      fc.w_scale = r.f32();
+      fc.requant.mult = r.i32();
+      fc.requant.shift = r.i32();
+      fc.act_min = r.i32();
+      fc.act_max = r.i32();
+      m.layers.emplace_back(std::move(fc));
+    } else {
+      fail("unknown layer kind in " + path);
+    }
+  }
+  return m;
+}
+
+}  // namespace ataman

@@ -1,0 +1,29 @@
+// Post-training quantizer: float Network -> int8 QModel.
+//
+// Mirrors the paper's deployment flow ("8-bit post-training quantization",
+// §II-A): weights symmetric per-tensor, activations asymmetric per-tensor
+// calibrated on a small dataset subset, ReLU folded into the conv/fc
+// output clamp, biases int32 at in_scale * w_scale.
+#pragma once
+
+#include "src/data/dataset.hpp"
+#include "src/quant/qtypes.hpp"
+#include "src/train/network.hpp"
+
+namespace ataman {
+
+struct QuantizerConfig {
+  int calibration_images = 256;
+  // Tail mass clipped per side when deriving activation ranges.
+  double clip_quantile = 0.002;
+};
+
+// Calibrates on the first `calibration_images` of `calib` and quantizes.
+QModel quantize_model(Network& net, const Dataset& calib,
+                      const QuantizerConfig& config = {});
+
+// QModel artifact cache (same directory scheme as the float model zoo).
+void save_qmodel(const QModel& model, const std::string& path);
+QModel load_qmodel(const std::string& path);
+
+}  // namespace ataman

@@ -1,0 +1,110 @@
+#include "src/sig/act_stats.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/nn/engine.hpp"
+
+namespace ataman {
+
+namespace {
+
+// Accumulate per-operand sums of (x - zp) over all output positions of
+// one conv input feature map.
+void accumulate_patch_sums(const QConv2D& conv, std::span<const int8_t> in,
+                           std::vector<double>& sums, int64_t& positions) {
+  const ConvGeom& g = conv.geom;
+  const int32_t zp = conv.in.zero_point;
+  const int oh = g.out_h(), ow = g.out_w();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int idx = 0;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int iy = oy * g.stride - g.pad + ky;
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int ix = ox * g.stride - g.pad + kx;
+          const bool inside =
+              iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+          const int8_t* src =
+              inside ? in.data() +
+                           (static_cast<size_t>(iy) * g.in_w + ix) * g.in_c
+                     : nullptr;
+          for (int c = 0; c < g.in_c; ++c, ++idx) {
+            // Padding taps contribute (zp - zp) == 0.
+            if (inside)
+              sums[static_cast<size_t>(idx)] +=
+                  static_cast<double>(src[c] - zp);
+          }
+        }
+      }
+    }
+  }
+  positions += static_cast<int64_t>(oh) * ow;
+}
+
+}  // namespace
+
+std::vector<ConvInputStats> capture_activation_stats(const QModel& model,
+                                                     const Dataset& calib,
+                                                     int limit) {
+  const int n = limit < 0 ? calib.size() : std::min(limit, calib.size());
+  check(n > 0, "calibration subset is empty");
+  const int conv_count = model.conv_layer_count();
+  check(conv_count > 0, "model has no conv layers");
+
+  RefEngine engine(&model);
+
+  // Per-worker accumulators, reduced in worker order for determinism.
+  struct Acc {
+    std::vector<std::vector<double>> sums;   // [conv][patch]
+    std::vector<int64_t> positions;          // [conv]
+  };
+  const int max_workers = num_threads();
+  std::vector<Acc> accs(static_cast<size_t>(max_workers));
+  for (Acc& acc : accs) {
+    acc.sums.resize(static_cast<size_t>(conv_count));
+    acc.positions.assign(static_cast<size_t>(conv_count), 0);
+    int ordinal = 0;
+    for (const QLayer& layer : model.layers) {
+      if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+        acc.sums[static_cast<size_t>(ordinal)].assign(
+            static_cast<size_t>(conv->geom.patch_size()), 0.0);
+        ++ordinal;
+      }
+    }
+  }
+
+  const int workers = parallel_for_indexed(0, n, [&](int w, int64_t i) {
+    Acc& acc = accs[static_cast<size_t>(w)];
+    const ConvTap tap = [&](int ordinal, const QConv2D& conv,
+                            std::span<const int8_t> in) {
+      accumulate_patch_sums(conv, in, acc.sums[static_cast<size_t>(ordinal)],
+                            acc.positions[static_cast<size_t>(ordinal)]);
+    };
+    (void)engine.run(calib.image(static_cast<int>(i)), nullptr, tap);
+  });
+
+  std::vector<ConvInputStats> stats(static_cast<size_t>(conv_count));
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    ConvInputStats& s = stats[static_cast<size_t>(ordinal)];
+    s.mean_corrected.assign(static_cast<size_t>(conv->geom.patch_size()),
+                            0.0);
+    for (int w = 0; w < workers; ++w) {
+      const Acc& acc = accs[static_cast<size_t>(w)];
+      for (size_t i = 0; i < s.mean_corrected.size(); ++i)
+        s.mean_corrected[i] += acc.sums[static_cast<size_t>(ordinal)][i];
+      s.samples += acc.positions[static_cast<size_t>(ordinal)];
+    }
+    check(s.samples > 0, "no positions captured");
+    for (double& v : s.mean_corrected)
+      v /= static_cast<double>(s.samples);
+    ++ordinal;
+  }
+  return stats;
+}
+
+}  // namespace ataman

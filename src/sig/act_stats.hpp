@@ -1,0 +1,33 @@
+// Activation statistics capture (§II-C, framework step 2).
+//
+// The significance of a product a_i * w_i depends on the *expected* value
+// of its input operand: E[a_i] is estimated per conv layer and per filter
+// operand position ((ky,kx,in_c)-flattened) by averaging the zero-point-
+// corrected quantized activations over every output position of every
+// image in a small calibration subset — "capturing the input values'
+// distribution from a small portion of the dataset".
+//
+// E[a_i] is shared by all output channels of a layer (they read the same
+// receptive field); per-channel significance differs only through w_i.
+#pragma once
+
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+struct ConvInputStats {
+  // mean_corrected[i] = E[(x_q - zero_point)] at patch operand i.
+  std::vector<double> mean_corrected;
+  int64_t samples = 0;  // positions x images averaged over
+};
+
+// One entry per conv layer (ordinal order). Uses up to `limit` images of
+// `calib` (all if < 0). Parallel over images; deterministic reduction.
+std::vector<ConvInputStats> capture_activation_stats(const QModel& model,
+                                                     const Dataset& calib,
+                                                     int limit = 256);
+
+}  // namespace ataman

@@ -1,0 +1,72 @@
+#include "src/sig/significance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+LayerSignificance compute_significance(const QConv2D& layer,
+                                       const ConvInputStats& stats) {
+  const int patch = layer.geom.patch_size();
+  const int out_c = layer.geom.out_c;
+  check(static_cast<int>(stats.mean_corrected.size()) == patch,
+        "activation stats do not match layer patch size");
+
+  LayerSignificance sig;
+  sig.out_c = out_c;
+  sig.patch = patch;
+  sig.S.resize(static_cast<size_t>(out_c) * patch);
+  sig.ascending.resize(static_cast<size_t>(out_c));
+
+  for (int oc = 0; oc < out_c; ++oc) {
+    const int8_t* w =
+        layer.weights.data() + static_cast<size_t>(oc) * patch;
+    // Expected channel sum (bias excluded: Eq. (2) normalizes over the
+    // weighted-sum part of Eq. (1)).
+    double denom = 0.0;
+    for (int i = 0; i < patch; ++i)
+      denom += stats.mean_corrected[static_cast<size_t>(i)] *
+               static_cast<double>(w[i]);
+
+    float* srow = sig.S.data() + static_cast<size_t>(oc) * patch;
+    if (denom == 0.0) {
+      // Zero-sum rule: consider every S_i large -> retain all products.
+      std::fill(srow, srow + patch, kAlwaysRetain);
+    } else {
+      for (int i = 0; i < patch; ++i) {
+        const double contrib =
+            stats.mean_corrected[static_cast<size_t>(i)] *
+            static_cast<double>(w[i]);
+        srow[i] = static_cast<float>(std::abs(contrib / denom));
+      }
+    }
+
+    auto& order = sig.ascending[static_cast<size_t>(oc)];
+    order.resize(static_cast<size_t>(patch));
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) { return srow[a] < srow[b]; });
+  }
+  return sig;
+}
+
+std::vector<LayerSignificance> compute_model_significance(
+    const QModel& model, const std::vector<ConvInputStats>& stats) {
+  check(static_cast<int>(stats.size()) == model.conv_layer_count(),
+        "stats/convolution count mismatch");
+  std::vector<LayerSignificance> out;
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      out.push_back(compute_significance(
+          *conv, stats[static_cast<size_t>(ordinal)]));
+      ++ordinal;
+    }
+  }
+  return out;
+}
+
+}  // namespace ataman

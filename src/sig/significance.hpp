@@ -1,0 +1,50 @@
+// Significance calculation — Eq. (2) of the paper.
+//
+//   S_i = | E[a_i] * w_i  /  sum_j E[a_j] * w_j |          (per channel)
+//
+// measures the long-term expected contribution of product i to its
+// channel accumulation Sum_c. When the channel's expected sum is zero
+// ("the vast minority of cases"), every product is considered maximally
+// significant and is retained, per the paper's rule.
+//
+// NOTE on the paper's Eq.(3)/prose mismatch: §II-C's prose says products
+// with S_i <= tau are "incorporated", but Eq. (3) *subtracts* exactly
+// those products, and the stated motivation (skip the insignificant) only
+// matches Eq. (3). We follow Eq. (3): products with S_i <= tau are
+// SKIPPED. See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/sig/act_stats.hpp"
+
+namespace ataman {
+
+struct LayerSignificance {
+  int out_c = 0;
+  int patch = 0;
+  // S[oc * patch + i]; +infinity encodes "always retain" (zero-sum rule).
+  std::vector<float> S;
+  // Per channel, operand indices sorted by ascending S (ties by index):
+  // the tau sweep walks prefixes of this order, which also proves the
+  // skip-set nesting property the DSE relies on.
+  std::vector<std::vector<uint32_t>> ascending;
+
+  float significance(int oc, int operand) const {
+    return S[static_cast<size_t>(oc) * patch + operand];
+  }
+};
+
+// Compute Eq. (2) for one conv layer from captured input statistics.
+LayerSignificance compute_significance(const QConv2D& layer,
+                                       const ConvInputStats& stats);
+
+// All conv layers of a model (ordinal order).
+std::vector<LayerSignificance> compute_model_significance(
+    const QModel& model, const std::vector<ConvInputStats>& stats);
+
+constexpr float kAlwaysRetain = std::numeric_limits<float>::infinity();
+
+}  // namespace ataman

@@ -1,0 +1,39 @@
+// From significance to skip masks.
+//
+// An ApproxConfig assigns each conv layer a threshold tau (tau < 0 means
+// the layer is left exact); make_skip_mask() marks every product with
+// S_i <= tau as skipped (Eq. (3)). Because S is static, skip sets are
+// nested in tau — skip(tau1) ⊆ skip(tau2) for tau1 <= tau2 — which the
+// DSE sweep and its tests rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/json_lite.hpp"
+#include "src/nn/skip_mask.hpp"
+#include "src/sig/significance.hpp"
+
+namespace ataman {
+
+struct ApproxConfig {
+  // One entry per conv layer ordinal; tau < 0 -> layer stays exact.
+  std::vector<double> tau;
+
+  bool approximates_anything() const;
+  std::string to_string() const;
+
+  Json to_json() const;
+  static ApproxConfig from_json(const Json& j);
+
+  // All-exact config for a model with `conv_count` conv layers.
+  static ApproxConfig exact(int conv_count);
+  // Same tau for every conv layer.
+  static ApproxConfig uniform(int conv_count, double tau);
+};
+
+SkipMask make_skip_mask(const QModel& model,
+                        const std::vector<LayerSignificance>& significance,
+                        const ApproxConfig& config);
+
+}  // namespace ataman

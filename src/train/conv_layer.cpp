@@ -1,0 +1,103 @@
+#include <cmath>
+#include <cstring>
+
+#include "src/common/parallel.hpp"
+#include "src/train/gemm.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+Conv2DLayer::Conv2DLayer(ConvGeom geom, Rng& rng) : geom_(geom) {
+  check(geom_.kernel >= 1 && geom_.stride >= 1 && geom_.pad >= 0,
+        "invalid conv geometry");
+  check(geom_.out_h() > 0 && geom_.out_w() > 0, "conv output collapses");
+  const size_t wn = static_cast<size_t>(geom_.weight_count());
+  weights_.resize(wn);
+  dweights_.assign(wn, 0.0f);
+  bias_.assign(static_cast<size_t>(geom_.out_c), 0.0f);
+  dbias_.assign(bias_.size(), 0.0f);
+  // He initialization: fan_in = patch_size.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(geom_.patch_size()));
+  for (auto& w : weights_) w = rng.next_normal(0.0f, stddev);
+}
+
+FTensor Conv2DLayer::forward(const FTensor& x, bool train) {
+  check(x.rank() == 4, "conv input must be [B,H,W,C]");
+  check(x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w &&
+            x.dim(3) == geom_.in_c,
+        "conv input shape mismatch: got " + x.shape_str());
+  const int batch = x.dim(0);
+  const int m = geom_.positions();
+  const int n = geom_.out_c;
+  const int k = geom_.patch_size();
+
+  FTensor y({batch, geom_.out_h(), geom_.out_w(), n});
+  if (train) cached_input_ = x;
+
+  parallel_for(0, batch, [&](int64_t b) {
+    std::vector<float> col(static_cast<size_t>(m) * k);
+    im2col_f32(geom_, x.item(static_cast<int>(b)), col.data());
+    float* out = y.item(static_cast<int>(b));
+    gemm_nt(m, n, k, col.data(), weights_.data(), out, /*accumulate=*/false);
+    for (int pos = 0; pos < m; ++pos) {
+      float* row = out + static_cast<size_t>(pos) * n;
+      for (int oc = 0; oc < n; ++oc) row[oc] += bias_[static_cast<size_t>(oc)];
+    }
+  });
+  return y;
+}
+
+FTensor Conv2DLayer::backward(const FTensor& dy) {
+  const FTensor& x = cached_input_;
+  check(x.size() > 0, "conv backward before forward(train=true)");
+  const int batch = x.dim(0);
+  const int m = geom_.positions();
+  const int n = geom_.out_c;
+  const int k = geom_.patch_size();
+
+  FTensor dx({batch, geom_.in_h, geom_.in_w, geom_.in_c});
+
+  // Per-worker gradient buffers; static image->worker mapping keeps the
+  // reduction order (and therefore the result) deterministic.
+  const int max_workers = num_threads();
+  std::vector<std::vector<float>> dw_local(
+      static_cast<size_t>(max_workers),
+      std::vector<float>(weights_.size(), 0.0f));
+  std::vector<std::vector<float>> db_local(
+      static_cast<size_t>(max_workers), std::vector<float>(bias_.size(), 0.0f));
+
+  const int workers = parallel_for_indexed(0, batch, [&](int w, int64_t b) {
+    std::vector<float> col(static_cast<size_t>(m) * k);
+    std::vector<float> dcol(static_cast<size_t>(m) * k);
+    im2col_f32(geom_, x.item(static_cast<int>(b)), col.data());
+    const float* dyb = dy.item(static_cast<int>(b));
+
+    // dW[N,K] += dY[M,N]^T * col[M,K]
+    gemm_tn(n, k, m, dyb, col.data(), dw_local[static_cast<size_t>(w)].data(),
+            /*accumulate=*/true);
+    // db[oc] += sum over positions
+    auto& dbw = db_local[static_cast<size_t>(w)];
+    for (int pos = 0; pos < m; ++pos) {
+      const float* row = dyb + static_cast<size_t>(pos) * n;
+      for (int oc = 0; oc < n; ++oc) dbw[static_cast<size_t>(oc)] += row[oc];
+    }
+    // dcol[M,K] = dY[M,N] * W[N,K]
+    gemm_nn(m, k, n, dyb, weights_.data(), dcol.data(), /*accumulate=*/false);
+    col2im_f32(geom_, dcol.data(), dx.item(static_cast<int>(b)));
+  });
+
+  for (int w = 0; w < workers; ++w) {
+    const auto& dwl = dw_local[static_cast<size_t>(w)];
+    for (size_t i = 0; i < dweights_.size(); ++i) dweights_[i] += dwl[i];
+    const auto& dbl = db_local[static_cast<size_t>(w)];
+    for (size_t i = 0; i < dbias_.size(); ++i) dbias_[i] += dbl[i];
+  }
+  return dx;
+}
+
+void Conv2DLayer::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &dweights_});
+  out.push_back({&bias_, &dbias_});
+}
+
+}  // namespace ataman

@@ -1,0 +1,60 @@
+#include <cmath>
+
+#include "src/train/gemm.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+DenseLayer::DenseLayer(int in_dim, int out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  check(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+  weights_.resize(static_cast<size_t>(in_dim) * out_dim);
+  dweights_.assign(weights_.size(), 0.0f);
+  bias_.assign(static_cast<size_t>(out_dim), 0.0f);
+  dbias_.assign(bias_.size(), 0.0f);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_dim));
+  for (auto& w : weights_) w = rng.next_normal(0.0f, stddev);
+}
+
+FTensor DenseLayer::forward(const FTensor& x, bool train) {
+  const int batch = x.dim(0);
+  check(x.item_size() == in_dim_,
+        "dense input size mismatch: got " + x.shape_str());
+  if (train) cached_input_ = x;
+
+  FTensor y({batch, out_dim_});
+  // Y[B,N] = X[B,K] * W[N,K]^T
+  gemm_nt(batch, out_dim_, in_dim_, x.data(), weights_.data(), y.data(),
+          /*accumulate=*/false);
+  for (int b = 0; b < batch; ++b) {
+    float* row = y.item(b);
+    for (int j = 0; j < out_dim_; ++j) row[j] += bias_[static_cast<size_t>(j)];
+  }
+  return y;
+}
+
+FTensor DenseLayer::backward(const FTensor& dy) {
+  const FTensor& x = cached_input_;
+  check(x.size() > 0, "dense backward before forward(train=true)");
+  const int batch = x.dim(0);
+
+  // dW[N,K] += dY[B,N]^T * X[B,K]
+  gemm_tn(out_dim_, in_dim_, batch, dy.data(), x.data(), dweights_.data(),
+          /*accumulate=*/true);
+  for (int b = 0; b < batch; ++b) {
+    const float* row = dy.item(b);
+    for (int j = 0; j < out_dim_; ++j) dbias_[static_cast<size_t>(j)] += row[j];
+  }
+  // dX[B,K] = dY[B,N] * W[N,K]
+  FTensor dx{std::vector<int>(x.shape())};
+  gemm_nn(batch, in_dim_, out_dim_, dy.data(), weights_.data(), dx.data(),
+          /*accumulate=*/false);
+  return dx;
+}
+
+void DenseLayer::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &dweights_});
+  out.push_back({&bias_, &dbias_});
+}
+
+}  // namespace ataman

@@ -1,0 +1,52 @@
+#include "src/train/ftensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace ataman {
+
+FTensor::FTensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  check(!shape_.empty(), "tensor rank must be >= 1");
+  int64_t total = 1;
+  for (const int d : shape_) {
+    check(d > 0, "tensor dimensions must be positive");
+    total *= d;
+  }
+  data_.assign(static_cast<size_t>(total), 0.0f);
+}
+
+int FTensor::dim(int i) const {
+  check(i >= 0 && i < rank(), "tensor dim index out of range");
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t FTensor::item_size() const {
+  check(rank() >= 1, "tensor has no dimensions");
+  return size() / dim(0);
+}
+
+float* FTensor::item(int n) {
+  check(n >= 0 && n < dim(0), "batch index out of range");
+  return data() + item_size() * n;
+}
+
+const float* FTensor::item(int n) const {
+  check(n >= 0 && n < dim(0), "batch index out of range");
+  return data() + item_size() * n;
+}
+
+void FTensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+std::string FTensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ataman

@@ -1,0 +1,50 @@
+// Dense float tensor for the training substrate.
+//
+// Activations are NHWC ([batch, height, width, channels]) to match the
+// int8 inference kernels; fully-connected layers view the same buffer as
+// [batch, features] (NHWC flattening is a pure reinterpretation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+class FTensor {
+ public:
+  FTensor() = default;
+  explicit FTensor(std::vector<int> shape);
+
+  static FTensor zeros(std::vector<int> shape) { return FTensor(std::move(shape)); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Pointer to the start of batch item `n` (outermost dimension).
+  float* item(int n);
+  const float* item(int n) const;
+  int64_t item_size() const;
+
+  void fill(float v);
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,51 @@
+#include "src/train/gemm.hpp"
+
+#include <cstring>
+
+namespace ataman {
+
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<size_t>(m) * n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<size_t>(p) * m;
+    const float* brow = b + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,23 @@
+// Small single-threaded GEMM kernels for the training substrate.
+//
+// Deliberately single-threaded: the trainer parallelizes over batch images
+// (disjoint outputs, deterministic per-worker gradient buffers), so nested
+// parallelism here would only cause oversubscription. Loop orders are
+// chosen for contiguous inner accesses so -O3 auto-vectorizes them.
+#pragma once
+
+namespace ataman {
+
+// C[M,N] (+)= A[M,K] * B[K,N], all row-major.
+void gemm_nn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate);
+
+// C[M,N] (+)= A[M,K] * B[N,K]^T  (dot-product form).
+void gemm_nt(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate);
+
+// C[M,N] (+)= A[K,M]^T * B[K,N]  (gradient-of-weights form).
+void gemm_tn(int m, int n, int k, const float* a, const float* b, float* c,
+             bool accumulate);
+
+}  // namespace ataman

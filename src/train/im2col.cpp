@@ -1,0 +1,61 @@
+#include "src/train/im2col.hpp"
+
+#include <cstring>
+
+namespace ataman {
+
+void im2col_f32(const ConvGeom& g, const float* input, float* col) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int patch = g.patch_size();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      float* row = col + static_cast<size_t>(oy * ow + ox) * patch;
+      int idx = 0;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int iy = oy * g.stride - g.pad + ky;
+        if (iy < 0 || iy >= g.in_h) {
+          std::memset(row + idx, 0,
+                      sizeof(float) * static_cast<size_t>(g.kernel) * g.in_c);
+          idx += g.kernel * g.in_c;
+          continue;
+        }
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int ix = ox * g.stride - g.pad + kx;
+          if (ix < 0 || ix >= g.in_w) {
+            std::memset(row + idx, 0, sizeof(float) * static_cast<size_t>(g.in_c));
+          } else {
+            const float* src =
+                input + (static_cast<size_t>(iy) * g.in_w + ix) * g.in_c;
+            std::memcpy(row + idx, src, sizeof(float) * static_cast<size_t>(g.in_c));
+          }
+          idx += g.in_c;
+        }
+      }
+    }
+  }
+}
+
+void col2im_f32(const ConvGeom& g, const float* dcol, float* dinput) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int patch = g.patch_size();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const float* row = dcol + static_cast<size_t>(oy * ow + ox) * patch;
+      int idx = 0;
+      for (int ky = 0; ky < g.kernel; ++ky) {
+        const int iy = oy * g.stride - g.pad + ky;
+        for (int kx = 0; kx < g.kernel; ++kx) {
+          const int ix = ox * g.stride - g.pad + kx;
+          if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+            float* dst =
+                dinput + (static_cast<size_t>(iy) * g.in_w + ix) * g.in_c;
+            for (int c = 0; c < g.in_c; ++c) dst[c] += row[idx + c];
+          }
+          idx += g.in_c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,41 @@
+// im2col / col2im for NHWC activations.
+//
+// The column matrix has one row per output position (oy * out_w + ox) and
+// one column per filter operand, flattened in (ky, kx, in_c) order — the
+// same operand order the quantized kernels, the significance analysis and
+// the code generator use, so "operand index i" means the same thing in
+// every module.
+#pragma once
+
+#include "src/common/math_util.hpp"
+
+namespace ataman {
+
+struct ConvGeom {
+  int in_h = 0, in_w = 0, in_c = 0;
+  int out_c = 0;
+  int kernel = 1, stride = 1, pad = 0;
+
+  int out_h() const { return conv_out_extent(in_h, kernel, stride, pad); }
+  int out_w() const { return conv_out_extent(in_w, kernel, stride, pad); }
+  int patch_size() const { return kernel * kernel * in_c; }  // K of the GEMM
+  int positions() const { return out_h() * out_w(); }        // M of the GEMM
+  int64_t macs() const {
+    return static_cast<int64_t>(positions()) * out_c * patch_size();
+  }
+  int64_t weight_count() const {
+    return static_cast<int64_t>(out_c) * patch_size();
+  }
+  bool operator==(const ConvGeom&) const = default;
+};
+
+// Fill `col` ([positions x patch_size] row-major) from NHWC `input`.
+// Out-of-image taps contribute `pad_value` (0 for float, zero-point for
+// quantized activations).
+void im2col_f32(const ConvGeom& g, const float* input, float* col);
+
+// Scatter-add the column-matrix gradient back to NHWC input gradient.
+// `dinput` must be zero-initialized by the caller.
+void col2im_f32(const ConvGeom& g, const float* dcol, float* dinput);
+
+}  // namespace ataman

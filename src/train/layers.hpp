@@ -1,0 +1,114 @@
+// Trainable layer interface and the concrete layers used by the model zoo.
+//
+// The set matches what the paper's models need (and what the quantizer and
+// inference substrates support): Conv2D, MaxPool2D, ReLU, Dense; softmax
+// cross-entropy lives in softmax_xent.hpp as the loss head.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/train/ftensor.hpp"
+#include "src/train/im2col.hpp"
+
+namespace ataman {
+
+// A view of one learnable parameter tensor and its gradient.
+struct ParamRef {
+  std::vector<float>* value = nullptr;
+  std::vector<float>* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` enables caching of whatever backward() needs.
+  virtual FTensor forward(const FTensor& x, bool train) = 0;
+  // Consumes the gradient w.r.t. this layer's output; returns gradient
+  // w.r.t. its input. Parameter gradients are *accumulated* (caller zeroes
+  // them at batch start via Network::zero_grad).
+  virtual FTensor backward(const FTensor& dy) = 0;
+
+  virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+  virtual std::string name() const = 0;
+};
+
+class Conv2DLayer : public Layer {
+ public:
+  // Weight layout: [out_c][kernel][kernel][in_c] (inference layout; the
+  // GEMM treats it as B[N=out_c, K=patch] and multiplies transposed).
+  Conv2DLayer(ConvGeom geom, Rng& rng);
+
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "conv2d"; }
+
+  const ConvGeom& geom() const { return geom_; }
+  std::vector<float>& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  ConvGeom geom_;
+  std::vector<float> weights_, bias_;
+  std::vector<float> dweights_, dbias_;
+  FTensor cached_input_;
+};
+
+class DenseLayer : public Layer {
+ public:
+  // Weight layout: [out_dim][in_dim] (inference layout).
+  DenseLayer(int in_dim, int out_dim, Rng& rng);
+
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "dense"; }
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  std::vector<float>& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  int in_dim_, out_dim_;
+  std::vector<float> weights_, bias_;
+  std::vector<float> dweights_, dbias_;
+  FTensor cached_input_;
+};
+
+class MaxPool2DLayer : public Layer {
+ public:
+  MaxPool2DLayer(int kernel, int stride);
+
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  std::string name() const override { return "maxpool2d"; }
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
+ private:
+  int kernel_, stride_;
+  std::vector<int> in_shape_;
+  std::vector<int32_t> argmax_;  // flat input index per output element
+};
+
+class ReluLayer : public Layer {
+ public:
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+}  // namespace ataman

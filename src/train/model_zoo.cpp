@@ -1,0 +1,213 @@
+#include "src/train/model_zoo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "src/common/serialize.hpp"
+
+namespace ataman {
+
+namespace {
+constexpr const char* kModelMagic = "ATAMAN.FLOATMODEL";
+
+using Kind = LayerSpec::Kind;
+
+// Stable textual fingerprint of everything that affects trained weights;
+// hashed into the cache filename so spec changes invalidate old artifacts.
+std::string spec_fingerprint(const ZooSpec& spec) {
+  std::ostringstream os;
+  os << spec.arch.name << '|' << spec.arch.topology << '|';
+  for (const LayerSpec& l : spec.arch.layers) {
+    os << static_cast<int>(l.kind) << ',' << l.out_c << ',' << l.kernel << ','
+       << l.stride << ',' << l.pad << ',' << l.units << ';';
+  }
+  os << '|' << spec.data.train_images << ',' << spec.data.test_images << ','
+     << spec.data.seed << ',' << spec.data.noise_sigma << ','
+     << spec.data.palette_jitter << ',' << spec.data.distractor_alpha << ','
+     << spec.data.label_noise;
+  os << '|' << spec.train.epochs << ',' << spec.train.batch_size << ','
+     << spec.train.sgd.learning_rate << ',' << spec.train.sgd.momentum << ','
+     << spec.train.sgd.weight_decay << ',' << spec.train.seed << ','
+     << spec.train.lr_decay;
+  for (const int e : spec.train.lr_decay_at) os << ',' << e;
+  os << '|' << spec.init_seed;
+  return os.str();
+}
+
+std::string cache_path(const ZooSpec& spec, const std::string& cache_dir) {
+  const size_t h = std::hash<std::string>{}(spec_fingerprint(spec));
+  std::ostringstream os;
+  os << cache_dir << '/' << spec.arch.name << '_' << std::hex << h << ".atm";
+  return os.str();
+}
+}  // namespace
+
+ModelArch lenet_arch() {
+  // 3 conv (5x5, pad 2) - 2 maxpool - 2 FC. MACs:
+  //   conv1  3->16 @32x32 : 1.229 M      conv2 16->20 @16x16 : 2.048 M
+  //   conv3 20->32 @ 8x8  : 1.024 M      fc1 2048->64 : 0.131 M, fc2: 640
+  //   total ≈ 4.43 M (paper: 4.5 M)
+  ModelArch arch;
+  arch.name = "lenet";
+  arch.topology = "3-2-2";
+  arch.layers = {
+      LayerSpec::conv(16, 5, 1, 2), LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::conv(20, 5, 1, 2), LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::conv(32, 5, 1, 2), LayerSpec::relu(),
+      LayerSpec::dense(64),         LayerSpec::relu(),
+      LayerSpec::dense(10),
+  };
+  return arch;
+}
+
+ModelArch alexnet_arch() {
+  // 5 conv (3x3, pad 1) - 2 maxpool - 2 FC. MACs:
+  //   conv1  3->32 @32x32 : 0.884 M      conv2 32->56 @16x16 : 4.129 M
+  //   conv3 56->96 @ 8x8  : 3.097 M      conv4 96->96 @ 8x8  : 5.308 M
+  //   conv5 96->32 @ 8x8  : 1.769 M      fc1 2048->32 : 0.066 M, fc2: 320
+  //   total ≈ 15.25 M (paper: 16.1 M)
+  ModelArch arch;
+  arch.name = "alexnet";
+  arch.topology = "5-2-2";
+  arch.layers = {
+      LayerSpec::conv(32, 3, 1, 1), LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::conv(56, 3, 1, 1), LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::conv(96, 3, 1, 1), LayerSpec::relu(),
+      LayerSpec::conv(96, 3, 1, 1), LayerSpec::relu(),
+      LayerSpec::conv(32, 3, 1, 1), LayerSpec::relu(),
+      LayerSpec::dense(32),         LayerSpec::relu(),
+      LayerSpec::dense(10),
+  };
+  return arch;
+}
+
+ModelArch micronet_arch() {
+  ModelArch arch;
+  arch.name = "micronet";
+  arch.topology = "2-1-1";
+  arch.layers = {
+      LayerSpec::conv(8, 3, 1, 1),  LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::conv(12, 3, 1, 1), LayerSpec::relu(), LayerSpec::pool(2, 2),
+      LayerSpec::dense(10),
+  };
+  return arch;
+}
+
+ZooSpec lenet_spec() {
+  ZooSpec spec;
+  spec.arch = lenet_arch();
+  spec.train.epochs = 14;
+  spec.train.lr_decay_at = {9, 12};
+  spec.train.sgd.learning_rate = 0.012f;
+  return spec;
+}
+
+ZooSpec alexnet_spec() {
+  ZooSpec spec;
+  spec.arch = alexnet_arch();
+  spec.train.epochs = 12;
+  spec.train.lr_decay_at = {8, 11};
+  spec.train.sgd.learning_rate = 0.01f;
+  return spec;
+}
+
+ZooSpec micronet_spec() {
+  ZooSpec spec;
+  spec.arch = micronet_arch();
+  spec.data.train_images = 1500;
+  spec.data.test_images = 500;
+  spec.train.epochs = 6;
+  spec.train.lr_decay_at = {4};
+  return spec;
+}
+
+std::string artifact_cache_dir() {
+  if (const char* env = std::getenv("ATAMAN_CACHE_DIR");
+      env != nullptr && env[0] != '\0')
+    return env;
+  return "artifacts";
+}
+
+TrainedModel train_from_scratch(const ZooSpec& spec, bool verbose) {
+  const SynthCifar data = make_synth_cifar(spec.data);
+  Rng init_rng(spec.init_seed);
+  TrainedModel model{spec.arch,
+                     Network(spec.arch, data.train.shape(), init_rng)};
+  TrainConfig cfg = spec.train;
+  cfg.verbose = verbose;
+  if (verbose) {
+    std::printf("[zoo] training %s (%s): %lld params, %lld MACs\n",
+                spec.arch.name.c_str(), spec.arch.topology.c_str(),
+                static_cast<long long>(model.net.param_count()),
+                static_cast<long long>(model.net.mac_count()));
+    std::fflush(stdout);
+  }
+  const TrainResult result =
+      train_network(model.net, data.train, data.test, cfg);
+  model.train_accuracy = result.final_train_accuracy;
+  model.test_accuracy = result.test_accuracy;
+  if (verbose) {
+    std::printf("[zoo] %s: float test accuracy %.4f\n", spec.arch.name.c_str(),
+                model.test_accuracy);
+    std::fflush(stdout);
+  }
+  return model;
+}
+
+void save_trained_model(const TrainedModel& model, const std::string& path) {
+  BinaryWriter w(path, kModelMagic);
+  w.str(model.arch.name);
+  w.f64(model.test_accuracy);
+  w.f64(model.train_accuracy);
+  uint32_t param_tensors = 0;
+  for (const auto& layer : model.net.layers()) {
+    std::vector<ParamRef> refs;
+    layer->collect_params(refs);
+    param_tensors += static_cast<uint32_t>(refs.size());
+  }
+  w.u32(param_tensors);
+  for (const auto& layer : model.net.layers()) {
+    std::vector<ParamRef> refs;
+    layer->collect_params(refs);
+    for (const ParamRef& p : refs) w.vec(*p.value);
+  }
+  w.close();
+}
+
+TrainedModel load_trained_model(const ZooSpec& spec, const std::string& path) {
+  BinaryReader r(path, kModelMagic);
+  const std::string name = r.str();
+  check(name == spec.arch.name,
+        "cached model " + path + " is for architecture " + name);
+  TrainedModel model;
+  model.arch = spec.arch;
+  Rng init_rng(spec.init_seed);
+  // Rebuild the graph (needs dataset image shape: fixed 32x32x3).
+  model.net = Network(spec.arch, ImageShape{}, init_rng);
+  model.test_accuracy = r.f64();
+  model.train_accuracy = r.f64();
+  const uint32_t param_tensors = r.u32();
+  std::vector<ParamRef> refs = model.net.params();
+  check(param_tensors == refs.size(), "parameter count mismatch in " + path);
+  for (ParamRef& p : refs) {
+    std::vector<float> v = r.vec<float>();
+    check(v.size() == p.value->size(), "parameter size mismatch in " + path);
+    *p.value = std::move(v);
+  }
+  return model;
+}
+
+TrainedModel get_or_train(const ZooSpec& spec, const std::string& cache_dir) {
+  ensure_directory(cache_dir);
+  const std::string path = cache_path(spec, cache_dir);
+  if (file_exists(path)) {
+    return load_trained_model(spec, path);
+  }
+  TrainedModel model = train_from_scratch(spec, /*verbose=*/true);
+  save_trained_model(model, path);
+  return model;
+}
+
+}  // namespace ataman

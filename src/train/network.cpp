@@ -1,0 +1,199 @@
+#include "src/train/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ataman {
+
+LayerSpec LayerSpec::conv(int out_c, int kernel, int stride, int pad) {
+  LayerSpec s;
+  s.kind = Kind::kConv;
+  s.out_c = out_c;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::pool(int kernel, int stride) {
+  LayerSpec s;
+  s.kind = Kind::kPool;
+  s.kernel = kernel;
+  s.stride = stride;
+  return s;
+}
+
+LayerSpec LayerSpec::relu() {
+  LayerSpec s;
+  s.kind = Kind::kRelu;
+  return s;
+}
+
+LayerSpec LayerSpec::dense(int units) {
+  LayerSpec s;
+  s.kind = Kind::kDense;
+  s.units = units;
+  return s;
+}
+
+int ModelArch::conv_count() const {
+  return static_cast<int>(std::count_if(
+      layers.begin(), layers.end(),
+      [](const LayerSpec& s) { return s.kind == LayerSpec::Kind::kConv; }));
+}
+
+int ModelArch::pool_count() const {
+  return static_cast<int>(std::count_if(
+      layers.begin(), layers.end(),
+      [](const LayerSpec& s) { return s.kind == LayerSpec::Kind::kPool; }));
+}
+
+int ModelArch::dense_count() const {
+  return static_cast<int>(std::count_if(
+      layers.begin(), layers.end(),
+      [](const LayerSpec& s) { return s.kind == LayerSpec::Kind::kDense; }));
+}
+
+Network::Network(const ModelArch& arch, ImageShape input, Rng& rng)
+    : arch_(arch), input_(input) {
+  int h = input.height, w = input.width, c = input.channels;
+  bool spatial = true;  // false once a dense layer flattened the activations
+  int features = 0;
+
+  for (const LayerSpec& spec : arch.layers) {
+    switch (spec.kind) {
+      case LayerSpec::Kind::kConv: {
+        check(spatial, "conv after dense is unsupported");
+        ConvGeom g;
+        g.in_h = h;
+        g.in_w = w;
+        g.in_c = c;
+        g.out_c = spec.out_c;
+        g.kernel = spec.kernel;
+        g.stride = spec.stride;
+        g.pad = spec.pad;
+        layers_.push_back(std::make_unique<Conv2DLayer>(g, rng));
+        h = g.out_h();
+        w = g.out_w();
+        c = g.out_c;
+        break;
+      }
+      case LayerSpec::Kind::kPool: {
+        check(spatial, "pool after dense is unsupported");
+        layers_.push_back(
+            std::make_unique<MaxPool2DLayer>(spec.kernel, spec.stride));
+        h = conv_out_extent(h, spec.kernel, spec.stride, 0);
+        w = conv_out_extent(w, spec.kernel, spec.stride, 0);
+        check(h > 0 && w > 0, "pool collapsed the activation map");
+        break;
+      }
+      case LayerSpec::Kind::kRelu:
+        layers_.push_back(std::make_unique<ReluLayer>());
+        break;
+      case LayerSpec::Kind::kDense: {
+        const int in_dim = spatial ? h * w * c : features;
+        layers_.push_back(std::make_unique<DenseLayer>(in_dim, spec.units, rng));
+        spatial = false;
+        features = spec.units;
+        break;
+      }
+    }
+  }
+  check(!layers_.empty(), "architecture has no layers");
+}
+
+FTensor Network::forward(const FTensor& x, bool train) {
+  FTensor cur = x;
+  for (auto& layer : layers_) {
+    // Dense layers accept the flattened view of NHWC activations.
+    if (dynamic_cast<DenseLayer*>(layer.get()) != nullptr && cur.rank() != 2) {
+      FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
+      std::copy(cur.data(), cur.data() + cur.size(), flat.data());
+      cur = std::move(flat);
+    }
+    cur = layer->forward(cur, train);
+  }
+  return cur;
+}
+
+void Network::backward(const FTensor& dloss) {
+  FTensor cur = dloss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+}
+
+void Network::zero_grad() {
+  for (const ParamRef& p : params())
+    std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+int64_t Network::param_count() {
+  int64_t total = 0;
+  for (const ParamRef& p : params())
+    total += static_cast<int64_t>(p.value->size());
+  return total;
+}
+
+int64_t Network::mac_count() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) {
+    if (const auto* conv = dynamic_cast<const Conv2DLayer*>(layer.get())) {
+      total += conv->geom().macs();
+    } else if (const auto* fc = dynamic_cast<const DenseLayer*>(layer.get())) {
+      total += static_cast<int64_t>(fc->in_dim()) * fc->out_dim();
+    }
+  }
+  return total;
+}
+
+std::vector<int> Network::predict(const FTensor& x) {
+  FTensor logits = forward(x, /*train=*/false);
+  check(logits.rank() == 2, "network must end in a dense head");
+  std::vector<int> out(static_cast<size_t>(logits.dim(0)));
+  for (int b = 0; b < logits.dim(0); ++b) {
+    const float* row = logits.item(b);
+    out[static_cast<size_t>(b)] = static_cast<int>(
+        std::max_element(row, row + logits.dim(1)) - row);
+  }
+  return out;
+}
+
+FTensor to_float_batch(const Dataset& ds, const std::vector<int>& indices,
+                       size_t lo, size_t hi) {
+  check(lo < hi && hi <= indices.size(), "bad batch bounds");
+  const ImageShape s = ds.shape();
+  FTensor x({static_cast<int>(hi - lo), s.height, s.width, s.channels});
+  for (size_t i = lo; i < hi; ++i) {
+    const auto img = ds.image(indices[i]);
+    float* dst = x.item(static_cast<int>(i - lo));
+    for (size_t p = 0; p < img.size(); ++p)
+      dst[p] = static_cast<float>(img[p]) / 255.0f;
+  }
+  return x;
+}
+
+double evaluate_accuracy(Network& net, const Dataset& ds, int batch_size) {
+  check(ds.size() > 0, "cannot evaluate empty dataset");
+  std::vector<int> indices(static_cast<size_t>(ds.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+
+  int correct = 0;
+  for (size_t lo = 0; lo < indices.size();
+       lo += static_cast<size_t>(batch_size)) {
+    const size_t hi =
+        std::min(indices.size(), lo + static_cast<size_t>(batch_size));
+    FTensor x = to_float_batch(ds, indices, lo, hi);
+    const std::vector<int> pred = net.predict(x);
+    for (size_t i = lo; i < hi; ++i)
+      if (pred[i - lo] == ds.label(indices[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+}  // namespace ataman

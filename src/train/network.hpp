@@ -1,0 +1,80 @@
+// Sequential network container and the architecture description shared by
+// the trainer, the quantizer and the model zoo.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+// Declarative layer description. An architecture is a list of these; the
+// paper's "topology" notation (e.g. LeNet 3-2-2 = 3 conv, 2 pool, 2 FC)
+// maps directly onto the kinds below.
+struct LayerSpec {
+  enum class Kind { kConv, kPool, kRelu, kDense };
+  Kind kind = Kind::kConv;
+  int out_c = 0;   // conv: output channels
+  int kernel = 0;  // conv/pool: window
+  int stride = 1;  // conv/pool
+  int pad = 0;     // conv
+  int units = 0;   // dense: output width
+
+  static LayerSpec conv(int out_c, int kernel, int stride, int pad);
+  static LayerSpec pool(int kernel, int stride);
+  static LayerSpec relu();
+  static LayerSpec dense(int units);
+};
+
+struct ModelArch {
+  std::string name;       // "lenet", "alexnet", ...
+  std::string topology;   // paper notation, e.g. "3-2-2"
+  std::vector<LayerSpec> layers;
+
+  int conv_count() const;
+  int pool_count() const;
+  int dense_count() const;
+};
+
+class Network {
+ public:
+  Network() = default;
+  // Instantiates `arch` for `input` shape; weights drawn from `rng`.
+  Network(const ModelArch& arch, ImageShape input, Rng& rng);
+
+  FTensor forward(const FTensor& x, bool train);
+  // Backpropagate from the loss gradient; parameter grads accumulate.
+  void backward(const FTensor& dloss);
+  void zero_grad();
+
+  std::vector<ParamRef> params();
+  int64_t param_count();
+
+  const ModelArch& arch() const { return arch_; }
+  ImageShape input_shape() const { return input_; }
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+  // Total multiply-accumulate operations of one inference (conv + dense).
+  int64_t mac_count() const;
+
+  // Argmax class prediction for a batch of [B,H,W,C] float images.
+  std::vector<int> predict(const FTensor& x);
+
+ private:
+  ModelArch arch_;
+  ImageShape input_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Convert dataset images [lo, hi) to a float batch normalized to [0, 1]
+// (the paper normalizes inputs to [0, 1]).
+FTensor to_float_batch(const Dataset& ds, const std::vector<int>& indices,
+                       size_t lo, size_t hi);
+
+// Top-1 accuracy of `net` on `ds` (float inference), parallel over batches.
+double evaluate_accuracy(Network& net, const Dataset& ds, int batch_size = 64);
+
+}  // namespace ataman

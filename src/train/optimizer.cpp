@@ -1,0 +1,30 @@
+#include "src/train/optimizer.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+void SgdOptimizer::step(const std::vector<ParamRef>& params) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const ParamRef& p : params)
+      velocity_.emplace_back(p.value->size(), 0.0f);
+  }
+  check(velocity_.size() == params.size(),
+        "optimizer was initialized with a different parameter list");
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& value = *params[pi].value;
+    auto& grad = *params[pi].grad;
+    auto& vel = velocity_[pi];
+    check(value.size() == grad.size() && value.size() == vel.size(),
+          "parameter/gradient size mismatch");
+    for (size_t i = 0; i < value.size(); ++i) {
+      const float g = grad[i] + config_.weight_decay * value[i];
+      vel[i] = config_.momentum * vel[i] - config_.learning_rate * g;
+      value[i] += vel[i];
+    }
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,35 @@
+// SGD with momentum and decoupled L2 weight decay — sufficient for the
+// CIFAR-class models of the paper and free of hidden state beyond the
+// per-parameter velocity buffers.
+#pragma once
+
+#include <vector>
+
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+struct SgdConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdConfig config) : config_(config) {}
+
+  // Applies one update step to `params` using their accumulated gradients.
+  // Velocity buffers are allocated on first use and keyed by position, so
+  // the same parameter list must be passed every step.
+  void step(const std::vector<ParamRef>& params);
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,92 @@
+#include <limits>
+
+#include "src/common/parallel.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+MaxPool2DLayer::MaxPool2DLayer(int kernel, int stride)
+    : kernel_(kernel), stride_(stride) {
+  check(kernel >= 1 && stride >= 1, "invalid pooling geometry");
+}
+
+FTensor MaxPool2DLayer::forward(const FTensor& x, bool train) {
+  check(x.rank() == 4, "pool input must be [B,H,W,C]");
+  const int batch = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  const int oh = conv_out_extent(h, kernel_, stride_, 0);
+  const int ow = conv_out_extent(w, kernel_, stride_, 0);
+  check(oh > 0 && ow > 0, "pool output collapses");
+
+  FTensor y({batch, oh, ow, c});
+  in_shape_ = x.shape();
+  argmax_.assign(static_cast<size_t>(y.size()), -1);
+
+  parallel_for(0, batch, [&](int64_t b) {
+    const float* in = x.item(static_cast<int>(b));
+    float* out = y.item(static_cast<int>(b));
+    int32_t* arg = argmax_.data() + y.item_size() * b;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          int32_t best_idx = -1;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            if (iy >= h) continue;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              if (ix >= w) continue;
+              const int32_t idx = (iy * w + ix) * c + ch;
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const int32_t oidx = (oy * ow + ox) * c + ch;
+          out[oidx] = best;
+          arg[oidx] = best_idx;
+        }
+      }
+    }
+  });
+  (void)train;  // argmax is cheap; always recorded
+  return y;
+}
+
+FTensor MaxPool2DLayer::backward(const FTensor& dy) {
+  check(!in_shape_.empty(), "pool backward before forward");
+  FTensor dx{std::vector<int>(in_shape_)};
+  const int batch = dx.dim(0);
+  parallel_for(0, batch, [&](int64_t b) {
+    const float* dyb = dy.item(static_cast<int>(b));
+    float* dxb = dx.item(static_cast<int>(b));
+    const int32_t* arg = argmax_.data() + dy.item_size() * b;
+    for (int64_t i = 0; i < dy.item_size(); ++i) {
+      if (arg[i] >= 0) dxb[arg[i]] += dyb[i];
+    }
+  });
+  return dx;
+}
+
+FTensor ReluLayer::forward(const FTensor& x, bool train) {
+  FTensor y{std::vector<int>(x.shape())};
+  if (train) mask_.assign(static_cast<size_t>(x.size()), 0);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const bool on = x[i] > 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+    if (train) mask_[static_cast<size_t>(i)] = on ? 1 : 0;
+  }
+  return y;
+}
+
+FTensor ReluLayer::backward(const FTensor& dy) {
+  check(mask_.size() == static_cast<size_t>(dy.size()),
+        "relu backward before forward(train=true)");
+  FTensor dx{std::vector<int>(dy.shape())};
+  for (int64_t i = 0; i < dy.size(); ++i)
+    dx[i] = mask_[static_cast<size_t>(i)] ? dy[i] : 0.0f;
+  return dx;
+}
+
+}  // namespace ataman

@@ -1,0 +1,60 @@
+#include "src/train/softmax_xent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+LossResult softmax_cross_entropy(const FTensor& logits,
+                                 std::span<const int> labels) {
+  check(logits.rank() == 2, "logits must be [B, classes]");
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  check(static_cast<int>(labels.size()) == batch, "labels/batch mismatch");
+
+  LossResult result;
+  result.dlogits = FTensor({batch, classes});
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  for (int b = 0; b < batch; ++b) {
+    const float* row = logits.item(b);
+    float* drow = result.dlogits.item(b);
+    const int label = labels[static_cast<size_t>(b)];
+    check(label >= 0 && label < classes, "label out of range");
+
+    const float maxv = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (int j = 0; j < classes; ++j) denom += std::exp(row[j] - maxv);
+    const double log_denom = std::log(denom);
+
+    result.loss += -(row[label] - maxv - log_denom) * inv_batch;
+    int argmax = 0;
+    for (int j = 1; j < classes; ++j)
+      if (row[j] > row[argmax]) argmax = j;
+    if (argmax == label) ++result.correct;
+
+    for (int j = 0; j < classes; ++j) {
+      const float p =
+          static_cast<float>(std::exp(row[j] - maxv - log_denom));
+      drow[j] = (p - (j == label ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  return result;
+}
+
+std::vector<float> softmax(std::span<const float> logits) {
+  check(!logits.empty(), "softmax of empty vector");
+  const float maxv = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> out(logits.size());
+  double denom = 0.0;
+  for (size_t j = 0; j < logits.size(); ++j) {
+    out[j] = std::exp(logits[j] - maxv);
+    denom += out[j];
+  }
+  for (auto& v : out) v = static_cast<float>(v / denom);
+  return out;
+}
+
+}  // namespace ataman

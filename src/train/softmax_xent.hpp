@@ -1,0 +1,24 @@
+// Softmax + cross-entropy loss head with fused, numerically stable
+// gradient (dlogits = softmax - onehot).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/train/ftensor.hpp"
+
+namespace ataman {
+
+struct LossResult {
+  double loss = 0.0;       // mean cross-entropy over the batch
+  int correct = 0;         // argmax == label count
+  FTensor dlogits;         // gradient w.r.t. logits (already / batch)
+};
+
+LossResult softmax_cross_entropy(const FTensor& logits,
+                                 std::span<const int> labels);
+
+// Softmax probabilities for a single logit row (used by examples/tools).
+std::vector<float> softmax(std::span<const float> logits);
+
+}  // namespace ataman

@@ -1,0 +1,75 @@
+#include "src/train/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/common/stopwatch.hpp"
+#include "src/train/softmax_xent.hpp"
+
+namespace ataman {
+
+TrainResult train_network(Network& net, const Dataset& train,
+                          const Dataset& test, const TrainConfig& config) {
+  check(train.size() > 0, "empty training set");
+  check(config.batch_size > 0 && config.epochs > 0, "bad training config");
+
+  SgdOptimizer opt(config.sgd);
+  Rng rng(config.seed);
+  std::vector<int> order(static_cast<size_t>(train.size()));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (std::find(config.lr_decay_at.begin(), config.lr_decay_at.end(),
+                  epoch) != config.lr_decay_at.end()) {
+      opt.set_learning_rate(opt.learning_rate() * config.lr_decay);
+    }
+    rng.shuffle(order);
+
+    Stopwatch watch;
+    double loss_sum = 0.0;
+    int correct = 0;
+    int seen = 0;
+    for (size_t lo = 0; lo < order.size();
+         lo += static_cast<size_t>(config.batch_size)) {
+      const size_t hi = std::min(order.size(),
+                                 lo + static_cast<size_t>(config.batch_size));
+      FTensor x = to_float_batch(train, order, lo, hi);
+      std::vector<int> labels(hi - lo);
+      for (size_t i = lo; i < hi; ++i)
+        labels[i - lo] = train.label(order[i]);
+
+      FTensor logits = net.forward(x, /*train=*/true);
+      LossResult loss = softmax_cross_entropy(logits, labels);
+
+      net.zero_grad();
+      net.backward(loss.dlogits);
+      opt.step(net.params());
+
+      loss_sum += loss.loss * static_cast<double>(hi - lo);
+      correct += loss.correct;
+      seen += static_cast<int>(hi - lo);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / seen;
+    stats.train_accuracy = static_cast<double>(correct) / seen;
+    stats.seconds = watch.seconds();
+    result.epochs.push_back(stats);
+    if (config.verbose) {
+      std::printf("  epoch %2d  loss %.4f  train-acc %.4f  (%.1fs, lr %.4f)\n",
+                  epoch, stats.train_loss, stats.train_accuracy, stats.seconds,
+                  static_cast<double>(opt.learning_rate()));
+      std::fflush(stdout);
+    }
+  }
+
+  result.final_train_accuracy = result.epochs.back().train_accuracy;
+  result.test_accuracy =
+      test.size() > 0 ? evaluate_accuracy(net, test) : 0.0;
+  return result;
+}
+
+}  // namespace ataman

@@ -1,0 +1,42 @@
+// Mini-batch SGD training loop.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/train/network.hpp"
+#include "src/train/optimizer.hpp"
+
+namespace ataman {
+
+struct TrainConfig {
+  int epochs = 12;
+  int batch_size = 64;
+  SgdConfig sgd;
+  // Multiply the learning rate by `lr_decay` at each epoch in `lr_decay_at`.
+  std::vector<int> lr_decay_at = {8, 11};
+  float lr_decay = 0.2f;
+  uint64_t seed = 7;
+  bool verbose = true;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double final_train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+// Trains `net` in place on `train`; reports Top-1 on `test` at the end.
+TrainResult train_network(Network& net, const Dataset& train,
+                          const Dataset& test, const TrainConfig& config);
+
+}  // namespace ataman

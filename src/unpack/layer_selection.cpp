@@ -1,0 +1,108 @@
+#include "src/unpack/layer_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+std::vector<uint8_t> HybridPlan::unpack_selection() const {
+  std::vector<uint8_t> out;
+  out.reserve(choices.size());
+  for (const LayerDeployChoice& c : choices)
+    out.push_back(c.unpack ? 1 : 0);
+  return out;
+}
+
+int64_t HybridPlan::total_cycle_saving() const {
+  int64_t total = 0;
+  for (const LayerDeployChoice& c : choices)
+    if (c.unpack) total += c.packed_cycles - c.unpacked_cycles;
+  return total;
+}
+
+int64_t HybridPlan::total_flash_delta() const {
+  int64_t total = 0;
+  for (const LayerDeployChoice& c : choices)
+    if (c.unpack) total += c.unpacked_flash - c.packed_flash;
+  return total;
+}
+
+int HybridPlan::unpacked_count() const {
+  int n = 0;
+  for (const LayerDeployChoice& c : choices) n += c.unpack ? 1 : 0;
+  return n;
+}
+
+HybridPlan analyze_layer_choices(const QModel& model, const SkipMask& mask,
+                                 const CortexM33CostTable& costs,
+                                 const MemoryCostTable& memory) {
+  const UnpackStats stats = compute_unpack_stats(model, mask);
+  HybridPlan plan;
+  int ordinal = 0;
+  for (const QLayer& layer : model.layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    LayerDeployChoice c;
+    c.packed_cycles =
+        static_cast<int64_t>(costs.layer_dispatch) +
+        packed_conv_cycles(*conv, costs);
+    c.unpacked_cycles = unpacked_conv_cycles(
+        *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
+        stats.static_singles[static_cast<size_t>(ordinal)], costs);
+    c.packed_flash = static_cast<int64_t>(conv->weights.size()) +
+                     static_cast<int64_t>(conv->bias.size()) * 4 +
+                     memory.per_layer_descriptor;
+    c.unpacked_flash =
+        memory.unpacked_bytes_per_layer +
+        memory.unpacked_bytes_per_channel * conv->geom.out_c +
+        memory.unpacked_bytes_per_pair *
+            stats.static_pairs[static_cast<size_t>(ordinal)] +
+        memory.unpacked_bytes_per_single *
+            stats.static_singles[static_cast<size_t>(ordinal)] +
+        static_cast<int64_t>(conv->bias.size()) * 4;
+    c.unpack = false;  // selection decides
+    plan.choices.push_back(c);
+    ++ordinal;
+  }
+  return plan;
+}
+
+HybridPlan select_layers_to_unpack(const QModel& model, const SkipMask& mask,
+                                   int64_t flash_budget,
+                                   const CortexM33CostTable& costs,
+                                   const MemoryCostTable& memory) {
+  HybridPlan plan = analyze_layer_choices(model, mask, costs, memory);
+
+  // Baseline model flash with everything packed.
+  int64_t flash = packed_flash(model, memory).total_bytes
+                  // swap generic runtime for the customized one (the
+                  // hybrid build is generated code either way)
+                  - memory.generic_runtime_code + memory.custom_runtime_code;
+
+  // Candidate order: best cycle-saving per extra flash byte first.
+  std::vector<int> order(plan.choices.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ca = plan.choices[static_cast<size_t>(a)];
+    const auto& cb = plan.choices[static_cast<size_t>(b)];
+    const double da = std::max<int64_t>(1, ca.unpacked_flash - ca.packed_flash);
+    const double db = std::max<int64_t>(1, cb.unpacked_flash - cb.packed_flash);
+    return static_cast<double>(ca.packed_cycles - ca.unpacked_cycles) / da >
+           static_cast<double>(cb.packed_cycles - cb.unpacked_cycles) / db;
+  });
+
+  for (const int idx : order) {
+    LayerDeployChoice& c = plan.choices[static_cast<size_t>(idx)];
+    const int64_t saving = c.packed_cycles - c.unpacked_cycles;
+    if (saving <= 0) continue;  // unpacking would slow this layer down
+    const int64_t delta = c.unpacked_flash - c.packed_flash;
+    if (flash_budget > 0 && flash + delta > flash_budget) continue;
+    c.unpack = true;
+    flash += delta;
+  }
+  return plan;
+}
+
+}  // namespace ataman

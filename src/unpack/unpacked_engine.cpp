@@ -1,0 +1,175 @@
+#include "src/unpack/unpacked_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/nn/qkernels_ref.hpp"
+
+namespace ataman {
+
+UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
+                               CortexM33CostTable costs,
+                               MemoryCostTable memory,
+                               const std::vector<uint8_t>* unpack_selection)
+    : model_(model), costs_(costs), memory_(memory) {
+  check(model != nullptr, "engine needs a model");
+  if (mask != nullptr) mask->validate(*model);
+  if (unpack_selection != nullptr) {
+    check(static_cast<int>(unpack_selection->size()) ==
+              model->conv_layer_count(),
+          "unpack selection size must match conv layer count");
+  }
+
+  int conv_ordinal = 0;
+  int out_dim = 0;
+  double cycles = 0.0;
+  for (const QLayer& layer : model_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      const bool unpack =
+          unpack_selection == nullptr ||
+          (*unpack_selection)[static_cast<size_t>(conv_ordinal)] != 0;
+      ConvExec exec;
+      exec.is_unpacked = unpack;
+      if (unpack) {
+        const uint8_t* skip = nullptr;
+        if (mask != nullptr &&
+            conv_ordinal < static_cast<int>(mask->conv_masks.size()) &&
+            !mask->conv_masks[static_cast<size_t>(conv_ordinal)].empty()) {
+          skip = mask->conv_masks[static_cast<size_t>(conv_ordinal)].data();
+        }
+        UnpackedConv u = UnpackedConv::build(*conv, skip);
+        const int64_t c = unpacked_conv_cycles(*conv, u.static_pairs(),
+                                               u.static_singles(), costs_);
+        profile_.push_back({"conv(unpacked)", c, u.retained_macs()});
+        cycles += static_cast<double>(c);
+        executed_macs_ += u.retained_macs();
+        exec.unpacked = std::move(u);
+      } else {
+        // Packed layers execute exactly: static skips cannot remove work
+        // from loop kernels (the paper's argument for unpacking).
+        exec.packed = PackedWeights::pack(conv->weights, conv->geom.out_c,
+                                          conv->geom.patch_size());
+        const int64_t c = packed_conv_cycles(*conv, costs_);
+        cycles += costs_.layer_dispatch;
+        profile_.push_back({"conv(packed)",
+                            c + static_cast<int64_t>(costs_.layer_dispatch),
+                            conv->geom.macs()});
+        cycles += static_cast<double>(c);
+        executed_macs_ += conv->geom.macs();
+      }
+      convs_.push_back(std::move(exec));
+      ++conv_ordinal;
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      cycles += costs_.layer_dispatch;
+      const int64_t c = pool_cycles(*pool, costs_);
+      profile_.push_back({"pool", c, 0});
+      cycles += static_cast<double>(c);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      cycles += costs_.layer_dispatch;
+      packed_fc_.push_back(
+          PackedWeights::pack(fc->weights, fc->out_dim, fc->in_dim));
+      const int64_t c = dense_cycles(*fc, costs_);
+      profile_.push_back({"fc", c, fc->macs()});
+      cycles += static_cast<double>(c);
+      executed_macs_ += fc->macs();
+      out_dim = fc->out_dim;
+    }
+  }
+  cycles += costs_.softmax_per_logit * out_dim;
+  profile_.push_back(
+      {"softmax", static_cast<int64_t>(costs_.softmax_per_logit * out_dim),
+       0});
+  total_cycles_ = static_cast<int64_t>(cycles);
+}
+
+int UnpackedEngine::unpacked_conv_count() const {
+  int n = 0;
+  for (const ConvExec& e : convs_) n += e.is_unpacked ? 1 : 0;
+  return n;
+}
+
+std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
+  const int64_t expected =
+      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
+  check(static_cast<int64_t>(image.size()) == expected,
+        "input image size mismatch");
+
+  std::vector<int8_t> cur(image.size());
+  for (size_t i = 0; i < image.size(); ++i)
+    cur[i] = model_->input.quantize(static_cast<float>(image[i]) / 255.0f);
+
+  std::vector<int8_t> next;
+  size_t conv_idx = 0, fc_idx = 0;
+  for (const QLayer& layer : model_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      next.assign(
+          static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
+      const ConvExec& exec = convs_[conv_idx++];
+      if (exec.is_unpacked) {
+        exec.unpacked->run(cur, next);
+      } else {
+        packed_conv2d(*conv, *exec.packed, cur, next);
+      }
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
+                      pool->channels,
+                  0);
+      maxpool_ref(*pool, cur, next);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      next.assign(static_cast<size_t>(fc->out_dim), 0);
+      packed_dense(*fc, packed_fc_[fc_idx++], cur, next);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+int UnpackedEngine::classify(std::span<const uint8_t> image) const {
+  const std::vector<int8_t> logits = run(image);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+FlashReport UnpackedEngine::flash(const MemoryCostTable& t) const {
+  std::vector<int64_t> pairs, singles;
+  pairs.reserve(convs_.size());
+  for (const ConvExec& e : convs_) {
+    if (e.is_unpacked) {
+      pairs.push_back(e.unpacked->static_pairs());
+      singles.push_back(e.unpacked->static_singles());
+    } else {
+      pairs.push_back(-1);  // memory_model: layer stays packed
+      singles.push_back(0);
+    }
+  }
+  return unpacked_flash(*model_, pairs, singles, t);
+}
+
+DeployReport UnpackedEngine::deploy(const Dataset& eval,
+                                    const BoardSpec& board, int limit,
+                                    const std::string& design_name) const {
+  const int n = limit < 0 ? eval.size() : std::min(limit, eval.size());
+  check(n > 0, "no images to evaluate");
+  std::atomic<int> correct{0};
+  parallel_for(0, n, [&](int64_t i) {
+    if (classify(eval.image(static_cast<int>(i))) ==
+        eval.label(static_cast<int>(i)))
+      correct.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  DeployReport r;
+  r.design = design_name;
+  r.network = model_->name;
+  r.top1_accuracy = static_cast<double>(correct.load()) / n;
+  r.cycles = total_cycles_;
+  r.mac_ops = executed_macs_;
+  r.flash_bytes = flash(memory_).total_bytes;
+  r.ram_bytes = model_ram_bytes(*model_, /*packed_engine=*/false, memory_);
+  r.per_layer = profile_;
+  r.finalize(board);
+  return r;
+}
+
+}  // namespace ataman

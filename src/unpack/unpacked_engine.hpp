@@ -1,0 +1,74 @@
+// Full-model approximate engine: unpacked conv layers (with optional
+// significance skipping baked in), packed FC, reference pooling. This is
+// the "Proposed (ours)" column of Table II.
+//
+// Hybrid deployments (see layer_selection.hpp) may keep individual conv
+// layers on the packed CMSIS-style kernel instead: pass an
+// `unpack_selection` vector (one flag per conv ordinal). Packed layers
+// execute exactly (skips only remove instructions from *unpacked* code),
+// keep their weights in the flash data segment, and are costed with the
+// packed kernel model.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/cmsisnn/packed_kernels.hpp"
+#include "src/data/dataset.hpp"
+#include "src/mcu/board.hpp"
+#include "src/mcu/cost_model.hpp"
+#include "src/mcu/deploy_report.hpp"
+#include "src/mcu/memory_model.hpp"
+#include "src/nn/skip_mask.hpp"
+#include "src/quant/qtypes.hpp"
+#include "src/unpack/unpacked_layer.hpp"
+
+namespace ataman {
+
+class UnpackedEngine {
+ public:
+  // `mask` == nullptr -> exact unpacking (no skips).
+  // `unpack_selection` == nullptr -> every conv layer is unpacked (the
+  // paper's policy); otherwise one 0/1 flag per conv ordinal.
+  UnpackedEngine(const QModel* model, const SkipMask* mask = nullptr,
+                 CortexM33CostTable costs = {}, MemoryCostTable memory = {},
+                 const std::vector<uint8_t>* unpack_selection = nullptr);
+
+  std::vector<int8_t> run(std::span<const uint8_t> image) const;
+  int classify(std::span<const uint8_t> image) const;
+
+  int64_t total_cycles() const { return total_cycles_; }
+  // Executed (retained) conv MACs + FC MACs per inference.
+  int64_t executed_macs() const { return executed_macs_; }
+  const std::vector<LayerProfile>& layer_profile() const { return profile_; }
+  int unpacked_conv_count() const;
+
+  FlashReport flash(const MemoryCostTable& t = {}) const;
+
+  DeployReport deploy(const Dataset& eval, const BoardSpec& board,
+                      int limit = -1,
+                      const std::string& design_name = "ataman") const;
+
+  const QModel& model() const { return *model_; }
+
+ private:
+  // Per conv ordinal: exactly one of `unpacked`/`packed` is engaged.
+  struct ConvExec {
+    bool is_unpacked = true;
+    std::optional<UnpackedConv> unpacked;
+    std::optional<PackedWeights> packed;
+  };
+
+  const QModel* model_;
+  CortexM33CostTable costs_;
+  MemoryCostTable memory_;
+  std::vector<ConvExec> convs_;            // by conv ordinal
+  std::vector<PackedWeights> packed_fc_;   // by fc ordinal
+  std::vector<LayerProfile> profile_;
+  int64_t total_cycles_ = 0;
+  int64_t executed_macs_ = 0;
+};
+
+}  // namespace ataman

@@ -1,0 +1,134 @@
+#include "src/unpack/unpacked_layer.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/math_util.hpp"
+#include "src/cmsisnn/smlad.hpp"
+
+namespace ataman {
+
+int64_t UnpackedConv::static_pairs() const {
+  int64_t total = 0;
+  for (const ChannelProgram& ch : channels)
+    total += static_cast<int64_t>(ch.pairs.size());
+  return total;
+}
+
+int64_t UnpackedConv::static_singles() const {
+  int64_t total = 0;
+  for (const ChannelProgram& ch : channels) total += ch.has_single ? 1 : 0;
+  return total;
+}
+
+int64_t UnpackedConv::retained_macs() const {
+  int64_t static_ops = 0;
+  for (const ChannelProgram& ch : channels) static_ops += ch.retained_ops();
+  return static_ops * geom.positions();
+}
+
+UnpackedConv UnpackedConv::build(const QConv2D& layer, const uint8_t* skip) {
+  UnpackedConv u;
+  u.geom = layer.geom;
+  u.in_q = layer.in;
+  u.out_q = layer.out;
+  u.requant = layer.requant;
+  u.act_min = layer.act_min;
+  u.act_max = layer.act_max;
+
+  const int patch = layer.geom.patch_size();
+  u.channels.resize(static_cast<size_t>(layer.geom.out_c));
+  for (int oc = 0; oc < layer.geom.out_c; ++oc) {
+    ChannelProgram& prog = u.channels[static_cast<size_t>(oc)];
+    prog.bias = layer.bias[static_cast<size_t>(oc)];
+    const int8_t* w =
+        layer.weights.data() + static_cast<size_t>(oc) * patch;
+    const uint8_t* sk =
+        skip != nullptr ? skip + static_cast<size_t>(oc) * patch : nullptr;
+
+    // Offline re-pairing: collect retained operand indices, then emit one
+    // SMLAD per surviving pair and an SMLABB for the odd leftover.
+    std::vector<uint32_t> retained;
+    retained.reserve(static_cast<size_t>(patch));
+    for (int i = 0; i < patch; ++i) {
+      if (sk == nullptr || !sk[i]) retained.push_back(static_cast<uint32_t>(i));
+    }
+    const size_t n_pairs = retained.size() / 2;
+    prog.pairs.reserve(n_pairs);
+    for (size_t p = 0; p < n_pairs; ++p) {
+      const uint32_t ia = retained[2 * p];
+      const uint32_t ib = retained[2 * p + 1];
+      prog.pairs.push_back(
+          {pack_weight_pair(/*hi=*/w[ib], /*lo=*/w[ia]), ia, ib});
+    }
+    if (retained.size() % 2 != 0) {
+      prog.has_single = true;
+      prog.single = {static_cast<int16_t>(w[retained.back()]),
+                     retained.back()};
+    }
+  }
+  return u;
+}
+
+void UnpackedConv::run(std::span<const int8_t> in,
+                       std::span<int8_t> out) const {
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(geom.in_h) * geom.in_w * geom.in_c,
+        "unpacked conv input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(geom.positions()) * geom.out_c,
+        "unpacked conv output size mismatch");
+
+  const int oh = geom.out_h(), ow = geom.out_w();
+  const int patch = geom.patch_size();
+  const int32_t zp = in_q.zero_point;
+
+  // The host interpreter materializes the zero-point-corrected patch once
+  // per position purely as a host-speed optimization; the *priced*
+  // instruction stream (cost_model::unpacked_conv_cycles) models direct
+  // activation loads with no such buffer, and the numerics are identical.
+  std::vector<int16_t> col(static_cast<size_t>(patch));
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int idx = 0;
+      for (int ky = 0; ky < geom.kernel; ++ky) {
+        const int iy = oy * geom.stride - geom.pad + ky;
+        for (int kx = 0; kx < geom.kernel; ++kx) {
+          const int ix = ox * geom.stride - geom.pad + kx;
+          const bool inside =
+              iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
+          const int8_t* src =
+              inside
+                  ? in.data() + (static_cast<size_t>(iy) * geom.in_w + ix) *
+                                    geom.in_c
+                  : nullptr;
+          for (int c = 0; c < geom.in_c; ++c, ++idx)
+            col[static_cast<size_t>(idx)] =
+                static_cast<int16_t>((inside ? src[c] : zp) - zp);
+        }
+      }
+
+      int8_t* orow =
+          out.data() + (static_cast<size_t>(oy) * ow + ox) * geom.out_c;
+      for (int oc = 0; oc < geom.out_c; ++oc) {
+        const ChannelProgram& prog = channels[static_cast<size_t>(oc)];
+        int32_t acc = prog.bias;
+        for (const MacPairOp& op : prog.pairs) {
+          const uint32_t apair =
+              pack_q15_pair(col[op.operand_b], col[op.operand_a]);
+          acc = smlad(op.weight_const, apair, acc);
+        }
+        if (prog.has_single) {
+          acc = smlabb(pack_q15_pair(0, prog.single.weight),
+                       pack_q15_pair(0, col[prog.single.operand]), acc);
+        }
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
+        orow[oc] =
+            static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
+      }
+    }
+  }
+}
+
+}  // namespace ataman

@@ -1,0 +1,72 @@
+// Layer-based code unpacking (§II-B): the paper's core kernel form.
+//
+// Each convolution layer becomes straight-line "programs", one per output
+// channel: a sequence of dual-MAC operations whose weights are hardwired
+// constants (two sign-extended int8 weights packed into one 32-bit SMLAD
+// operand, e.g. 64*2^16 + 20). Unpacking differs from loop unrolling in
+// that the weight *values* are burned into the instruction stream — there
+// are no weight loads, no im2col pre-expansion and no loop/branch
+// overhead; the program is replayed once per output spatial position.
+//
+// Significance skipping composes naturally: building a program with a
+// skip mask simply drops the skipped operands and *re-pairs* the
+// survivors offline, so every skipped product removes real instructions
+// (and flash bytes), not just work inside an unchanged loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+// One SMLAD step: two patch operand indices + the packed weight constant.
+struct MacPairOp {
+  uint32_t weight_const = 0;  // pack_weight_pair(w_b, w_a): a in low lane
+  uint32_t operand_a = 0;     // (ky,kx,in_c)-flattened patch index
+  uint32_t operand_b = 0;
+};
+
+// Odd leftover: one SMLABB step.
+struct MacSingleOp {
+  int16_t weight = 0;
+  uint32_t operand = 0;
+};
+
+struct ChannelProgram {
+  int32_t bias = 0;
+  std::vector<MacPairOp> pairs;
+  bool has_single = false;
+  MacSingleOp single;
+
+  int64_t retained_ops() const {
+    return static_cast<int64_t>(pairs.size()) * 2 + (has_single ? 1 : 0);
+  }
+};
+
+struct UnpackedConv {
+  ConvGeom geom;
+  QuantParams in_q, out_q;
+  QuantizedMultiplier requant;
+  int32_t act_min = -128, act_max = 127;
+  std::vector<ChannelProgram> channels;
+
+  // Static instruction counts (summed over channels; the cost and flash
+  // models multiply by positions / bytes-per-op respectively).
+  int64_t static_pairs() const;
+  int64_t static_singles() const;
+  int64_t retained_macs() const;  // dynamic: retained static ops x positions
+
+  // Build from a quantized layer; `skip` is nullptr (exact unpacking) or
+  // an [out_c * patch] mask with 1 = omit the operand.
+  static UnpackedConv build(const QConv2D& layer,
+                            const uint8_t* skip = nullptr);
+
+  // Execute for one input feature map. Bit-exact with conv2d_ref under
+  // the same skip mask (tests assert this).
+  void run(std::span<const int8_t> in, std::span<int8_t> out) const;
+};
+
+}  // namespace ataman

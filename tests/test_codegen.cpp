@@ -1,0 +1,241 @@
+// Code generator: structural properties of the emitted C and an
+// end-to-end host-compile equivalence check against the unpacked engine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/codegen/c_emitter.hpp"
+#include "src/common/error.hpp"
+#include "src/unpack/unpacked_engine.hpp"
+#include "tests/test_util.hpp"
+
+namespace ataman {
+namespace {
+
+using testing::make_tiny_qmodel;
+
+TEST(Codegen, EmitsHardwiredConstantsAndNoConvWeightArrays) {
+  const QModel m = make_tiny_qmodel(80);
+  const std::string code = emit_model_c(m);
+  // Straight-line SMLAD calls with hex weight constants.
+  EXPECT_NE(code.find("_smlad(0x"), std::string::npos);
+  // Conv layers have no weight arrays (FC does).
+  EXPECT_EQ(code.find("conv0_w"), std::string::npos);
+  EXPECT_NE(code.find("fc0_w"), std::string::npos);
+  // Runner and class count exported.
+  EXPECT_NE(code.find("ataman_run"), std::string::npos);
+  EXPECT_NE(code.find("ataman_num_classes = 10"), std::string::npos);
+  // Host shim present and ARM intrinsic path guarded.
+  EXPECT_NE(code.find("__ARM_FEATURE_DSP"), std::string::npos);
+}
+
+TEST(Codegen, SkippedOperandsDisappearFromCode) {
+  const QModel m = make_tiny_qmodel(81);
+  SkipMask mask = SkipMask::none(m);
+  for (auto& v : mask.conv_masks[0]) v = 1;  // skip all of conv0
+  const std::string exact = emit_model_c(m);
+  const std::string approx = emit_model_c(m, &mask);
+  EXPECT_LT(approx.size(), exact.size());
+  // conv0 in the approximate build degenerates to bias-only channels:
+  // its section should contain no smlad between "conv0" and "conv1".
+  const size_t c0 = approx.find("_conv0");
+  const size_t c1 = approx.find("_conv1");
+  ASSERT_NE(c0, std::string::npos);
+  ASSERT_NE(c1, std::string::npos);
+  EXPECT_EQ(approx.substr(c0, c1 - c0).find("_smlad(0x"), std::string::npos);
+}
+
+TEST(Codegen, CustomPrefix) {
+  const QModel m = make_tiny_qmodel(82);
+  CodegenOptions opt;
+  opt.symbol_prefix = "mynet";
+  const std::string code = emit_model_c(m, nullptr, opt);
+  EXPECT_NE(code.find("void mynet_run"), std::string::npos);
+  EXPECT_EQ(code.find("void ataman_run"), std::string::npos);
+}
+
+TEST(Codegen, WriteTextFileCreatesDirectories) {
+  const std::string dir = "/tmp/ataman_codegen_test_dir";
+  std::filesystem::remove_all(dir);
+  write_text_file(dir + "/nested/file.c", "int x;\n");
+  std::ifstream in(dir + "/nested/file.c");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "int x;");
+  std::filesystem::remove_all(dir);
+}
+
+// Single-conv models over varied geometries, for the parameterized
+// compile test: kernel 5, stride 2, odd channels, no padding all hit
+// different emitter paths.
+QModel single_conv_model(int in_c, int out_c, int kernel, int stride,
+                         int pad, uint64_t seed) {
+  QModel m;
+  m.name = "gen-test";
+  m.in_h = 11;
+  m.in_w = 11;
+  m.in_c = in_c;
+  m.input = {1.0f / 255.0f, -128};
+  ConvGeom g;
+  g.in_h = 11; g.in_w = 11; g.in_c = in_c;
+  g.out_c = out_c; g.kernel = kernel; g.stride = stride; g.pad = pad;
+  QConv2D conv = ataman::testing::make_random_qconv(g, seed);
+  conv.in = m.input;
+  conv.requant = quantize_multiplier(
+      static_cast<double>(conv.in.scale) * conv.w_scale / conv.out.scale);
+  m.layers.emplace_back(std::move(conv));
+  return m;
+}
+
+// Compiles the generated C with the host compiler and compares logits
+// against the unpacked engine on random images. Skipped when no host
+// compiler is available.
+class CodegenCompile : public ::testing::Test {
+ protected:
+  static bool have_cc() { return std::system("cc --version > /dev/null 2>&1") == 0; }
+};
+
+TEST_F(CodegenCompile, GeneratedModelMatchesEngineBitExact) {
+  if (!have_cc()) GTEST_SKIP() << "no host C compiler";
+  const QModel m = make_tiny_qmodel(83);
+  SkipMask mask = SkipMask::none(m);
+  Rng rng(84);
+  for (auto& layer_mask : mask.conv_masks)
+    for (auto& v : layer_mask) v = rng.next_bool(0.3) ? 1 : 0;
+
+  const std::string dir = "/tmp/ataman_codegen_compile";
+  std::filesystem::remove_all(dir);
+  write_text_file(dir + "/model.c", emit_model_c(m, &mask));
+
+  // Driver: read image bytes on stdin, print logits.
+  const std::string driver = R"(
+#include <stdint.h>
+#include <stdio.h>
+extern void ataman_run(const uint8_t* image, int8_t* logits);
+extern const int ataman_num_classes;
+int main(void) {
+  uint8_t img[12*12*3];
+  if (fread(img, 1, sizeof img, stdin) != sizeof img) return 1;
+  int8_t logits[64];
+  ataman_run(img, logits);
+  for (int i = 0; i < ataman_num_classes; ++i) printf("%d\n", (int)logits[i]);
+  return 0;
+}
+)";
+  write_text_file(dir + "/main.c", driver);
+  const std::string compile = "cc -std=c99 -O2 " + dir + "/model.c " + dir +
+                              "/main.c -o " + dir + "/runner 2> " + dir +
+                              "/cc.log";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << "generated C failed to compile";
+
+  const UnpackedEngine engine(&m, &mask);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto img = testing::make_random_image(12 * 12 * 3, 900 + trial);
+    const std::string img_path = dir + "/img.bin";
+    {
+      std::ofstream out(img_path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(img.data()),
+                static_cast<std::streamsize>(img.size()));
+    }
+    const std::string run =
+        dir + "/runner < " + img_path + " > " + dir + "/out.txt";
+    ASSERT_EQ(std::system(run.c_str()), 0);
+
+    std::ifstream in(dir + "/out.txt");
+    std::vector<int8_t> got;
+    int v = 0;
+    while (in >> v) got.push_back(static_cast<int8_t>(v));
+    EXPECT_EQ(got, engine.run(img)) << "trial " << trial;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Geometry sweep: each case exercises a different emitter path (k=5,
+// stride 2, no padding, odd channels/patches, 1x1 conv).
+struct GenCase {
+  int in_c, out_c, kernel, stride, pad;
+};
+
+class CodegenGeometry : public ::testing::TestWithParam<GenCase> {
+ protected:
+  static bool have_cc() {
+    return std::system("cc --version > /dev/null 2>&1") == 0;
+  }
+};
+
+TEST_P(CodegenGeometry, CompilesAndMatchesEngine) {
+  if (!have_cc()) GTEST_SKIP() << "no host C compiler";
+  const GenCase& c = GetParam();
+  const QModel m = single_conv_model(c.in_c, c.out_c, c.kernel, c.stride,
+                                     c.pad,
+                                     1000 + c.kernel * 13 + c.out_c);
+  const auto* conv = std::get_if<QConv2D>(&m.layers[0]);
+  ASSERT_NE(conv, nullptr);
+  const int64_t out_size =
+      static_cast<int64_t>(conv->geom.positions()) * conv->geom.out_c;
+  ASSERT_LE(out_size, 2048);
+
+  // Unique directory per case: ctest runs parameterized cases as
+  // separate parallel processes.
+  const std::string dir = "/tmp/ataman_codegen_geom_" +
+                          std::to_string(c.in_c) + "_" +
+                          std::to_string(c.out_c) + "_" +
+                          std::to_string(c.kernel) + "_" +
+                          std::to_string(c.stride) + "_" +
+                          std::to_string(c.pad);
+  std::filesystem::remove_all(dir);
+  write_text_file(dir + "/model.c", emit_model_c(m));
+  const std::string driver = R"(
+#include <stdint.h>
+#include <stdio.h>
+extern void ataman_run(const uint8_t* image, int8_t* logits);
+extern const int ataman_num_classes;
+int main(void) {
+  uint8_t img[11*11*)" + std::to_string(c.in_c) + R"(];
+  if (fread(img, 1, sizeof img, stdin) != sizeof img) return 1;
+  static int8_t out[2048];
+  ataman_run(img, out);
+  for (int i = 0; i < ataman_num_classes; ++i) printf("%d\n", (int)out[i]);
+  return 0;
+}
+)";
+  write_text_file(dir + "/main.c", driver);
+  ASSERT_EQ(std::system(("cc -std=c99 -O1 " + dir + "/model.c " + dir +
+                         "/main.c -o " + dir + "/runner 2> " + dir +
+                         "/cc.log")
+                            .c_str()),
+            0);
+
+  const UnpackedEngine engine(&m);
+  const auto img =
+      testing::make_random_image(11 * 11 * c.in_c, 2000 + c.out_c);
+  {
+    std::ofstream out(dir + "/img.bin", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(img.data()),
+              static_cast<std::streamsize>(img.size()));
+  }
+  ASSERT_EQ(std::system((dir + "/runner < " + dir + "/img.bin > " + dir +
+                         "/out.txt")
+                            .c_str()),
+            0);
+  std::ifstream in(dir + "/out.txt");
+  std::vector<int8_t> got;
+  int v = 0;
+  while (in >> v) got.push_back(static_cast<int8_t>(v));
+  EXPECT_EQ(got, engine.run(img));
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CodegenGeometry,
+    ::testing::Values(GenCase{3, 4, 3, 1, 1},    // RGB stem
+                      GenCase{2, 3, 5, 1, 2},    // k=5
+                      GenCase{5, 4, 3, 2, 0},    // stride 2, no pad
+                      GenCase{1, 8, 1, 1, 0},    // 1x1 conv
+                      GenCase{4, 6, 5, 2, 2}));  // k=5 stride 2
+
+}  // namespace
+}  // namespace ataman

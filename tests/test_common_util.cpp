@@ -1,0 +1,203 @@
+// Remaining common utilities: parallel_for, serialization, CSV, tables,
+// math helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "src/common/csv.hpp"
+#include "src/common/math_util.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/serialize.hpp"
+#include "src/common/table.hpp"
+
+namespace ataman {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Parallel, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  parallel_for(5, 5, [&](int64_t) { FAIL(); });
+  parallel_for(5, 3, [&](int64_t) { FAIL(); });
+}
+
+TEST(Parallel, ExceptionsPropagate) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [&](int64_t i) {
+                     if (i == 37) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(Parallel, IndexedWorkerMappingIsStatic) {
+  // Same worker must process a contiguous chunk: record assignments and
+  // verify per-worker index ranges do not interleave.
+  const int n = 97;
+  std::vector<int> owner(n, -1);
+  const int workers = parallel_for_indexed(
+      0, n, [&](int w, int64_t i) { owner[static_cast<size_t>(i)] = w; });
+  EXPECT_GE(workers, 1);
+  for (const int o : owner) EXPECT_GE(o, 0);
+  for (int i = 1; i < n; ++i)
+    EXPECT_LE(owner[static_cast<size_t>(i - 1)], owner[static_cast<size_t>(i)])
+        << "chunks must be contiguous and ordered";
+}
+
+TEST(Parallel, ThreadOverrideRespected) {
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  std::atomic<int> max_worker{0};
+  parallel_for_indexed(0, 64, [&](int w, int64_t) {
+    int cur = max_worker.load();
+    while (w > cur && !max_worker.compare_exchange_weak(cur, w)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), 2);
+  set_num_threads(0);  // restore default
+}
+
+TEST(Serialize, RoundTrip) {
+  const std::string path = temp_path("ataman_ser_test.bin");
+  {
+    BinaryWriter w(path, "TEST.MAGIC");
+    w.u32(42);
+    w.i32(-7);
+    w.f32(1.5f);
+    w.f64(2.25);
+    w.str("hello");
+    w.vec(std::vector<int8_t>{1, -2, 3});
+    w.vec(std::vector<float>{0.5f, -0.25f});
+    w.close();
+  }
+  BinaryReader r(path, "TEST.MAGIC");
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_EQ(r.f64(), 2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.vec<int8_t>(), (std::vector<int8_t>{1, -2, 3}));
+  EXPECT_EQ(r.vec<float>(), (std::vector<float>{0.5f, -0.25f}));
+  EXPECT_TRUE(r.at_end());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  const std::string path = temp_path("ataman_ser_magic.bin");
+  {
+    BinaryWriter w(path, "GOOD.MAGIC");
+    w.u32(1);
+    w.close();
+  }
+  EXPECT_THROW(BinaryReader(path, "WRONG.MAGIC"), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TruncatedFileRejected) {
+  const std::string path = temp_path("ataman_ser_trunc.bin");
+  {
+    BinaryWriter w(path, "T.MAGIC");
+    w.u32(7);
+    w.close();
+  }
+  BinaryReader r(path, "T.MAGIC");
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u64(), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = temp_path("ataman_csv_test.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "plain"});
+    csv.row({"2", "with,comma"});
+    csv.row({"3", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"with\"\"quote\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ArityEnforced) {
+  const std::string path = temp_path("ataman_csv_arity.csv");
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  ConsoleTable t({"Net", "Latency"});
+  t.row({"lenet", "82.8"});
+  t.separator();
+  t.row({"alexnet", "179.9"});
+  const std::string s = t.render("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| lenet"), std::string::npos);
+  EXPECT_NE(s.find("179.9"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, FmtDecimals) {
+  EXPECT_EQ(ConsoleTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ConsoleTable::fmt(-1.0, 1), "-1.0");
+}
+
+TEST(MathUtil, SaturateInt8) {
+  EXPECT_EQ(saturate_int8(300), 127);
+  EXPECT_EQ(saturate_int8(-300), -128);
+  EXPECT_EQ(saturate_int8(5), 5);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+TEST(MathUtil, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_extent(32, 5, 1, 2), 32);
+  EXPECT_EQ(conv_out_extent(32, 2, 2, 0), 16);
+  EXPECT_EQ(conv_out_extent(7, 3, 2, 0), 3);
+}
+
+TEST(MathUtil, NarrowChecksRange) {
+  EXPECT_EQ(narrow<int16_t>(1000), 1000);
+  EXPECT_THROW(narrow<int8_t>(1000), Error);
+}
+
+TEST(ErrorHandling, CheckThrowsWithContext) {
+  try {
+    check(false, "something failed");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("something failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common_util"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ataman

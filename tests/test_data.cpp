@@ -1,0 +1,163 @@
+// SynthCIFAR data substrate: determinism, balance, shape, difficulty
+// knobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/data/patterns.hpp"
+#include "src/data/synth_cifar.hpp"
+
+namespace ataman {
+namespace {
+
+SynthCifarSpec small_spec() {
+  SynthCifarSpec spec;
+  spec.train_images = 200;
+  spec.test_images = 100;
+  return spec;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset ds(ImageShape{4, 4, 3}, 10);
+  std::vector<uint8_t> img(4 * 4 * 3, 7);
+  ds.add(img, 3);
+  EXPECT_EQ(ds.size(), 1);
+  EXPECT_EQ(ds.label(0), 3);
+  EXPECT_EQ(ds.image(0)[0], 7);
+  EXPECT_THROW(ds.label(1), Error);
+  EXPECT_THROW(ds.add(std::vector<uint8_t>(5, 0), 1), Error);
+  EXPECT_THROW(ds.add(img, 10), Error);
+}
+
+TEST(Dataset, ShuffleKeepsImageLabelPairs) {
+  Dataset ds(ImageShape{2, 2, 1}, 4);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<uint8_t> img(4, static_cast<uint8_t>(i * 10));
+    ds.add(img, i);
+  }
+  Rng rng(1);
+  ds.shuffle(rng);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(ds.image(i)[0], static_cast<uint8_t>(ds.label(i) * 10));
+}
+
+TEST(Dataset, HeadSubset) {
+  Dataset ds(ImageShape{2, 2, 1}, 2);
+  for (int i = 0; i < 6; ++i)
+    ds.add(std::vector<uint8_t>(4, static_cast<uint8_t>(i)), i % 2);
+  Dataset h = ds.head(3);
+  EXPECT_EQ(h.size(), 3);
+  EXPECT_EQ(h.image(2)[0], 2);
+}
+
+TEST(SynthCifar, Deterministic) {
+  const Dataset a = make_synth_cifar_split(small_spec(), 50, 1);
+  const Dataset b = make_synth_cifar_split(small_spec(), 50, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    const auto ia = a.image(i), ib = b.image(i);
+    ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+  }
+}
+
+TEST(SynthCifar, DeterministicAcrossThreadCounts) {
+  set_num_threads(1);
+  const Dataset a = make_synth_cifar_split(small_spec(), 40, 1);
+  set_num_threads(8);
+  const Dataset b = make_synth_cifar_split(small_spec(), 40, 1);
+  set_num_threads(0);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    const auto ia = a.image(i), ib = b.image(i);
+    ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+  }
+}
+
+TEST(SynthCifar, SplitsDiffer) {
+  const Dataset train = make_synth_cifar_split(small_spec(), 50, 1);
+  const Dataset test = make_synth_cifar_split(small_spec(), 50, 2);
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto a = train.image(i), b = test.image(i);
+    if (std::equal(a.begin(), a.end(), b.begin())) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(SynthCifar, RoughlyBalancedClasses) {
+  SynthCifarSpec spec = small_spec();
+  spec.label_noise = 0.0f;
+  const Dataset ds = make_synth_cifar_split(spec, 500, 1);
+  const std::vector<int> hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 10u);
+  for (const int h : hist) EXPECT_NEAR(h, 50, 1);
+}
+
+TEST(SynthCifar, LabelNoiseMovesLabels) {
+  SynthCifarSpec clean = small_spec();
+  clean.label_noise = 0.0f;
+  SynthCifarSpec noisy = clean;
+  noisy.label_noise = 0.5f;
+  const Dataset a = make_synth_cifar_split(clean, 400, 1);
+  const Dataset b = make_synth_cifar_split(noisy, 400, 1);
+  // With 50% label noise about 45% of labels differ from the clean run
+  // (noise reassigns uniformly, sometimes to the same class).
+  int diff = 0;
+  for (int i = 0; i < a.size(); ++i)
+    if (a.label(i) != b.label(i)) ++diff;
+  EXPECT_GT(diff, 100);
+}
+
+TEST(SynthCifar, NoiseKnobIncreasesPixelSpread) {
+  SynthCifarSpec lo = small_spec();
+  lo.noise_sigma = 5.0f;
+  SynthCifarSpec hi = small_spec();
+  hi.noise_sigma = 130.0f;
+  const Dataset a = make_synth_cifar_split(lo, 100, 1);
+  const Dataset b = make_synth_cifar_split(hi, 100, 1);
+  EXPECT_LT(a.pixel_stddev() + 15.0, b.pixel_stddev());
+}
+
+TEST(SynthCifar, ClassNames) {
+  for (int i = 0; i < 10; ++i)
+    EXPECT_NE(std::string(synth_cifar_class_name(i)), "");
+  EXPECT_THROW(synth_cifar_class_name(10), Error);
+}
+
+TEST(Patterns, ValuesInUnitRange) {
+  Rng rng(3);
+  for (int f = 0; f < kNumPatternFamilies; ++f) {
+    const PatternParams p = sample_pattern_params(rng);
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        const float v = pattern_value(static_cast<PatternFamily>(f),
+                                      (x + 0.5f) / 8, (y + 0.5f) / 8, p);
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Patterns, FamiliesProduceDistinctTextures) {
+  // Mean absolute difference between two families' images should be
+  // clearly positive (they are different generative processes).
+  Rng rng(4);
+  const PatternParams p = sample_pattern_params(rng);
+  double diff = 0.0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const float u = (x + 0.5f) / 16, v = (y + 0.5f) / 16;
+      diff += std::abs(
+          pattern_value(PatternFamily::kHorizontalStripes, u, v, p) -
+          pattern_value(PatternFamily::kGaussianBlob, u, v, p));
+    }
+  }
+  EXPECT_GT(diff / 256.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ataman

@@ -1,0 +1,93 @@
+// Fixed-point requantization: correctness against double-precision
+// arithmetic and the documented edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/common/fixed_point.hpp"
+#include "src/common/rng.hpp"
+
+namespace ataman {
+namespace {
+
+TEST(QuantizeMultiplier, ZeroEncodesAsZero) {
+  const auto qm = quantize_multiplier(0.0);
+  EXPECT_EQ(qm.mult, 0);
+  EXPECT_EQ(multiply_by_quantized_multiplier(12345, qm), 0);
+}
+
+TEST(QuantizeMultiplier, SignificandInRange) {
+  for (const double m : {1e-6, 0.001, 0.3, 0.5, 0.99, 1.0, 7.5, 1000.0}) {
+    const auto qm = quantize_multiplier(m);
+    EXPECT_GE(qm.mult, 1 << 30) << "m=" << m;
+    EXPECT_LE(static_cast<int64_t>(qm.mult), (1LL << 31) - 1) << "m=" << m;
+  }
+}
+
+TEST(QuantizeMultiplier, RoundingCarryAtPowerOfTwoBoundary) {
+  // 0.5 - eps rounds up to exactly 2^31 internally and must renormalize.
+  const auto qm = quantize_multiplier(std::nextafter(0.5, 0.0));
+  EXPECT_GE(qm.mult, 1 << 30);
+}
+
+TEST(QuantizeMultiplier, NegativeRejected) {
+  EXPECT_THROW(quantize_multiplier(-0.5), Error);
+}
+
+TEST(RoundingDivideByPot, RoundsToNearestHalfAwayFromZero) {
+  // gemmlowp semantics: ties round away from zero.
+  EXPECT_EQ(rounding_divide_by_pot(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(rounding_divide_by_pot(-5, 1), -3);  // -2.5 -> -3
+  EXPECT_EQ(rounding_divide_by_pot(4, 2), 1);
+  EXPECT_EQ(rounding_divide_by_pot(6, 2), 2);    // 1.5 -> 2
+  EXPECT_EQ(rounding_divide_by_pot(-6, 2), -2);  // -1.5 -> -2
+  EXPECT_EQ(rounding_divide_by_pot(7, 2), 2);    // 1.75 -> 2
+  EXPECT_EQ(rounding_divide_by_pot(-7, 2), -2);  // -1.75 -> -2
+  EXPECT_EQ(rounding_divide_by_pot(100, 0), 100);
+}
+
+TEST(SaturatingRoundingDoublingHighMul, OverflowCase) {
+  const int32_t min32 = std::numeric_limits<int32_t>::min();
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(min32, min32),
+            std::numeric_limits<int32_t>::max());
+}
+
+TEST(SaturatingRoundingDoublingHighMul, Identity) {
+  // Multiplying by 2^30 == multiplier 0.5 in Q31 doubling form.
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(1000, 1 << 30), 500);
+}
+
+// Property: integer requantization matches round(x * m) within 1 ULP for
+// a wide range of multipliers and accumulator values.
+class RequantProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RequantProperty, MatchesDoubleArithmetic) {
+  const double m = GetParam();
+  const auto qm = quantize_multiplier(m);
+  Rng rng(static_cast<uint64_t>(m * 1e9) + 17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int32_t x = rng.next_int(-2'000'000, 2'000'000);
+    const int32_t got = multiply_by_quantized_multiplier(x, qm);
+    const double want = std::nearbyint(static_cast<double>(x) * m);
+    EXPECT_NEAR(static_cast<double>(got), want, 1.0)
+        << "x=" << x << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, RequantProperty,
+                         ::testing::Values(1e-5, 3.1e-4, 0.00371, 0.0127,
+                                           0.0625, 0.1, 0.24999, 0.5, 0.75,
+                                           0.999999));
+
+TEST(Requant, TypicalConvMultiplierExactSpotChecks) {
+  // in_scale * w_scale / out_scale of a real layer.
+  const auto qm = quantize_multiplier((1.0 / 255.0) * 0.01 / 0.05);
+  EXPECT_EQ(multiply_by_quantized_multiplier(0, qm), 0);
+  EXPECT_EQ(multiply_by_quantized_multiplier(12750, qm), 10);
+  EXPECT_EQ(multiply_by_quantized_multiplier(-12750, qm), -10);
+}
+
+}  // namespace
+}  // namespace ataman

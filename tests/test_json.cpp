@@ -1,0 +1,95 @@
+// JSON-lite: round trips, parsing edge cases, error behaviour.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/json_lite.hpp"
+
+namespace ataman {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7.5").as_number(), -7.5);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  JsonObject obj;
+  obj.emplace("name", "lenet");
+  obj.emplace("tau", JsonArray{Json(0.001), Json(-1.0), Json(0.05)});
+  obj.emplace("exact", false);
+  obj.emplace("count", 42);
+  JsonObject nested;
+  nested.emplace("x", 1.5);
+  obj.emplace("inner", std::move(nested));
+  const Json j(std::move(obj));
+
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("name").as_string(), "lenet");
+  EXPECT_EQ(back.at("tau").as_array().size(), 3u);
+  EXPECT_EQ(back.at("tau").as_array()[1].as_number(), -1.0);
+  EXPECT_FALSE(back.at("exact").as_bool());
+  EXPECT_EQ(back.at("count").as_int(), 42);
+  EXPECT_EQ(back.at("inner").at("x").as_number(), 1.5);
+}
+
+TEST(Json, PrettyParsesBack) {
+  JsonObject obj;
+  obj.emplace("a", JsonArray{Json(1), Json(2)});
+  obj.emplace("b", "text");
+  const Json j(std::move(obj));
+  const Json back = Json::parse(j.dump_pretty());
+  EXPECT_EQ(back.at("a").as_array()[1].as_int(), 2);
+  EXPECT_EQ(back.at("b").as_string(), "text");
+}
+
+TEST(Json, StringEscapes) {
+  const Json j(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_EQ(Json(JsonArray{}).dump(), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(), "{}");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json j = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, ScientificNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e-3").as_number(), 1e-3);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5E2").as_number(), -250.0);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.as_array(), Error);
+  EXPECT_THROW(j.at("missing"), Error);
+  EXPECT_THROW(j.at("a").as_string(), Error);
+  EXPECT_THROW(Json::parse("1.5").as_int(), Error);
+}
+
+TEST(Json, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+}  // namespace
+}  // namespace ataman

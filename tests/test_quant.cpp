@@ -1,0 +1,171 @@
+// Quantization substrate: affine params, range observer, PTQ of a trained
+// float net, QModel serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/error.hpp"
+#include "src/nn/engine.hpp"
+#include "src/quant/calibrate.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/train/model_zoo.hpp"
+
+namespace ataman {
+namespace {
+
+TEST(QuantParams, RoundTripWithinOneScale) {
+  QuantParams p{0.05f, -10};
+  for (const float v : {-3.0f, -0.07f, 0.0f, 0.55f, 2.9f}) {
+    const int8_t q = p.quantize(v);
+    EXPECT_NEAR(p.dequantize(q), v, p.scale * 0.51f) << v;
+  }
+}
+
+TEST(QuantParams, SaturatesAtInt8Limits) {
+  QuantParams p{0.01f, 0};
+  EXPECT_EQ(p.quantize(100.0f), 127);
+  EXPECT_EQ(p.quantize(-100.0f), -128);
+}
+
+TEST(RangeObserver, MinMaxTracking) {
+  RangeObserver obs;
+  const float data[] = {0.5f, -1.5f, 3.0f, 0.0f};
+  obs.observe(data, 4);
+  EXPECT_FLOAT_EQ(obs.min(), -1.5f);
+  EXPECT_FLOAT_EQ(obs.max(), 3.0f);
+  EXPECT_THROW(RangeObserver().min(), Error);
+}
+
+TEST(RangeObserver, AffineParamsRepresentZeroExactly) {
+  RangeObserver obs;
+  const float data[] = {0.1f, 4.9f};
+  obs.observe(data, 2);
+  const QuantParams p = obs.to_affine_params();
+  // real 0 must map to an exact integer (the zero point).
+  const float recon = p.dequantize(p.quantize(0.0f));
+  EXPECT_FLOAT_EQ(recon, 0.0f);
+  EXPECT_GE(p.zero_point, -128);
+  EXPECT_LE(p.zero_point, 127);
+}
+
+TEST(RangeObserver, SymmetricParams) {
+  RangeObserver obs;
+  const float data[] = {-2.0f, 1.0f};
+  obs.observe(data, 2);
+  const QuantParams p = obs.to_symmetric_params();
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_NEAR(p.scale, 2.0f / 127.0f, 1e-6f);
+}
+
+TEST(RangeObserver, QuantileClippingTrimsOutliers) {
+  RangeObserver clipped(0.01);
+  RangeObserver raw(0.0);
+  Rng rng(5);
+  std::vector<float> data(10000);
+  for (auto& v : data) v = rng.next_normal(0.0f, 1.0f);
+  data[17] = 500.0f;  // gross outlier
+  clipped.observe(data.data(), static_cast<int64_t>(data.size()));
+  raw.observe(data.data(), static_cast<int64_t>(data.size()));
+  const auto [clo, chi] = clipped.clipped_range();
+  const auto [rlo, rhi] = raw.clipped_range();
+  EXPECT_LT(chi, 100.0f);   // outlier clipped away
+  EXPECT_GE(rhi, 499.0f);   // raw keeps it
+  EXPECT_LT(clo, 0.0f);
+  (void)rlo;
+}
+
+TEST(RangeObserver, MergeCoversBothRanges) {
+  RangeObserver a, b;
+  const float da[] = {-1.0f, 0.5f};
+  const float db[] = {0.2f, 7.0f};
+  a.observe(da, 2);
+  b.observe(db, 2);
+  a.merge(b);
+  EXPECT_FLOAT_EQ(a.min(), -1.0f);
+  EXPECT_FLOAT_EQ(a.max(), 7.0f);
+}
+
+class QuantizedMicronet : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ZooSpec spec = micronet_spec();
+    spec.data.train_images = 600;
+    spec.data.test_images = 300;
+    spec.train.epochs = 5;
+    spec.train.lr_decay_at = {4};
+    model_ = new TrainedModel(train_from_scratch(spec, /*verbose=*/false));
+    data_ = new SynthCifar(make_synth_cifar(spec.data));
+    qmodel_ = new QModel(quantize_model(model_->net, data_->train));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    delete qmodel_;
+    model_ = nullptr;
+    data_ = nullptr;
+    qmodel_ = nullptr;
+  }
+  static TrainedModel* model_;
+  static SynthCifar* data_;
+  static QModel* qmodel_;
+};
+
+TrainedModel* QuantizedMicronet::model_ = nullptr;
+SynthCifar* QuantizedMicronet::data_ = nullptr;
+QModel* QuantizedMicronet::qmodel_ = nullptr;
+
+TEST_F(QuantizedMicronet, StructureMatchesFloatNet) {
+  EXPECT_EQ(qmodel_->conv_layer_count(), 2);
+  EXPECT_EQ(qmodel_->layers.size(), 5u);  // conv pool conv pool fc
+  EXPECT_EQ(qmodel_->mac_count(), model_->net.mac_count());
+}
+
+TEST_F(QuantizedMicronet, ReluFoldedIntoConvClamp) {
+  // Both convs are followed by ReLU in micronet: act_min == out zero point.
+  for (const QLayer& layer : qmodel_->layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      EXPECT_EQ(conv->act_min, conv->out.zero_point);
+    }
+  }
+}
+
+TEST_F(QuantizedMicronet, InputParamsAreStandard) {
+  EXPECT_FLOAT_EQ(qmodel_->input.scale, 1.0f / 255.0f);
+  EXPECT_EQ(qmodel_->input.zero_point, -128);
+}
+
+TEST_F(QuantizedMicronet, AccuracyCloseToFloat) {
+  const double qacc = evaluate_quantized_accuracy(*qmodel_, data_->test);
+  const double facc = evaluate_accuracy(model_->net, data_->test);
+  EXPECT_NEAR(qacc, facc, 0.06);
+}
+
+TEST_F(QuantizedMicronet, SaveLoadRoundTripBitExact) {
+  const std::string path = "/tmp/ataman_qm_roundtrip.qm";
+  save_qmodel(*qmodel_, path);
+  const QModel loaded = load_qmodel(path);
+  RefEngine a(qmodel_), b(&loaded);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.run(data_->test.image(i)), b.run(data_->test.image(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(QuantizedMicronet, BiasScaleConsistency) {
+  // Bias is stored at in_scale*w_scale: requant of (bias-only) output must
+  // approximate the float bias in the output scale.
+  for (const QLayer& layer : qmodel_->layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    const double bias_scale =
+        static_cast<double>(conv->in.scale) * conv->w_scale;
+    // Sanity: dequantized bias magnitudes are small (trained with weight
+    // decay; bias real values < 2).
+    for (const int32_t b : conv->bias)
+      EXPECT_LT(std::abs(static_cast<double>(b) * bias_scale), 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace ataman

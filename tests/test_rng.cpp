@@ -1,0 +1,114 @@
+// Deterministic RNG: reproducibility, stream independence, distribution
+// sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ataman {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsIndependentOfParentState) {
+  Rng parent(7);
+  Rng f1 = parent.fork(3);
+  (void)parent.next_u64();  // advancing the parent must not change forks
+  Rng f2 = parent.fork(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ConsecutiveForksDecorrelated) {
+  Rng parent(7);
+  Rng f0 = parent.fork(0);
+  Rng f1 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (f0.next_u64() == f1.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(42);
+  for (const uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(42);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  // And it actually moved things.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(13);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.next_bool(0.2) ? 1 : 0;
+  EXPECT_NEAR(trues / 10000.0, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace ataman

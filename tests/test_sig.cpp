@@ -1,0 +1,259 @@
+// Significance analysis: Eq. (2) correctness, zero-sum rule, skip-set
+// nesting, activation statistics capture.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/sig/act_stats.hpp"
+#include "src/sig/significance.hpp"
+#include "src/sig/skip_plan.hpp"
+#include "tests/test_util.hpp"
+
+namespace ataman {
+namespace {
+
+using testing::make_random_qconv;
+using testing::make_tiny_qmodel;
+
+ConvInputStats constant_stats(int patch, double value) {
+  ConvInputStats s;
+  s.mean_corrected.assign(static_cast<size_t>(patch), value);
+  s.samples = 100;
+  return s;
+}
+
+TEST(Significance, MatchesManualEq2) {
+  ConvGeom g;
+  g.in_h = 3; g.in_w = 3; g.in_c = 1;
+  g.out_c = 1; g.kernel = 1; g.stride = 1; g.pad = 0;  // patch 1? too small
+  g.in_c = 4;  // patch 4
+  QConv2D conv = make_random_qconv(g, 42);
+  conv.weights = {10, -20, 30, -40};
+
+  ConvInputStats stats;
+  stats.mean_corrected = {1.0, 2.0, 3.0, 4.0};
+  stats.samples = 10;
+
+  const LayerSignificance sig = compute_significance(conv, stats);
+  // contributions: 10, -40, 90, -160; sum = -100.
+  EXPECT_NEAR(sig.significance(0, 0), std::abs(10.0 / -100.0), 1e-6);
+  EXPECT_NEAR(sig.significance(0, 1), std::abs(-40.0 / -100.0), 1e-6);
+  EXPECT_NEAR(sig.significance(0, 2), std::abs(90.0 / -100.0), 1e-6);
+  EXPECT_NEAR(sig.significance(0, 3), std::abs(-160.0 / -100.0), 1e-6);
+}
+
+TEST(Significance, SignedContributionsSumToDenominator) {
+  // Internal consistency: sum_i E[a_i] w_i / denom == 1 by construction;
+  // |S_i| loses sign so we recompute with signs from weights.
+  ConvGeom g;
+  g.in_h = 4; g.in_w = 4; g.in_c = 3;
+  g.out_c = 5; g.kernel = 3; g.stride = 1; g.pad = 1;
+  const QConv2D conv = make_random_qconv(g, 43);
+  ConvInputStats stats;
+  Rng rng(44);
+  for (int i = 0; i < g.patch_size(); ++i)
+    stats.mean_corrected.push_back(rng.next_uniform(-5.0f, 50.0f));
+  stats.samples = 10;
+
+  const LayerSignificance sig = compute_significance(conv, stats);
+  for (int oc = 0; oc < g.out_c; ++oc) {
+    double denom = 0.0;
+    for (int i = 0; i < g.patch_size(); ++i)
+      denom += stats.mean_corrected[static_cast<size_t>(i)] *
+               conv.weights[static_cast<size_t>(oc) * g.patch_size() + i];
+    if (denom == 0.0) continue;
+    double signed_sum = 0.0;
+    for (int i = 0; i < g.patch_size(); ++i) {
+      const double contrib =
+          stats.mean_corrected[static_cast<size_t>(i)] *
+          conv.weights[static_cast<size_t>(oc) * g.patch_size() + i];
+      const double s = sig.significance(oc, i);
+      signed_sum += (contrib / denom >= 0 ? s : -s);
+    }
+    EXPECT_NEAR(signed_sum, 1.0, 1e-4) << "channel " << oc;
+  }
+}
+
+TEST(Significance, ZeroSumChannelRetainsEverything) {
+  ConvGeom g;
+  g.in_h = 3; g.in_w = 3; g.in_c = 2;
+  g.out_c = 1; g.kernel = 1; g.stride = 1; g.pad = 0;  // patch 2
+  QConv2D conv = make_random_qconv(g, 45);
+  conv.weights = {5, -5};
+  const auto sig =
+      compute_significance(conv, constant_stats(g.patch_size(), 3.0));
+  EXPECT_TRUE(std::isinf(sig.significance(0, 0)));
+  EXPECT_TRUE(std::isinf(sig.significance(0, 1)));
+
+  // +inf never satisfies S <= tau: no skipping even at huge tau.
+  QModel m;
+  m.name = "zero-sum";
+  m.in_h = 3; m.in_w = 3; m.in_c = 2;
+  m.input = {1.0f / 255.0f, -128};
+  m.layers.emplace_back(conv);
+  const SkipMask mask =
+      make_skip_mask(m, {sig}, ApproxConfig::uniform(1, 1e9));
+  EXPECT_TRUE(mask.empty());
+}
+
+TEST(Significance, AscendingOrderSorted) {
+  ConvGeom g;
+  g.in_h = 5; g.in_w = 5; g.in_c = 4;
+  g.out_c = 3; g.kernel = 3; g.stride = 1; g.pad = 1;
+  const QConv2D conv = make_random_qconv(g, 46);
+  ConvInputStats stats;
+  Rng rng(47);
+  for (int i = 0; i < g.patch_size(); ++i)
+    stats.mean_corrected.push_back(rng.next_uniform(0.0f, 20.0f));
+  stats.samples = 5;
+  const auto sig = compute_significance(conv, stats);
+  for (int oc = 0; oc < g.out_c; ++oc) {
+    const auto& order = sig.ascending[static_cast<size_t>(oc)];
+    ASSERT_EQ(order.size(), static_cast<size_t>(g.patch_size()));
+    for (size_t i = 1; i < order.size(); ++i)
+      EXPECT_LE(sig.significance(oc, static_cast<int>(order[i - 1])),
+                sig.significance(oc, static_cast<int>(order[i])));
+  }
+}
+
+TEST(SkipPlan, NestingInTau) {
+  // tau1 <= tau2 -> skip(tau1) subset of skip(tau2). The property the
+  // whole DSE sweep relies on.
+  const QModel m = make_tiny_qmodel(48);
+  Dataset calib(ImageShape{12, 12, 3}, 10);
+  Rng rng(49);
+  for (int i = 0; i < 24; ++i) {
+    std::vector<uint8_t> img(12 * 12 * 3);
+    for (auto& p : img) p = static_cast<uint8_t>(rng.next_int(0, 255));
+    calib.add(img, rng.next_int(0, 9));
+  }
+  const auto stats = capture_activation_stats(m, calib, 24);
+  const auto sig = compute_model_significance(m, stats);
+
+  const double taus[] = {0.0, 0.001, 0.01, 0.05, 0.1};
+  SkipMask prev;
+  for (const double tau : taus) {
+    const SkipMask cur = make_skip_mask(
+        m, sig, ApproxConfig::uniform(m.conv_layer_count(), tau));
+    if (!prev.conv_masks.empty()) {
+      for (size_t l = 0; l < cur.conv_masks.size(); ++l)
+        for (size_t i = 0; i < cur.conv_masks[l].size(); ++i)
+          EXPECT_LE(prev.conv_masks[l][i], cur.conv_masks[l][i])
+              << "nesting violated at layer " << l << " operand " << i;
+    }
+    prev = cur;
+  }
+}
+
+TEST(SkipPlan, ExactConfigSkipsNothing) {
+  const QModel m = make_tiny_qmodel(50);
+  std::vector<LayerSignificance> sig;
+  int ordinal = 0;
+  for (const QLayer& layer : m.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      sig.push_back(compute_significance(
+          *conv, constant_stats(conv->geom.patch_size(), 1.0)));
+      ++ordinal;
+    }
+  }
+  const SkipMask mask =
+      make_skip_mask(m, sig, ApproxConfig::exact(m.conv_layer_count()));
+  EXPECT_TRUE(mask.empty());
+}
+
+TEST(SkipPlan, PerLayerTauTargetsOnlySelectedLayers) {
+  const QModel m = make_tiny_qmodel(51);
+  std::vector<LayerSignificance> sig;
+  for (const QLayer& layer : m.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer))
+      sig.push_back(compute_significance(
+          *conv, constant_stats(conv->geom.patch_size(), 2.0)));
+  }
+  ApproxConfig cfg = ApproxConfig::exact(2);
+  cfg.tau[1] = 0.05;  // approximate only conv1
+  const SkipMask mask = make_skip_mask(m, sig, cfg);
+  int64_t skipped0 = 0, skipped1 = 0;
+  for (const uint8_t v : mask.conv_masks[0]) skipped0 += v;
+  for (const uint8_t v : mask.conv_masks[1]) skipped1 += v;
+  EXPECT_EQ(skipped0, 0);
+  EXPECT_GT(skipped1, 0);
+}
+
+TEST(ApproxConfig, JsonRoundTrip) {
+  ApproxConfig cfg;
+  cfg.tau = {-1.0, 0.05, 0.001};
+  const ApproxConfig back = ApproxConfig::from_json(
+      Json::parse(cfg.to_json().dump()));
+  ASSERT_EQ(back.tau.size(), 3u);
+  EXPECT_EQ(back.tau[0], -1.0);
+  EXPECT_EQ(back.tau[1], 0.05);
+  EXPECT_EQ(back.tau[2], 0.001);
+  EXPECT_TRUE(cfg.approximates_anything());
+  EXPECT_FALSE(ApproxConfig::exact(3).approximates_anything());
+}
+
+TEST(ActStats, BruteForceAgreementOnFirstConv) {
+  // E[a_i] of conv0 can be computed directly from the quantized input
+  // images (conv0 reads the image itself).
+  const QModel m = make_tiny_qmodel(52);
+  const auto* conv0 = std::get_if<QConv2D>(&m.layers[0]);
+  ASSERT_NE(conv0, nullptr);
+
+  Dataset calib(ImageShape{12, 12, 3}, 10);
+  Rng rng(53);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<uint8_t> img(12 * 12 * 3);
+    for (auto& p : img) p = static_cast<uint8_t>(rng.next_int(0, 255));
+    calib.add(img, 0);
+  }
+  const auto stats = capture_activation_stats(m, calib, 10);
+
+  // Brute force for operand (ky=1,kx=1,c=0): center tap, never padded.
+  const ConvGeom& g = conv0->geom;
+  const int operand = (1 * g.kernel + 1) * g.in_c + 0;
+  double sum = 0.0;
+  int64_t count = 0;
+  for (int img_i = 0; img_i < 10; ++img_i) {
+    const auto img = calib.image(img_i);
+    for (int oy = 0; oy < g.out_h(); ++oy) {
+      for (int ox = 0; ox < g.out_w(); ++ox) {
+        const int iy = oy + 0;  // stride 1, pad 1, ky=1 -> iy = oy
+        const int ix = ox + 0;
+        const int32_t q =
+            static_cast<int32_t>(img[(static_cast<size_t>(iy) * g.in_w + ix) *
+                                     g.in_c]) -
+            128;  // input quantization: pixel - 128
+        sum += q - conv0->in.zero_point;
+        ++count;
+      }
+    }
+  }
+  EXPECT_NEAR(stats[0].mean_corrected[static_cast<size_t>(operand)],
+              sum / static_cast<double>(count), 1e-9);
+}
+
+TEST(ActStats, DeterministicAcrossThreadCounts) {
+  const QModel m = make_tiny_qmodel(54);
+  Dataset calib(ImageShape{12, 12, 3}, 10);
+  Rng rng(55);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<uint8_t> img(12 * 12 * 3);
+    for (auto& p : img) p = static_cast<uint8_t>(rng.next_int(0, 255));
+    calib.add(img, 0);
+  }
+  set_num_threads(1);
+  const auto a = capture_activation_stats(m, calib, 16);
+  set_num_threads(7);
+  const auto b = capture_activation_stats(m, calib, 16);
+  set_num_threads(0);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t l = 0; l < a.size(); ++l) {
+    for (size_t i = 0; i < a[l].mean_corrected.size(); ++i)
+      EXPECT_NEAR(a[l].mean_corrected[i], b[l].mean_corrected[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ataman

@@ -1,0 +1,8 @@
+#include <gtest/gtest.h>
+
+#include "src/common/fixed_point.hpp"
+
+TEST(Smoke, BuildsAndLinks) {
+  const auto qm = ataman::quantize_multiplier(0.5);
+  EXPECT_EQ(ataman::multiply_by_quantized_multiplier(100, qm), 50);
+}

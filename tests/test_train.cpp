@@ -1,0 +1,253 @@
+// Training substrate: GEMM kernels, im2col/col2im, network assembly,
+// optimizer math, end-to-end learning on a tiny problem, model zoo specs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/train/gemm.hpp"
+#include "src/train/im2col.hpp"
+#include "src/train/model_zoo.hpp"
+#include "src/train/network.hpp"
+#include "src/train/optimizer.hpp"
+#include "src/train/trainer.hpp"
+
+namespace ataman {
+namespace {
+
+void naive_gemm(int m, int n, int k, const float* a, const float* b, float* c,
+                bool at, bool bt) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const float av = at ? a[p * m + i] : a[i * k + p];
+        const float bv = bt ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> random_vec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_normal(0.0f, 1.0f);
+  return v;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, AllVariantsMatchNaive) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_vec(static_cast<size_t>(m) * k, 1);
+  const auto b_nn = random_vec(static_cast<size_t>(k) * n, 2);
+  const auto b_nt = random_vec(static_cast<size_t>(n) * k, 3);
+  const auto a_tn = random_vec(static_cast<size_t>(k) * m, 4);
+
+  std::vector<float> got(static_cast<size_t>(m) * n);
+  std::vector<float> want(static_cast<size_t>(m) * n);
+
+  gemm_nn(m, n, k, a.data(), b_nn.data(), got.data(), false);
+  naive_gemm(m, n, k, a.data(), b_nn.data(), want.data(), false, false);
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], 1e-3f) << "nn at " << i;
+
+  gemm_nt(m, n, k, a.data(), b_nt.data(), got.data(), false);
+  naive_gemm(m, n, k, a.data(), b_nt.data(), want.data(), false, true);
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], 1e-3f) << "nt at " << i;
+
+  gemm_tn(m, n, k, a_tn.data(), b_nn.data(), got.data(), false);
+  naive_gemm(m, n, k, a_tn.data(), b_nn.data(), want.data(), true, false);
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], 1e-3f) << "tn at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 4, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 9, 25),
+                      std::make_tuple(3, 32, 17), std::make_tuple(33, 2, 64)));
+
+TEST(Gemm, AccumulateAddsOntoC) {
+  const auto a = random_vec(6, 5);
+  const auto b = random_vec(6, 6);
+  std::vector<float> c(4, 10.0f);
+  gemm_nt(2, 2, 3, a.data(), b.data(), c.data(), true);
+  std::vector<float> fresh(4, 0.0f);
+  gemm_nt(2, 2, 3, a.data(), b.data(), fresh.data(), false);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(c[static_cast<size_t>(i)],
+                fresh[static_cast<size_t>(i)] + 10.0f, 1e-4f);
+}
+
+TEST(Im2Col, AdjointProperty) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining property that makes
+  // the conv backward pass correct.
+  ConvGeom g;
+  g.in_h = 5; g.in_w = 5; g.in_c = 2;
+  g.out_c = 1; g.kernel = 3; g.stride = 2; g.pad = 1;
+  const auto x = random_vec(static_cast<size_t>(g.in_h * g.in_w * g.in_c), 7);
+  const auto y = random_vec(
+      static_cast<size_t>(g.positions() * g.patch_size()), 8);
+
+  std::vector<float> col(y.size());
+  im2col_f32(g, x.data(), col.data());
+  double lhs = 0.0;
+  for (size_t i = 0; i < y.size(); ++i)
+    lhs += static_cast<double>(col[i]) * y[i];
+
+  std::vector<float> xgrad(x.size(), 0.0f);
+  col2im_f32(g, y.data(), xgrad.data());
+  double rhs = 0.0;
+  for (size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i]) * xgrad[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  ConvGeom g;
+  g.in_h = 2; g.in_w = 2; g.in_c = 1;
+  g.out_c = 1; g.kernel = 3; g.stride = 1; g.pad = 1;
+  const std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> col(static_cast<size_t>(g.positions() * g.patch_size()));
+  im2col_f32(g, x.data(), col.data());
+  // Output position (0,0): top-left patch has 5 padding taps.
+  // Patch order (ky,kx,c): taps (0,*) and (*,0) are out of image.
+  EXPECT_EQ(col[0], 0.0f);  // ky=0,kx=0
+  EXPECT_EQ(col[1], 0.0f);  // ky=0,kx=1
+  EXPECT_EQ(col[2], 0.0f);  // ky=0,kx=2
+  EXPECT_EQ(col[3], 0.0f);  // ky=1,kx=0
+  EXPECT_EQ(col[4], 1.0f);  // center = x(0,0)
+}
+
+TEST(Network, ShapeInferenceAndParamCount) {
+  Rng rng(1);
+  const ModelArch arch = micronet_arch();
+  Network net(arch, ImageShape{32, 32, 3}, rng);
+  // conv1 8*(3*3*3)+8, conv2 12*(3*3*8)+12, fc 768*10+10.
+  EXPECT_EQ(net.param_count(), 8 * 27 + 8 + 12 * 72 + 12 + 768 * 10 + 10);
+  FTensor x({2, 32, 32, 3});
+  FTensor y = net.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(Network, MacCountMatchesManualComputation) {
+  Rng rng(1);
+  Network net(micronet_arch(), ImageShape{32, 32, 3}, rng);
+  // conv1: 32*32*8*27, conv2: 16*16*12*72, fc: 768*10
+  EXPECT_EQ(net.mac_count(), 1024 * 8 * 27 + 256 * 12 * 72 + 7680);
+}
+
+TEST(Optimizer, PlainSgdStep) {
+  std::vector<float> w = {1.0f};
+  std::vector<float> g = {0.5f};
+  SgdOptimizer opt({/*lr=*/0.1f, /*momentum=*/0.0f, /*wd=*/0.0f});
+  opt.step({{&w, &g}});
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  std::vector<float> w = {0.0f};
+  std::vector<float> g = {1.0f};
+  SgdOptimizer opt({/*lr=*/0.1f, /*momentum=*/0.9f, /*wd=*/0.0f});
+  opt.step({{&w, &g}});  // v=-0.1, w=-0.1
+  EXPECT_NEAR(w[0], -0.1f, 1e-6f);
+  opt.step({{&w, &g}});  // v=-0.19, w=-0.29
+  EXPECT_NEAR(w[0], -0.29f, 1e-6f);
+}
+
+TEST(Optimizer, WeightDecayPullsTowardZero) {
+  std::vector<float> w = {10.0f};
+  std::vector<float> g = {0.0f};
+  SgdOptimizer opt({/*lr=*/0.1f, /*momentum=*/0.0f, /*wd=*/0.01f});
+  opt.step({{&w, &g}});
+  EXPECT_LT(w[0], 10.0f);
+}
+
+TEST(Trainer, OverfitsTinyDataset) {
+  // 40 easy images, small model: training must reach high accuracy —
+  // the canonical "can it learn at all" smoke test.
+  SynthCifarSpec data_spec;
+  data_spec.train_images = 40;
+  data_spec.test_images = 10;
+  data_spec.noise_sigma = 10.0f;
+  data_spec.distractor_alpha = 0.1f;
+  data_spec.label_noise = 0.0f;
+  const SynthCifar data = make_synth_cifar(data_spec);
+
+  Rng rng(3);
+  Network net(micronet_arch(), data.train.shape(), rng);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 10;
+  cfg.sgd.learning_rate = 0.02f;
+  cfg.lr_decay_at = {20};
+  cfg.verbose = false;
+  const TrainResult result = train_network(net, data.train, data.test, cfg);
+  EXPECT_GE(result.final_train_accuracy, 0.9);
+  EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+}
+
+TEST(ModelZoo, PaperTopologies) {
+  const ModelArch lenet = lenet_arch();
+  EXPECT_EQ(lenet.topology, "3-2-2");
+  EXPECT_EQ(lenet.conv_count(), 3);
+  EXPECT_EQ(lenet.pool_count(), 2);
+  EXPECT_EQ(lenet.dense_count(), 2);
+
+  const ModelArch alexnet = alexnet_arch();
+  EXPECT_EQ(alexnet.topology, "5-2-2");
+  EXPECT_EQ(alexnet.conv_count(), 5);
+  EXPECT_EQ(alexnet.pool_count(), 2);
+  EXPECT_EQ(alexnet.dense_count(), 2);
+}
+
+TEST(ModelZoo, MacCountsMatchPaperTableI) {
+  Rng rng(1);
+  Network lenet(lenet_arch(), ImageShape{}, rng);
+  // Paper: 4.5M; ours within 3%.
+  EXPECT_NEAR(static_cast<double>(lenet.mac_count()), 4.5e6, 0.03 * 4.5e6);
+  Network alexnet(alexnet_arch(), ImageShape{}, rng);
+  // Paper: 16.1M; ours within 6%.
+  EXPECT_NEAR(static_cast<double>(alexnet.mac_count()), 16.1e6,
+              0.06 * 16.1e6);
+}
+
+TEST(ModelZoo, SaveLoadRoundTrip) {
+  SynthCifarSpec tiny;
+  tiny.train_images = 20;
+  tiny.test_images = 10;
+  ZooSpec spec = micronet_spec();
+  spec.data = tiny;
+  spec.train.epochs = 1;
+  TrainedModel m = train_from_scratch(spec, /*verbose=*/false);
+
+  const std::string path = "/tmp/ataman_zoo_roundtrip.atm";
+  save_trained_model(m, path);
+  TrainedModel loaded = load_trained_model(spec, path);
+
+  // Same weights -> same predictions.
+  const SynthCifar data = make_synth_cifar(tiny);
+  std::vector<int> idx = {0, 1, 2, 3};
+  FTensor x = to_float_batch(data.test, idx, 0, idx.size());
+  EXPECT_EQ(m.net.predict(x), loaded.net.predict(x));
+  std::remove(path.c_str());
+}
+
+TEST(ToFloatBatch, NormalizesToUnitInterval) {
+  Dataset ds(ImageShape{2, 2, 1}, 2);
+  ds.add(std::vector<uint8_t>{0, 51, 204, 255}, 0);
+  const std::vector<int> idx = {0};
+  FTensor x = to_float_batch(ds, idx, 0, 1);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.2f);
+  EXPECT_FLOAT_EQ(x[3], 1.0f);
+}
+
+}  // namespace
+}  // namespace ataman

@@ -1,0 +1,191 @@
+// Numerical gradient checks for every trainable layer and the loss head:
+// the correctness backbone of the training substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/train/layers.hpp"
+#include "src/train/softmax_xent.hpp"
+
+namespace ataman {
+namespace {
+
+// Scalar loss used for gradient checking: weighted sum of outputs with
+// fixed pseudo-random weights (exercises all output positions).
+double probe_loss(const FTensor& y, Rng& probe) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i)
+    loss += static_cast<double>(y[i]) * (probe.next_double() - 0.5);
+  return loss;
+}
+
+FTensor probe_grad(const FTensor& y, uint64_t seed) {
+  Rng probe(seed);
+  FTensor g{std::vector<int>(y.shape())};
+  for (int64_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<float>(probe.next_double() - 0.5);
+  return g;
+}
+
+double forward_loss(Layer& layer, const FTensor& x, uint64_t seed) {
+  FTensor y = layer.forward(x, /*train=*/false);
+  Rng probe(seed);
+  return probe_loss(y, probe);
+}
+
+// Central-difference check of input gradients.
+void check_input_gradient(Layer& layer, FTensor x, double tol = 2e-2) {
+  const uint64_t seed = 99;
+  FTensor y = layer.forward(x, /*train=*/true);
+  FTensor dx = layer.backward(probe_grad(y, seed));
+
+  Rng pick(7);
+  const double eps = 1e-3;
+  for (int trial = 0; trial < 24; ++trial) {
+    const int64_t i =
+        static_cast<int64_t>(pick.next_below(static_cast<uint64_t>(x.size())));
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double up = forward_loss(layer, x, seed);
+    x[i] = orig - static_cast<float>(eps);
+    const double down = forward_loss(layer, x, seed);
+    x[i] = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input index " << i;
+  }
+}
+
+// Central-difference check of parameter gradients.
+void check_param_gradient(Layer& layer, const FTensor& x, double tol = 2e-2) {
+  const uint64_t seed = 99;
+  std::vector<ParamRef> params;
+  layer.collect_params(params);
+  ASSERT_FALSE(params.empty());
+  // Gradients accumulate across backward() calls by design; start clean.
+  for (const ParamRef& p : params)
+    std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+
+  FTensor y = layer.forward(x, /*train=*/true);
+  (void)layer.backward(probe_grad(y, seed));
+
+  Rng pick(11);
+  const double eps = 1e-3;
+  for (const ParamRef& p : params) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const size_t i = static_cast<size_t>(pick.next_below(p.value->size()));
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + static_cast<float>(eps);
+      const double up = forward_loss(layer, x, seed);
+      (*p.value)[i] = orig - static_cast<float>(eps);
+      const double down = forward_loss(layer, x, seed);
+      (*p.value)[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param index " << i;
+    }
+  }
+}
+
+FTensor random_input(std::vector<int> shape, uint64_t seed) {
+  Rng rng(seed);
+  FTensor x(std::move(shape));
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = rng.next_normal(0.0f, 1.0f);
+  return x;
+}
+
+TEST(GradCheck, Conv2DInputAndParams) {
+  Rng init(1);
+  ConvGeom g;
+  g.in_h = 6; g.in_w = 6; g.in_c = 3;
+  g.out_c = 4; g.kernel = 3; g.stride = 1; g.pad = 1;
+  Conv2DLayer layer(g, init);
+  const FTensor x = random_input({2, 6, 6, 3}, 5);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, Conv2DStride2NoPad) {
+  Rng init(2);
+  ConvGeom g;
+  g.in_h = 7; g.in_w = 7; g.in_c = 2;
+  g.out_c = 3; g.kernel = 3; g.stride = 2; g.pad = 0;
+  Conv2DLayer layer(g, init);
+  const FTensor x = random_input({2, 7, 7, 2}, 6);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, Conv2DKernel5) {
+  Rng init(3);
+  ConvGeom g;
+  g.in_h = 8; g.in_w = 8; g.in_c = 2;
+  g.out_c = 2; g.kernel = 5; g.stride = 1; g.pad = 2;
+  Conv2DLayer layer(g, init);
+  const FTensor x = random_input({1, 8, 8, 2}, 7);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, Dense) {
+  Rng init(4);
+  DenseLayer layer(12, 5, init);
+  const FTensor x = random_input({3, 12}, 8);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2DLayer layer(2, 2);
+  // Distinct values so argmax is stable under the epsilon probe.
+  FTensor x({2, 4, 4, 3});
+  Rng rng(9);
+  for (int64_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(i % 97) * 0.13f + rng.next_float() * 0.01f;
+  check_input_gradient(layer, x, 3e-2);
+}
+
+TEST(GradCheck, Relu) {
+  ReluLayer layer;
+  FTensor x = random_input({2, 3, 3, 2}, 10);
+  // Keep values away from the kink.
+  for (int64_t i = 0; i < x.size(); ++i)
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.2f;
+  check_input_gradient(layer, x);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(11);
+  FTensor logits({3, 5});
+  for (int64_t i = 0; i < logits.size(); ++i)
+    logits[i] = rng.next_normal(0.0f, 2.0f);
+  const std::vector<int> labels = {1, 4, 0};
+
+  const LossResult base = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    FTensor up = logits, down = logits;
+    up[i] += static_cast<float>(eps);
+    down[i] -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy(up, labels).loss -
+                            softmax_cross_entropy(down, labels).loss) /
+                           (2 * eps);
+    EXPECT_NEAR(base.dlogits[i], numeric, 1e-3) << "logit " << i;
+  }
+}
+
+TEST(GradCheck, SoftmaxProbabilitiesSumToOne) {
+  const std::vector<float> logits = {1.0f, -2.0f, 0.5f, 3.0f};
+  const std::vector<float> p = softmax(logits);
+  double sum = 0.0;
+  for (const float v : p) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ataman

@@ -1,0 +1,128 @@
+// Shared helpers for the test suite: deterministic random quantized
+// layers/models and inputs, so kernel-equivalence and DSE properties can
+// be tested across many shapes without training anything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman::testing {
+
+inline QuantParams random_act_params(Rng& rng) {
+  QuantParams p;
+  p.scale = rng.next_uniform(0.01f, 0.2f);
+  p.zero_point = rng.next_int(-30, 30);
+  return p;
+}
+
+inline QConv2D make_random_qconv(const ConvGeom& geom, uint64_t seed,
+                                 bool folded_relu = false) {
+  Rng rng(seed);
+  QConv2D conv;
+  conv.geom = geom;
+  conv.in = random_act_params(rng);
+  conv.out = random_act_params(rng);
+  conv.w_scale = rng.next_uniform(0.002f, 0.05f);
+  conv.weights.resize(static_cast<size_t>(geom.weight_count()));
+  for (auto& w : conv.weights)
+    w = static_cast<int8_t>(rng.next_int(-127, 127));
+  conv.bias.resize(static_cast<size_t>(geom.out_c));
+  for (auto& b : conv.bias) b = rng.next_int(-4000, 4000);
+  conv.requant = quantize_multiplier(
+      static_cast<double>(conv.in.scale) * conv.w_scale / conv.out.scale);
+  conv.act_min = folded_relu ? conv.out.zero_point : -128;
+  conv.act_max = 127;
+  return conv;
+}
+
+inline QDense make_random_qdense(int in_dim, int out_dim, uint64_t seed) {
+  Rng rng(seed);
+  QDense fc;
+  fc.in_dim = in_dim;
+  fc.out_dim = out_dim;
+  fc.in = random_act_params(rng);
+  fc.out = random_act_params(rng);
+  fc.w_scale = rng.next_uniform(0.002f, 0.05f);
+  fc.weights.resize(static_cast<size_t>(in_dim) * out_dim);
+  for (auto& w : fc.weights)
+    w = static_cast<int8_t>(rng.next_int(-127, 127));
+  fc.bias.resize(static_cast<size_t>(out_dim));
+  for (auto& b : fc.bias) b = rng.next_int(-4000, 4000);
+  fc.requant = quantize_multiplier(
+      static_cast<double>(fc.in.scale) * fc.w_scale / fc.out.scale);
+  return fc;
+}
+
+inline std::vector<int8_t> make_random_input(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int8_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<int8_t>(rng.next_int(-128, 127));
+  return v;
+}
+
+inline std::vector<uint8_t> make_random_image(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<uint8_t>(rng.next_int(0, 255));
+  return v;
+}
+
+// Random skip mask for one conv layer with approximately `density`
+// fraction of operands skipped.
+inline std::vector<uint8_t> make_random_skip(const ConvGeom& geom,
+                                             double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> mask(static_cast<size_t>(geom.weight_count()));
+  for (auto& m : mask) m = rng.next_bool(density) ? 1 : 0;
+  return mask;
+}
+
+// A small but structurally complete model: conv -> pool -> conv(relu) ->
+// fc, with chained quantization params. in: 12x12x3 u8 image.
+inline QModel make_tiny_qmodel(uint64_t seed) {
+  Rng rng(seed);
+  QModel m;
+  m.name = "tiny-test";
+  m.topology = "2-1-1";
+  m.in_h = 12;
+  m.in_w = 12;
+  m.in_c = 3;
+  m.input = {1.0f / 255.0f, -128};
+
+  ConvGeom g1;
+  g1.in_h = 12; g1.in_w = 12; g1.in_c = 3;
+  g1.out_c = 6; g1.kernel = 3; g1.stride = 1; g1.pad = 1;
+  QConv2D c1 = make_random_qconv(g1, seed * 31 + 1, /*folded_relu=*/true);
+  c1.in = m.input;
+  c1.requant = quantize_multiplier(
+      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  c1.act_min = c1.out.zero_point;
+
+  QMaxPool p1;
+  p1.in_h = 12; p1.in_w = 12; p1.channels = 6; p1.kernel = 2; p1.stride = 2;
+
+  ConvGeom g2;
+  g2.in_h = 6; g2.in_w = 6; g2.in_c = 6;
+  g2.out_c = 8; g2.kernel = 3; g2.stride = 1; g2.pad = 1;
+  QConv2D c2 = make_random_qconv(g2, seed * 31 + 2, /*folded_relu=*/true);
+  c2.in = c1.out;
+  c2.requant = quantize_multiplier(
+      static_cast<double>(c2.in.scale) * c2.w_scale / c2.out.scale);
+  c2.act_min = c2.out.zero_point;
+
+  QDense fc = make_random_qdense(6 * 6 * 8, 10, seed * 31 + 3);
+  fc.in = c2.out;
+  fc.requant = quantize_multiplier(
+      static_cast<double>(fc.in.scale) * fc.w_scale / fc.out.scale);
+
+  m.layers.emplace_back(std::move(c1));
+  m.layers.emplace_back(p1);
+  m.layers.emplace_back(std::move(c2));
+  m.layers.emplace_back(std::move(fc));
+  return m;
+}
+
+}  // namespace ataman::testing
