@@ -6,8 +6,8 @@
 // numbers come from the authors' STM32 testbed and their CIFAR-10 models;
 // this reproduction runs the same code paths on the MCU substrate with
 // SynthCIFAR-trained models, so the comparison targets *shape* (who wins,
-// by roughly what factor), not digit-for-digit equality. EXPERIMENTS.md
-// tracks both.
+// by roughly what factor), not digit-for-digit equality. docs/DESIGN.md
+// explains the substitutions.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,53 @@
+# Smoke check run by ctest (label: smoke).
+#
+# Asserts that every tests/test_*.cpp in the source tree produced a linked
+# test executable in the build tree, and that the set of registered test
+# targets matches the set of sources — i.e. no orphan test source can sit
+# in tests/ without being discovered, built, and linked against the
+# `ataman` library by the top-level CMakeLists.txt.
+#
+# Invoked as:
+#   cmake -DSOURCE_DIR=... -DBINARY_DIR=... -DEXPECTED_TARGETS=a;b;c
+#         -P cmake/check_test_manifest.cmake
+
+cmake_minimum_required(VERSION 3.16)
+
+# EXPECTED_TARGETS arrives comma-joined (a raw CMake list would be split
+# into separate argv entries by the ; separators).
+string(REPLACE "," ";" EXPECTED_TARGETS "${EXPECTED_TARGETS}")
+
+file(GLOB test_sources ${SOURCE_DIR}/tests/test_*.cpp)
+
+set(missing "")
+set(source_names "")
+foreach(test_src IN LISTS test_sources)
+  get_filename_component(test_name ${test_src} NAME_WE)
+  list(APPEND source_names ${test_name})
+  if(NOT EXISTS ${BINARY_DIR}/${test_name})
+    list(APPEND missing ${test_name})
+  endif()
+endforeach()
+
+list(LENGTH test_sources n_sources)
+list(LENGTH EXPECTED_TARGETS n_targets)
+
+if(missing)
+  message(FATAL_ERROR
+          "test executables missing from build tree (orphan sources?): "
+          "${missing}")
+endif()
+
+# A source added after the last `cmake` configure would build nothing and
+# silently drop coverage; CONFIGURE_DEPENDS should prevent this, but the
+# manifest is the backstop.
+foreach(name IN LISTS source_names)
+  if(NOT name IN_LIST EXPECTED_TARGETS)
+    message(FATAL_ERROR
+            "tests/${name}.cpp exists but no ctest target was registered "
+            "for it — re-run cmake configure")
+  endif()
+endforeach()
+
+message(STATUS
+        "test manifest OK: ${n_sources} test sources, ${n_targets} linked "
+        "test executables")

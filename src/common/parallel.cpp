@@ -1,6 +1,8 @@
 #include "src/common/parallel.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <atomic>
 #include <exception>
@@ -13,9 +15,17 @@ namespace ataman {
 namespace {
 std::atomic<int> g_thread_override{0};
 
+int default_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;  // toolchain without OpenMP: serial fallback
+#endif
+}
+
 int effective_threads() {
   const int o = g_thread_override.load(std::memory_order_relaxed);
-  return o > 0 ? o : omp_get_max_threads();
+  return o > 0 ? o : default_threads();
 }
 }  // namespace
 
@@ -30,13 +40,17 @@ void parallel_for(int64_t begin, int64_t end,
   if (begin >= end) return;
   std::exception_ptr first_error = nullptr;
   std::atomic<bool> has_error{false};
+#ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 1) num_threads(effective_threads())
+#endif
   for (int64_t i = begin; i < end; ++i) {
     if (has_error.load(std::memory_order_relaxed)) continue;
     try {
       body(i);
     } catch (...) {
+#ifdef _OPENMP
 #pragma omp critical(ataman_parallel_for_error)
+#endif
       {
         if (!first_error) first_error = std::current_exception();
         has_error.store(true, std::memory_order_relaxed);

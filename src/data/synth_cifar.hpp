@@ -24,7 +24,7 @@ struct SynthCifarSpec {
   int test_images = 2000;
   uint64_t seed = 42;
 
-  // Difficulty knobs. Defaults were calibrated (see EXPERIMENTS.md) so the
+  // Difficulty knobs. Defaults were calibrated (see docs/DESIGN.md) so the
   // Table I models land near the paper's ~71% Top-1 band after int8 PTQ.
   float noise_sigma = 140.0f;      // additive Gaussian pixel noise (u8 units)
   float palette_jitter = 0.22f;    // per-instance color palette perturbation

@@ -11,7 +11,7 @@
 // with S_i <= tau are "incorporated", but Eq. (3) *subtracts* exactly
 // those products, and the stated motivation (skip the insignificant) only
 // matches Eq. (3). We follow Eq. (3): products with S_i <= tau are
-// SKIPPED. See DESIGN.md.
+// SKIPPED. See docs/DESIGN.md.
 #pragma once
 
 #include <cstdint>

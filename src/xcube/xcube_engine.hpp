@@ -9,7 +9,7 @@
 // layout (weight compression). The cost constants below were calibrated
 // once against the paper's published LeNet/AlexNet rows (63.5 ms /
 // 150.7 ms; 154 KB / 178 KB) and are otherwise never tuned per
-// experiment; see DESIGN.md for the substitution rationale.
+// experiment; see docs/DESIGN.md for the substitution rationale.
 #pragma once
 
 #include <span>
