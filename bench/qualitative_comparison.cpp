@@ -3,7 +3,7 @@
 // operating points (neither tool is executed in the paper either).
 #include "bench/bench_common.hpp"
 #include "src/baselines/qualitative.hpp"
-#include "src/cmsisnn/cmsis_engine.hpp"
+#include "src/core/engine_iface.hpp"
 
 int main(int argc, char** argv) {
   using namespace ataman;
@@ -55,9 +55,12 @@ int main(int argc, char** argv) {
   const double ours_lenet_ms =
       board.cycles_to_ms(loutcome.results[static_cast<size_t>(lidx)].cycles);
 
-  const CmsisEngine cmsis(&lenet.qmodel);
+  EngineConfig cmsis_cfg;
+  cmsis_cfg.model = &lenet.qmodel;
+  const auto cmsis = EngineRegistry::instance().create("cmsis", cmsis_cfg);
   const MicroTvmModel utvm;
-  const double utvm_ms = board.cycles_to_ms(utvm.cycles(cmsis.total_cycles()));
+  const double utvm_ms =
+      board.cycles_to_ms(utvm.cycles(cmsis->total_cycles()));
   const double utvm_red = 100.0 * (1.0 - ours_lenet_ms / utvm_ms);
   std::printf("uTVM (LeNet)        : %6.1f ms (1.13x CMSIS)\n", utvm_ms);
   std::printf("ours (LeNet, <5%%)   : %6.1f ms  -> %.0f%% speedup vs uTVM"

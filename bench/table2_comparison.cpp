@@ -1,9 +1,9 @@
 // Table II — CMSIS-NN vs X-CUBE-AI vs the proposed framework at three
 // accuracy-loss thresholds (0%, 5%, 10%): Top-1, latency, flash, #MACs,
 // energy. Also prints the §III headline claims (average speedup at 0% and
-// ~10% loss).
+// ~10% loss). Every comparator row is produced through the EngineRegistry
+// — adding a backend adds a Table II column with no wiring here.
 #include "bench/bench_common.hpp"
-#include "src/cmsisnn/cmsis_engine.hpp"
 
 namespace {
 
@@ -54,10 +54,10 @@ std::vector<Row> bench_network(const BenchModel& m, Scale scale,
   const DseOutcome outcome = pipe.explore();
 
   std::vector<Row> rows;
-  rows.push_back({"CMSIS-NN", pipe.deploy_cmsis_baseline(eval_limit),
+  rows.push_back({"CMSIS-NN", pipe.deploy_engine("cmsis", eval_limit),
                   paper_table2(m.name, "cmsis")});
-  rows.push_back(
-      {"X-CUBE-AI", pipe.deploy_xcube(eval_limit), paper_table2(m.name, "xcube")});
+  rows.push_back({"X-CUBE-AI", pipe.deploy_engine("xcube", eval_limit),
+                  paper_table2(m.name, "xcube")});
 
   const double losses[] = {0.0, 0.05, 0.10};
   const char* keys[] = {"ours0", "ours5", "ours10"};

@@ -3,19 +3,21 @@
 //
 // Usage:
 //   ataman_cli [--model lenet|alexnet|micronet] [--loss 0.05]
-//              [--eval-images N] [--tau-step S]
+//              [--eval-images N] [--tau-step S] [--engine NAME]
 //              [--emit out.c] [--json report.json] [--hybrid]
 //
 // Runs: load/train + quantize -> analyze -> DSE -> select at the given
 // accuracy-loss budget -> deploy (vs CMSIS-NN and X-CUBE-AI) -> optional
-// C emission, with a machine-readable JSON report.
+// C emission, with a machine-readable JSON report. `--engine` picks the
+// EngineRegistry backend the selected design is deployed through
+// (default "unpacked"; exact backends ignore the skip mask).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "src/core/ataman.hpp"
+#include "src/core/engine_iface.hpp"
 #include "src/unpack/layer_selection.hpp"
-#include "src/unpack/unpacked_engine.hpp"
 
 namespace {
 
@@ -26,6 +28,7 @@ struct CliArgs {
   double loss = 0.05;
   int eval_images = 400;
   double tau_step = 0.01;
+  std::string engine = "unpacked";
   std::string emit_path;
   std::string json_path;
   bool hybrid = false;
@@ -47,6 +50,8 @@ CliArgs parse_args(int argc, char** argv) {
       args.eval_images = std::stoi(next());
     } else if (a == "--tau-step") {
       args.tau_step = std::stod(next());
+    } else if (a == "--engine") {
+      args.engine = next();
     } else if (a == "--emit") {
       args.emit_path = next();
     } else if (a == "--json") {
@@ -54,10 +59,17 @@ CliArgs parse_args(int argc, char** argv) {
     } else if (a == "--hybrid") {
       args.hybrid = true;
     } else if (a == "--help" || a == "-h") {
+      std::string engines;
+      for (const std::string& n : EngineRegistry::instance().names()) {
+        if (!engines.empty()) engines += "|";
+        engines += n;
+      }
       std::printf(
           "usage: ataman_cli [--model lenet|alexnet|micronet] [--loss F]\n"
-          "                  [--eval-images N] [--tau-step S] [--emit F.c]\n"
-          "                  [--json F.json] [--hybrid]\n");
+          "                  [--eval-images N] [--tau-step S]\n"
+          "                  [--engine %s]\n"
+          "                  [--emit F.c] [--json F.json] [--hybrid]\n",
+          engines.c_str());
       std::exit(0);
     } else {
       fail("unknown argument: " + a);
@@ -82,6 +94,11 @@ Json report_json(const DeployReport& r) {
 
 int main(int argc, char** argv) {
   const CliArgs args = parse_args(argc, argv);
+  // Fail on a bad backend name before minutes of train/analyze/DSE work.
+  check(EngineRegistry::instance().contains(args.engine),
+        "unknown --engine '" + args.engine + "' (see --help)");
+  check(!args.hybrid || args.engine == "unpacked",
+        "--hybrid requires --engine unpacked");
 
   const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
                        : args.model == "alexnet" ? alexnet_spec()
@@ -105,20 +122,32 @@ int main(int argc, char** argv) {
   const DseResult& chosen = outcome.results[static_cast<size_t>(idx)];
   std::printf("[cli] selected %s\n", chosen.config.to_string().c_str());
 
-  const DeployReport cmsis = pipeline.deploy_cmsis_baseline(args.eval_images);
-  const DeployReport xcube = pipeline.deploy_xcube(args.eval_images);
+  const DeployReport cmsis = pipeline.deploy_engine("cmsis", args.eval_images);
+  const DeployReport xcube = pipeline.deploy_engine("xcube", args.eval_images);
   DeployReport ours;
-  const SkipMask mask = pipeline.mask_for(chosen.config);
   if (args.hybrid) {
+    const SkipMask mask = pipeline.mask_for(chosen.config);
     const HybridPlan plan = select_layers_to_unpack(
         model, mask, pipeline.options().board.flash_bytes);
     const std::vector<uint8_t> selection = plan.unpack_selection();
-    const UnpackedEngine engine(&model, &mask, pipeline.options().costs,
-                                pipeline.options().memory, &selection);
-    ours = engine.deploy(data.test, pipeline.options().board,
-                         args.eval_images, "ataman-hybrid");
+    EngineConfig cfg;
+    cfg.model = &model;
+    cfg.mask = &mask;
+    cfg.unpack_selection = &selection;
+    cfg.costs = pipeline.options().costs;
+    cfg.memory = pipeline.options().memory;
+    cfg.design_name = "ataman-hybrid";
+    const auto engine = EngineRegistry::instance().create("unpacked", cfg);
+    ours = engine->deploy(data.test, pipeline.options().board,
+                          args.eval_images);
   } else {
-    ours = pipeline.deploy(chosen.config, "ataman", args.eval_images);
+    // Deploy the chosen design through the requested backend. Mask-aware
+    // backends (unpacked, ref) execute the approximate design; exact
+    // backends (cmsis, xcube) ignore the mask and report their exact
+    // operating point.
+    ours = pipeline.deploy_engine(
+        args.engine, args.eval_images, &chosen.config,
+        args.engine == "unpacked" ? "ataman" : "");
   }
 
   for (const DeployReport* r :

@@ -41,9 +41,10 @@ int main() {
               outcome.results.size(), outcome.pareto.size(),
               outcome.exact_accuracy);
 
-  // --- 5: select + deploy.
+  // --- 5: select + deploy. Comparators come from the EngineRegistry
+  // ("cmsis", "xcube", ... — any registered backend works here).
   std::printf("== step 5: select (5%% budget) + deploy on STM32U575 model\n");
-  const DeployReport baseline = pipeline.deploy_cmsis_baseline();
+  const DeployReport baseline = pipeline.deploy_engine("cmsis");
   const int chosen = pipeline.select(outcome, /*max_accuracy_loss=*/0.05);
   check(chosen >= 0, "no design met the 5% budget");
   const ApproxConfig config =

@@ -1,22 +1,16 @@
 #include "src/cmsisnn/cmsis_engine.hpp"
 
-#include <algorithm>
-#include <atomic>
-
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
 #include "src/nn/qkernels_ref.hpp"
 
 namespace ataman {
 
 CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
                          MemoryCostTable memory)
-    : model_(model), costs_(costs), memory_(memory) {
-  check(model != nullptr, "engine needs a model");
-
+    : InferenceEngine(model, "cmsis-nn"), costs_(costs), memory_(memory) {
   int out_dim = 0;
   double cycles = 0.0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : this->model().layers) {
     cycles += costs_.layer_dispatch;
     profile_.push_back({"dispatch",
                         static_cast<int64_t>(costs_.layer_dispatch), 0});
@@ -47,18 +41,10 @@ CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
 }
 
 std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
-  const int64_t expected =
-      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
-  check(static_cast<int64_t>(image.size()) == expected,
-        "input image size mismatch");
-
-  std::vector<int8_t> cur(image.size());
-  for (size_t i = 0; i < image.size(); ++i)
-    cur[i] = model_->input.quantize(static_cast<float>(image[i]) / 255.0f);
-
+  std::vector<int8_t> cur = quantize_input(image);
   std::vector<int8_t> next;
   size_t packed_idx = 0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : model().layers) {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       next.assign(
           static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
@@ -77,34 +63,12 @@ std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
   return cur;
 }
 
-int CmsisEngine::classify(std::span<const uint8_t> image) const {
-  const std::vector<int8_t> logits = run(image);
-  return static_cast<int>(
-      std::max_element(logits.begin(), logits.end()) - logits.begin());
+int64_t CmsisEngine::flash_bytes() const {
+  return packed_flash(model(), memory_).total_bytes;
 }
 
-DeployReport CmsisEngine::deploy(const Dataset& eval, const BoardSpec& board,
-                                 int limit) const {
-  const int n = limit < 0 ? eval.size() : std::min(limit, eval.size());
-  check(n > 0, "no images to evaluate");
-  std::atomic<int> correct{0};
-  parallel_for(0, n, [&](int64_t i) {
-    if (classify(eval.image(static_cast<int>(i))) ==
-        eval.label(static_cast<int>(i)))
-      correct.fetch_add(1, std::memory_order_relaxed);
-  });
-
-  DeployReport r;
-  r.design = "cmsis-nn";
-  r.network = model_->name;
-  r.top1_accuracy = static_cast<double>(correct.load()) / n;
-  r.cycles = total_cycles_;
-  r.mac_ops = model_->mac_count();
-  r.flash_bytes = packed_flash(*model_, memory_).total_bytes;
-  r.ram_bytes = model_ram_bytes(*model_, /*packed_engine=*/true, memory_);
-  r.per_layer = profile_;
-  r.finalize(board);
-  return r;
+int64_t CmsisEngine::ram_bytes() const {
+  return model_ram_bytes(model(), /*packed_engine=*/true, memory_);
 }
 
 }  // namespace ataman

@@ -12,36 +12,29 @@
 #include <vector>
 
 #include "src/cmsisnn/packed_kernels.hpp"
-#include "src/data/dataset.hpp"
-#include "src/mcu/board.hpp"
+#include "src/core/engine_iface.hpp"
 #include "src/mcu/cost_model.hpp"
-#include "src/mcu/deploy_report.hpp"
 #include "src/mcu/memory_model.hpp"
 #include "src/quant/qtypes.hpp"
 
 namespace ataman {
 
-class CmsisEngine {
+class CmsisEngine : public InferenceEngine {
  public:
   explicit CmsisEngine(const QModel* model, CortexM33CostTable costs = {},
                        MemoryCostTable memory = {});
 
-  std::vector<int8_t> run(std::span<const uint8_t> image) const;
-  int classify(std::span<const uint8_t> image) const;
+  std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
   // Structure-derived metrics (no execution needed).
-  int64_t total_cycles() const { return total_cycles_; }
-  const std::vector<LayerProfile>& layer_profile() const { return profile_; }
-
-  // Full deployment report; accuracy is measured on `eval` (up to `limit`
-  // images, all if < 0).
-  DeployReport deploy(const Dataset& eval, const BoardSpec& board,
-                      int limit = -1) const;
-
-  const QModel& model() const { return *model_; }
+  int64_t total_cycles() const override { return total_cycles_; }
+  const std::vector<LayerProfile>& layer_profile() const override {
+    return profile_;
+  }
+  int64_t flash_bytes() const override;
+  int64_t ram_bytes() const override;
 
  private:
-  const QModel* model_;
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
   std::vector<PackedWeights> packed_;  // conv + fc, in layer order

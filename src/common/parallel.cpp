@@ -15,6 +15,15 @@ namespace ataman {
 namespace {
 std::atomic<int> g_thread_override{0};
 
+// Depth of parallel_for* bodies on the calling thread; > 0 means any
+// further parallel_for* must run serially (see the header's nesting rule).
+thread_local int t_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++t_region_depth; }
+  ~RegionGuard() { --t_region_depth; }
+};
+
 int default_threads() {
 #ifdef _OPENMP
   return omp_get_max_threads();
@@ -24,12 +33,15 @@ int default_threads() {
 }
 
 int effective_threads() {
+  if (t_region_depth > 0) return 1;  // nested: never spawn a second team
   const int o = g_thread_override.load(std::memory_order_relaxed);
   return o > 0 ? o : default_threads();
 }
 }  // namespace
 
 int num_threads() { return effective_threads(); }
+
+bool in_parallel_region() { return t_region_depth > 0; }
 
 void set_num_threads(int n) {
   g_thread_override.store(n, std::memory_order_relaxed);
@@ -38,6 +50,13 @@ void set_num_threads(int n) {
 void parallel_for(int64_t begin, int64_t end,
                   const std::function<void(int64_t)>& body) {
   if (begin >= end) return;
+  if (effective_threads() <= 1) {
+    // Serial path: single thread requested, or we are nested inside an
+    // enclosing parallel_for body. Exceptions propagate directly.
+    const RegionGuard guard;
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   std::exception_ptr first_error = nullptr;
   std::atomic<bool> has_error{false};
 #ifdef _OPENMP
@@ -45,6 +64,7 @@ void parallel_for(int64_t begin, int64_t end,
 #endif
   for (int64_t i = begin; i < end; ++i) {
     if (has_error.load(std::memory_order_relaxed)) continue;
+    const RegionGuard guard;
     try {
       body(i);
     } catch (...) {

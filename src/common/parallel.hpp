@@ -5,6 +5,16 @@
 // control lives in one place. Results must not depend on the thread count:
 // callers either write to disjoint slots or reduce with order-insensitive
 // (integer) arithmetic.
+//
+// Nested-parallelism rule: a parallel_for* call issued from inside the
+// body of another parallel_for* runs serially on the calling worker —
+// nested OpenMP teams are never created. This is what keeps the DSE sane:
+// the sweep parallelizes over configs while each config's accuracy
+// evaluation loops over images; without the rule that would oversubscribe
+// threads² workers. Inner loops therefore need no "am I nested?" plumbing
+// of their own — they just call parallel_for and get a serial loop when
+// appropriate. `in_parallel_region()` exposes the detection, and
+// `num_threads()` reports 1 inside a region.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +24,12 @@ namespace ataman {
 
 // Number of worker threads the wrappers will use (OpenMP default unless
 // overridden via set_num_threads or the OMP_NUM_THREADS environment).
+// Returns 1 from inside a parallel_for* body (see the nesting rule above).
 int num_threads();
+
+// True while the calling thread is executing a parallel_for* body; any
+// parallel_for* issued in that state runs serially on the caller.
+bool in_parallel_region();
 
 // Override the worker count for subsequent parallel_for calls; n <= 0
 // restores the OpenMP default.

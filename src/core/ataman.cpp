@@ -1,11 +1,11 @@
 #include "src/core/ataman.hpp"
 
 #include <functional>
+#include <optional>
 #include <sstream>
 
-#include "src/cmsisnn/cmsis_engine.hpp"
 #include "src/common/serialize.hpp"
-#include "src/unpack/unpacked_engine.hpp"
+#include "src/core/engine_iface.hpp"
 
 namespace ataman {
 
@@ -64,20 +64,34 @@ SkipMask AtamanPipeline::mask_for(const ApproxConfig& config) const {
 DeployReport AtamanPipeline::deploy(const ApproxConfig& config,
                                     const std::string& name,
                                     int eval_limit) const {
-  const SkipMask mask = mask_for(config);
-  const UnpackedEngine engine(model_, &mask, options_.costs,
-                              options_.memory);
-  return engine.deploy(*eval_, options_.board, eval_limit, name);
+  return deploy_engine("unpacked", eval_limit, &config, name);
+}
+
+DeployReport AtamanPipeline::deploy_engine(const std::string& engine_name,
+                                           int eval_limit,
+                                           const ApproxConfig* config,
+                                           const std::string& design_name) const {
+  std::optional<SkipMask> mask;
+  EngineConfig cfg;
+  cfg.model = model_;
+  cfg.costs = options_.costs;
+  cfg.memory = options_.memory;
+  cfg.xcube = &options_.xcube;
+  cfg.design_name = design_name;
+  if (config != nullptr) {
+    mask.emplace(mask_for(*config));
+    cfg.mask = &*mask;
+  }
+  const auto engine = EngineRegistry::instance().create(engine_name, cfg);
+  return engine->deploy(*eval_, options_.board, eval_limit);
 }
 
 DeployReport AtamanPipeline::deploy_cmsis_baseline(int eval_limit) const {
-  const CmsisEngine engine(model_, options_.costs, options_.memory);
-  return engine.deploy(*eval_, options_.board, eval_limit);
+  return deploy_engine("cmsis", eval_limit);
 }
 
 DeployReport AtamanPipeline::deploy_xcube(int eval_limit) const {
-  const XCubeEngine engine(model_, options_.xcube);
-  return engine.deploy(*eval_, options_.board, eval_limit);
+  return deploy_engine("xcube", eval_limit);
 }
 
 std::string AtamanPipeline::generate_code(const ApproxConfig& config,

@@ -62,6 +62,16 @@ class AtamanPipeline {
   // full Table II row. `eval_limit` < 0 evaluates the whole eval set.
   DeployReport deploy(const ApproxConfig& config, const std::string& name,
                       int eval_limit = -1) const;
+
+  // Deploy any EngineRegistry backend ("ref", "cmsis", "unpacked",
+  // "xcube", or anything registered at startup) on the eval set. When
+  // `config` is given, its skip mask is bound for mask-aware engines
+  // (exact engines ignore it). This is the one deployment path — the
+  // named comparators below are thin wrappers.
+  DeployReport deploy_engine(const std::string& engine_name,
+                             int eval_limit = -1,
+                             const ApproxConfig* config = nullptr,
+                             const std::string& design_name = "") const;
   // Comparators.
   DeployReport deploy_cmsis_baseline(int eval_limit = -1) const;
   DeployReport deploy_xcube(int eval_limit = -1) const;

@@ -1,0 +1,111 @@
+#include "src/core/engine_iface.hpp"
+
+#include "src/cmsisnn/cmsis_engine.hpp"
+#include "src/core/eval.hpp"
+#include "src/nn/engine.hpp"
+#include "src/unpack/unpacked_engine.hpp"
+#include "src/xcube/xcube_engine.hpp"
+
+namespace ataman {
+
+std::vector<int8_t> InferenceEngine::quantize_input(
+    std::span<const uint8_t> image) const {
+  const QModel& m = model();
+  const int64_t expected =
+      static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+  check(static_cast<int64_t>(image.size()) == expected,
+        "input image size mismatch");
+  std::vector<int8_t> q(image.size());
+  for (size_t i = 0; i < image.size(); ++i) {
+    // input scale is 1/255 with zero_point -128: q = pixel - 128 exactly.
+    const float real = static_cast<float>(image[i]) / 255.0f;
+    q[i] = m.input.quantize(real);
+  }
+  return q;
+}
+
+int InferenceEngine::classify(std::span<const uint8_t> image) const {
+  return argmax_lowest_index(run(image));
+}
+
+const std::vector<LayerProfile>& InferenceEngine::layer_profile() const {
+  static const std::vector<LayerProfile> kEmpty;
+  return kEmpty;
+}
+
+DeployReport InferenceEngine::deploy(const Dataset& eval,
+                                     const BoardSpec& board,
+                                     int limit) const {
+  return assemble_deploy_report(*this, eval, board, limit);
+}
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+EngineRegistry::EngineRegistry() {
+  factories_["ref"] = [](const EngineConfig& cfg) {
+    auto engine = std::make_unique<RefEngine>(cfg.model);
+    engine->bind_mask(cfg.mask);
+    return engine;
+  };
+  factories_["cmsis"] = [](const EngineConfig& cfg) {
+    return std::make_unique<CmsisEngine>(cfg.model, cfg.costs, cfg.memory);
+  };
+  factories_["unpacked"] = [](const EngineConfig& cfg) {
+    return std::make_unique<UnpackedEngine>(cfg.model, cfg.mask, cfg.costs,
+                                            cfg.memory, cfg.unpack_selection);
+  };
+  factories_["xcube"] = [](const EngineConfig& cfg) {
+    return std::make_unique<XCubeEngine>(
+        cfg.model, cfg.xcube != nullptr ? *cfg.xcube : XCubeCostTable{});
+  };
+}
+
+void EngineRegistry::register_engine(const std::string& name,
+                                     Factory factory) {
+  check(!name.empty(), "engine name must be non-empty");
+  check(factory != nullptr, "engine factory must be callable");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration order is already sorted
+}
+
+std::unique_ptr<InferenceEngine> EngineRegistry::create(
+    const std::string& name, const EngineConfig& config) const {
+  check(config.model != nullptr, "EngineConfig.model must be set");
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    fail("unknown engine '" + name + "' (registered: " + known + ")");
+  }
+  std::unique_ptr<InferenceEngine> engine = factory(config);
+  check(engine != nullptr, "engine factory for '" + name + "' returned null");
+  if (!config.design_name.empty())
+    engine->set_design_name(config.design_name);
+  return engine;
+}
+
+}  // namespace ataman

@@ -1,0 +1,147 @@
+// The one inference-engine seam of the repo.
+//
+// Every backend — the golden reference kernels (`src/nn`), the packed
+// CMSIS-NN-style baseline (`src/cmsisnn`), the paper's unpacked
+// approximate engine (`src/unpack`) and the X-CUBE-AI comparator
+// (`src/xcube`) — implements `InferenceEngine` and registers a factory
+// with `EngineRegistry`. Evaluation loops (the DSE, the Table II bench,
+// the CLI) only ever talk to this interface, so adding a backend is a
+// single registration, not a new wiring job per call site.
+//
+// Cost semantics: `total_cycles`/`flash_bytes`/`ram_bytes` describe the
+// *modeled MCU deployment* of the engine's instruction stream. An engine
+// with no deployment substrate (the reference oracle) reports zero for
+// all three; report consumers treat zeros as "not modeled".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/data/dataset.hpp"
+#include "src/mcu/board.hpp"
+#include "src/mcu/cost_model.hpp"
+#include "src/mcu/deploy_report.hpp"
+#include "src/mcu/memory_model.hpp"
+#include "src/quant/qtypes.hpp"
+
+namespace ataman {
+
+struct SkipMask;
+struct XCubeCostTable;
+
+// Lowest-index-wins argmax over int8 logits. Ties between logits are
+// common at int8 precision; every `classify` implementation (and any
+// generated code) must break them identically — towards the lowest class
+// index — for "bit-exact with the reference engine" to hold on ties.
+inline int argmax_lowest_index(std::span<const int8_t> logits) {
+  check(!logits.empty(), "argmax over empty logits");
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(logits.size()); ++i) {
+    if (logits[i] > logits[best]) best = i;  // strict '>': ties keep lowest
+  }
+  return best;
+}
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  const QModel& model() const { return *model_; }
+
+  // Report label for DeployReport::design (e.g. "cmsis-nn", "ataman").
+  const std::string& design_name() const { return design_name_; }
+  void set_design_name(std::string name) { design_name_ = std::move(name); }
+
+  // Quantize a u8 image into the model's int8 input tensor. Identical for
+  // every backend (q = pixel - 128 for the standard [0,1] input scale).
+  std::vector<int8_t> quantize_input(std::span<const uint8_t> image) const;
+
+  // Full inference; returns the final layer's int8 logits.
+  virtual std::vector<int8_t> run(std::span<const uint8_t> image) const = 0;
+
+  // Top-1 class; ties broken lowest-index-wins (argmax_lowest_index).
+  virtual int classify(std::span<const uint8_t> image) const;
+
+  // Modeled deployment cost of one inference (0 = not modeled).
+  virtual int64_t total_cycles() const = 0;
+
+  // Per-layer cycle/MAC breakdown (empty when the engine does not profile).
+  virtual const std::vector<LayerProfile>& layer_profile() const;
+
+  // Executed (non-skipped) conv + fc MACs per inference.
+  virtual int64_t mac_ops() const { return model().mac_count(); }
+
+  // Modeled deployment footprint (0 = not modeled).
+  virtual int64_t flash_bytes() const { return 0; }
+  virtual int64_t ram_bytes() const { return 0; }
+
+  // Full Table II row: accuracy measured on `eval` (up to `limit` images,
+  // all if < 0) through the shared batched evaluator in src/core/eval,
+  // cost columns from the virtual accessors above.
+  virtual DeployReport deploy(const Dataset& eval, const BoardSpec& board,
+                              int limit = -1) const;
+
+ protected:
+  InferenceEngine(const QModel* model, std::string design_name)
+      : model_(model), design_name_(std::move(design_name)) {
+    check(model != nullptr, "engine needs a model");
+    check(!model->layers.empty(), "model has no layers");
+  }
+
+ private:
+  const QModel* model_;
+  std::string design_name_;
+};
+
+// Everything a factory may need to build any registered backend. Fields a
+// backend does not understand are ignored (e.g. `mask` by the exact packed
+// engines); `model` is mandatory.
+struct EngineConfig {
+  const QModel* model = nullptr;
+  // Skip mask for mask-aware engines (ref, unpacked). Must outlive the
+  // engine.
+  const SkipMask* mask = nullptr;
+  // Per-conv-ordinal hybrid selection (unpacked only; see
+  // src/unpack/layer_selection.hpp). Must outlive the engine.
+  const std::vector<uint8_t>* unpack_selection = nullptr;
+  CortexM33CostTable costs{};
+  MemoryCostTable memory{};
+  const XCubeCostTable* xcube = nullptr;  // nullptr -> default table
+  std::string design_name;                // empty -> engine default
+};
+
+// String-keyed engine factory. The four in-tree backends self-register as
+// "ref", "cmsis", "unpacked" and "xcube"; out-of-tree backends register at
+// startup with register_engine. Thread-safe: create() may be called from
+// inside parallel regions (the DSE does).
+class EngineRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<InferenceEngine>(const EngineConfig&)>;
+
+  static EngineRegistry& instance();
+
+  // Registers (or replaces) a factory under `name`.
+  void register_engine(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;  // sorted
+
+  // Builds `name` from `config`; throws on unknown names or a null model.
+  std::unique_ptr<InferenceEngine> create(const std::string& name,
+                                          const EngineConfig& config) const;
+
+ private:
+  EngineRegistry();  // pre-registers the four in-tree backends
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace ataman

@@ -1,0 +1,64 @@
+#include "src/core/eval.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+
+namespace ataman {
+
+int clamp_eval_limit(int limit, int dataset_size) {
+  const int n = limit < 0 ? dataset_size : std::min(limit, dataset_size);
+  check(n > 0, "no images to evaluate (limit=" + std::to_string(limit) +
+                   ", dataset=" + std::to_string(dataset_size) + ")");
+  return n;
+}
+
+BatchAccuracy evaluate_batch(const ClassifyFn& classify, const Dataset& ds,
+                             int limit) {
+  const int n = clamp_eval_limit(limit, ds.size());
+  // Disjoint per-image slots + a serial index-order sum: the reduction is
+  // bitwise identical for any worker count (and for the serial fallback
+  // taken inside an enclosing parallel region).
+  std::vector<uint8_t> hit(static_cast<size_t>(n), 0);
+  parallel_for_chunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int idx = static_cast<int>(i);
+      hit[static_cast<size_t>(i)] =
+          classify(ds.image(idx)) == ds.label(idx) ? 1 : 0;
+    }
+  });
+  BatchAccuracy acc;
+  acc.images = n;
+  for (const uint8_t h : hit) acc.correct += h;
+  acc.top1 = static_cast<double>(acc.correct) / static_cast<double>(n);
+  return acc;
+}
+
+BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
+                             int limit) {
+  return evaluate_batch(
+      [&engine](std::span<const uint8_t> image) {
+        return engine.classify(image);
+      },
+      ds, limit);
+}
+
+DeployReport assemble_deploy_report(const InferenceEngine& engine,
+                                    const Dataset& eval,
+                                    const BoardSpec& board, int limit) {
+  const BatchAccuracy acc = evaluate_batch(engine, eval, limit);
+  DeployReport r;
+  r.design = engine.design_name();
+  r.network = engine.model().name;
+  r.top1_accuracy = acc.top1;
+  r.cycles = engine.total_cycles();
+  r.mac_ops = engine.mac_ops();
+  r.flash_bytes = engine.flash_bytes();
+  r.ram_bytes = engine.ram_bytes();
+  r.per_layer = engine.layer_profile();
+  r.finalize(board);
+  return r;
+}
+
+}  // namespace ataman

@@ -1,0 +1,56 @@
+// Shared batched accuracy evaluation and DeployReport assembly.
+//
+// Before this existed, every engine carried its own copy of "parallel
+// loop over eval images, count argmax hits, fill a DeployReport" — four
+// slightly different implementations with slightly different limit
+// clamping. All accuracy measurement in the repo now funnels through
+// evaluate_batch: chunked over images (`parallel_for_chunked`), safe
+// under an enclosing parallel region (the DSE sweeps configs in
+// parallel; the inner image loop then runs serially instead of spawning
+// threads² workers), and reduced deterministically (per-image hit flags
+// summed in index order, so the result is bitwise identical for any
+// thread count).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/core/engine_iface.hpp"
+#include "src/data/dataset.hpp"
+#include "src/mcu/board.hpp"
+#include "src/mcu/deploy_report.hpp"
+
+namespace ataman {
+
+// Canonical eval-count clamp, shared by every accuracy path:
+//   limit < 0            -> the whole dataset
+//   limit > dataset_size -> the whole dataset
+//   otherwise            -> limit
+// Throws ("no images to evaluate") when the clamped count is zero —
+// i.e. limit == 0 or an empty dataset — so no caller can divide by zero.
+int clamp_eval_limit(int limit, int dataset_size);
+
+struct BatchAccuracy {
+  int images = 0;   // evaluated image count (after clamping)
+  int correct = 0;  // argmax == label count
+  double top1 = 0.0;
+};
+
+using ClassifyFn = std::function<int(std::span<const uint8_t>)>;
+
+// Top-1 accuracy of `classify` over up to `limit` images of `ds`.
+BatchAccuracy evaluate_batch(const ClassifyFn& classify, const Dataset& ds,
+                             int limit = -1);
+
+// Convenience overload for any InferenceEngine.
+BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
+                             int limit = -1);
+
+// One Table II row: measured accuracy plus the engine's modeled cost
+// columns, finalized against `board`. This is the single DeployReport
+// assembly point — InferenceEngine::deploy delegates here.
+DeployReport assemble_deploy_report(const InferenceEngine& engine,
+                                    const Dataset& eval,
+                                    const BoardSpec& board, int limit = -1);
+
+}  // namespace ataman

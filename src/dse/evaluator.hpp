@@ -1,10 +1,12 @@
 // Per-configuration evaluation: classification accuracy via masked
-// reference inference (numerically identical to running the skipped
-// unpacked code) plus the static deployment metrics (retained MACs,
-// predicted cycles, flash) from the MCU models.
+// inference through a registry-selected backend (default "ref" — running
+// the masked reference model is numerically identical to running the
+// skipped unpacked code) plus the static deployment metrics (retained
+// MACs, predicted cycles, flash) from the MCU models.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/data/dataset.hpp"
@@ -38,11 +40,14 @@ UnpackStats compute_unpack_stats(const QModel& model, const SkipMask& mask);
 class ConfigEvaluator {
  public:
   // `eval` must outlive the evaluator. `eval_images` caps accuracy
-  // evaluation (-1 = all).
+  // evaluation (-1 = all). `accuracy_engine` is the EngineRegistry name of
+  // the backend accuracy is measured through; any exact (bit-exact with
+  // the reference) backend gives identical sweeps.
   ConfigEvaluator(const QModel* model,
                   const std::vector<LayerSignificance>* significance,
                   const Dataset* eval, int eval_images,
-                  CortexM33CostTable costs = {}, MemoryCostTable memory = {});
+                  CortexM33CostTable costs = {}, MemoryCostTable memory = {},
+                  std::string accuracy_engine = "ref");
 
   DseResult evaluate(const ApproxConfig& config) const;
 
@@ -57,6 +62,7 @@ class ConfigEvaluator {
   int eval_images_;
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
+  std::string accuracy_engine_;
   int64_t baseline_cycles_ = 0;
   int64_t conv_total_macs_ = 0;
   int64_t fc_total_macs_ = 0;

@@ -1,42 +1,31 @@
 #include "src/nn/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 
-#include "src/common/parallel.hpp"
+#include "src/core/eval.hpp"
 #include "src/nn/qkernels_ref.hpp"
 
 namespace ataman {
 
-RefEngine::RefEngine(const QModel* model) : model_(model) {
-  check(model != nullptr, "engine needs a model");
-  check(!model->layers.empty(), "model has no layers");
+RefEngine::RefEngine(const QModel* model) : InferenceEngine(model, "ref") {}
+
+std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image) const {
+  return run(image, default_mask_);
 }
 
-std::vector<int8_t> RefEngine::quantize_input(
-    std::span<const uint8_t> image) const {
-  const int64_t expected =
-      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
-  check(static_cast<int64_t>(image.size()) == expected,
-        "input image size mismatch");
-  std::vector<int8_t> q(image.size());
-  for (size_t i = 0; i < image.size(); ++i) {
-    // input scale is 1/255 with zero_point -128: q = pixel - 128 exactly.
-    const float real = static_cast<float>(image[i]) / 255.0f;
-    q[i] = model_->input.quantize(real);
-  }
-  return q;
+int RefEngine::classify(std::span<const uint8_t> image) const {
+  return classify(image, default_mask_);
 }
 
 std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image,
                                    const SkipMask* mask,
                                    const ConvTap& tap) const {
-  if (mask != nullptr) mask->validate(*model_);
+  if (mask != nullptr) mask->validate(model());
   std::vector<int8_t> cur = quantize_input(image);
   std::vector<int8_t> next;
 
   int conv_ordinal = 0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : model().layers) {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       if (tap) tap(conv_ordinal, *conv, cur);
       const uint8_t* skip = nullptr;
@@ -66,23 +55,24 @@ std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image,
 
 int RefEngine::classify(std::span<const uint8_t> image,
                         const SkipMask* mask) const {
-  const std::vector<int8_t> logits = run(image, mask);
-  return static_cast<int>(
-      std::max_element(logits.begin(), logits.end()) - logits.begin());
+  return argmax_lowest_index(run(image, mask));
+}
+
+int64_t RefEngine::mac_ops() const {
+  const int64_t total = model().mac_count();
+  return default_mask_ != nullptr ? total - default_mask_->skipped_macs(model())
+                                  : total;
 }
 
 double evaluate_quantized_accuracy(const QModel& model, const Dataset& ds,
                                    const SkipMask* mask, int limit) {
-  const int n = limit < 0 ? ds.size() : std::min(limit, ds.size());
-  check(n > 0, "no images to evaluate");
-  RefEngine engine(&model);
-  std::atomic<int> correct{0};
-  parallel_for(0, n, [&](int64_t i) {
-    const int pred = engine.classify(ds.image(static_cast<int>(i)), mask);
-    if (pred == ds.label(static_cast<int>(i)))
-      correct.fetch_add(1, std::memory_order_relaxed);
-  });
-  return static_cast<double>(correct.load()) / static_cast<double>(n);
+  const RefEngine engine(&model);
+  return evaluate_batch(
+             [&](std::span<const uint8_t> image) {
+               return engine.classify(image, mask);
+             },
+             ds, limit)
+      .top1;
 }
 
 }  // namespace ataman

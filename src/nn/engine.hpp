@@ -6,12 +6,17 @@
 //     instruction from unpacked code, which tests/test_unpack.cpp asserts)
 //   * conv-input taps (the significance analysis captures activation
 //     statistics through these).
+//
+// As an InferenceEngine it is the numerical oracle: every other backend
+// must match its logits bit-exactly on exact configs. It models no MCU
+// deployment, so its cycle/flash/RAM columns are zero ("not modeled").
 #pragma once
 
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "src/core/engine_iface.hpp"
 #include "src/data/dataset.hpp"
 #include "src/nn/skip_mask.hpp"
 #include "src/quant/qtypes.hpp"
@@ -22,30 +27,38 @@ namespace ataman {
 using ConvTap =
     std::function<void(int, const QConv2D&, std::span<const int8_t>)>;
 
-class RefEngine {
+class RefEngine : public InferenceEngine {
  public:
   explicit RefEngine(const QModel* model);
 
-  // Quantize a u8 image into the model's input tensor (q = pixel - 128
-  // for the standard [0,1] input scale).
-  std::vector<int8_t> quantize_input(std::span<const uint8_t> image) const;
+  // Mask applied by the virtual run/classify when none is passed
+  // explicitly (how the registry binds a mask to a "ref" engine).
+  // `mask` must outlive the engine; nullptr unbinds.
+  void bind_mask(const SkipMask* mask) { default_mask_ = mask; }
 
-  // Full inference; returns the final layer's int8 logits.
+  // InferenceEngine: exact (or bound-mask) inference.
+  std::vector<int8_t> run(std::span<const uint8_t> image) const override;
+  int classify(std::span<const uint8_t> image) const override;
+  int64_t total_cycles() const override { return 0; }  // not modeled
+  int64_t mac_ops() const override;  // executed MACs under the bound mask
+  int64_t flash_bytes() const override { return 0; }
+  int64_t ram_bytes() const override { return 0; }
+
+  // Full inference with an explicit mask and optional conv-input tap.
   std::vector<int8_t> run(std::span<const uint8_t> image,
-                          const SkipMask* mask = nullptr,
+                          const SkipMask* mask,
                           const ConvTap& tap = nullptr) const;
 
-  int classify(std::span<const uint8_t> image,
-               const SkipMask* mask = nullptr) const;
-
-  const QModel& model() const { return *model_; }
+  int classify(std::span<const uint8_t> image, const SkipMask* mask) const;
 
  private:
-  const QModel* model_;
+  const SkipMask* default_mask_ = nullptr;
 };
 
 // Top-1 accuracy of `model` on up to `limit` images of `ds` (all if
-// limit < 0). Parallel over images; deterministic.
+// limit < 0; limit == 0 throws). Thin wrapper over the shared batched
+// evaluator in src/core/eval — parallel over images, deterministic, and
+// serial when called from inside an enclosing parallel region.
 double evaluate_quantized_accuracy(const QModel& model, const Dataset& ds,
                                    const SkipMask* mask = nullptr,
                                    int limit = -1);

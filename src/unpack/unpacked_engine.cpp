@@ -1,10 +1,6 @@
 #include "src/unpack/unpacked_engine.hpp"
 
-#include <algorithm>
-#include <atomic>
-
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
 #include "src/nn/qkernels_ref.hpp"
 
 namespace ataman {
@@ -13,19 +9,18 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
                                CortexM33CostTable costs,
                                MemoryCostTable memory,
                                const std::vector<uint8_t>* unpack_selection)
-    : model_(model), costs_(costs), memory_(memory) {
-  check(model != nullptr, "engine needs a model");
-  if (mask != nullptr) mask->validate(*model);
+    : InferenceEngine(model, "ataman"), costs_(costs), memory_(memory) {
+  if (mask != nullptr) mask->validate(this->model());
   if (unpack_selection != nullptr) {
     check(static_cast<int>(unpack_selection->size()) ==
-              model->conv_layer_count(),
+              this->model().conv_layer_count(),
           "unpack selection size must match conv layer count");
   }
 
   int conv_ordinal = 0;
   int out_dim = 0;
   double cycles = 0.0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : this->model().layers) {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       const bool unpack =
           unpack_selection == nullptr ||
@@ -91,18 +86,10 @@ int UnpackedEngine::unpacked_conv_count() const {
 }
 
 std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
-  const int64_t expected =
-      static_cast<int64_t>(model_->in_h) * model_->in_w * model_->in_c;
-  check(static_cast<int64_t>(image.size()) == expected,
-        "input image size mismatch");
-
-  std::vector<int8_t> cur(image.size());
-  for (size_t i = 0; i < image.size(); ++i)
-    cur[i] = model_->input.quantize(static_cast<float>(image[i]) / 255.0f);
-
+  std::vector<int8_t> cur = quantize_input(image);
   std::vector<int8_t> next;
   size_t conv_idx = 0, fc_idx = 0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : model().layers) {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       next.assign(
           static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
@@ -126,12 +113,6 @@ std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
   return cur;
 }
 
-int UnpackedEngine::classify(std::span<const uint8_t> image) const {
-  const std::vector<int8_t> logits = run(image);
-  return static_cast<int>(
-      std::max_element(logits.begin(), logits.end()) - logits.begin());
-}
-
 FlashReport UnpackedEngine::flash(const MemoryCostTable& t) const {
   std::vector<int64_t> pairs, singles;
   pairs.reserve(convs_.size());
@@ -144,31 +125,18 @@ FlashReport UnpackedEngine::flash(const MemoryCostTable& t) const {
       singles.push_back(0);
     }
   }
-  return unpacked_flash(*model_, pairs, singles, t);
+  return unpacked_flash(model(), pairs, singles, t);
+}
+
+int64_t UnpackedEngine::ram_bytes() const {
+  return model_ram_bytes(model(), /*packed_engine=*/false, memory_);
 }
 
 DeployReport UnpackedEngine::deploy(const Dataset& eval,
                                     const BoardSpec& board, int limit,
                                     const std::string& design_name) const {
-  const int n = limit < 0 ? eval.size() : std::min(limit, eval.size());
-  check(n > 0, "no images to evaluate");
-  std::atomic<int> correct{0};
-  parallel_for(0, n, [&](int64_t i) {
-    if (classify(eval.image(static_cast<int>(i))) ==
-        eval.label(static_cast<int>(i)))
-      correct.fetch_add(1, std::memory_order_relaxed);
-  });
-
-  DeployReport r;
+  DeployReport r = InferenceEngine::deploy(eval, board, limit);
   r.design = design_name;
-  r.network = model_->name;
-  r.top1_accuracy = static_cast<double>(correct.load()) / n;
-  r.cycles = total_cycles_;
-  r.mac_ops = executed_macs_;
-  r.flash_bytes = flash(memory_).total_bytes;
-  r.ram_bytes = model_ram_bytes(*model_, /*packed_engine=*/false, memory_);
-  r.per_layer = profile_;
-  r.finalize(board);
   return r;
 }
 

@@ -16,10 +16,8 @@
 #include <vector>
 
 #include "src/cmsisnn/packed_kernels.hpp"
-#include "src/data/dataset.hpp"
-#include "src/mcu/board.hpp"
+#include "src/core/engine_iface.hpp"
 #include "src/mcu/cost_model.hpp"
-#include "src/mcu/deploy_report.hpp"
 #include "src/mcu/memory_model.hpp"
 #include "src/nn/skip_mask.hpp"
 #include "src/quant/qtypes.hpp"
@@ -27,7 +25,7 @@
 
 namespace ataman {
 
-class UnpackedEngine {
+class UnpackedEngine : public InferenceEngine {
  public:
   // `mask` == nullptr -> exact unpacking (no skips).
   // `unpack_selection` == nullptr -> every conv layer is unpacked (the
@@ -36,22 +34,26 @@ class UnpackedEngine {
                  CortexM33CostTable costs = {}, MemoryCostTable memory = {},
                  const std::vector<uint8_t>* unpack_selection = nullptr);
 
-  std::vector<int8_t> run(std::span<const uint8_t> image) const;
-  int classify(std::span<const uint8_t> image) const;
+  std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
-  int64_t total_cycles() const { return total_cycles_; }
+  int64_t total_cycles() const override { return total_cycles_; }
   // Executed (retained) conv MACs + FC MACs per inference.
   int64_t executed_macs() const { return executed_macs_; }
-  const std::vector<LayerProfile>& layer_profile() const { return profile_; }
+  int64_t mac_ops() const override { return executed_macs_; }
+  const std::vector<LayerProfile>& layer_profile() const override {
+    return profile_;
+  }
   int unpacked_conv_count() const;
 
   FlashReport flash(const MemoryCostTable& t = {}) const;
+  int64_t flash_bytes() const override { return flash(memory_).total_bytes; }
+  int64_t ram_bytes() const override;
 
-  DeployReport deploy(const Dataset& eval, const BoardSpec& board,
-                      int limit = -1,
-                      const std::string& design_name = "ataman") const;
-
-  const QModel& model() const { return *model_; }
+  using InferenceEngine::deploy;
+  // As the interface deploy, but reported under `design_name` (e.g.
+  // "ataman(5%)") instead of the engine default.
+  DeployReport deploy(const Dataset& eval, const BoardSpec& board, int limit,
+                      const std::string& design_name) const;
 
  private:
   // Per conv ordinal: exactly one of `unpacked`/`packed` is engaged.
@@ -61,7 +63,6 @@ class UnpackedEngine {
     std::optional<PackedWeights> packed;
   };
 
-  const QModel* model_;
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
   std::vector<ConvExec> convs_;            // by conv ordinal

@@ -1,20 +1,17 @@
 #include "src/xcube/xcube_engine.hpp"
 
-#include <atomic>
 #include <cmath>
 
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
-#include "src/nn/engine.hpp"
+#include "src/mcu/cost_model.hpp"
 
 namespace ataman {
 
 XCubeEngine::XCubeEngine(const QModel* model, XCubeCostTable costs)
-    : model_(model), costs_(costs) {
-  check(model != nullptr, "engine needs a model");
+    : InferenceEngine(model, "x-cube-ai"), ref_(model), costs_(costs) {
   double cycles = 0.0;
   int out_dim = 0;
-  for (const QLayer& layer : model_->layers) {
+  for (const QLayer& layer : this->model().layers) {
     cycles += costs_.layer_dispatch;
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       const ConvGeom& g = conv->geom;
@@ -47,45 +44,21 @@ XCubeEngine::XCubeEngine(const QModel* model, XCubeCostTable costs)
   total_cycles_ = static_cast<int64_t>(std::llround(cycles));
 }
 
-int XCubeEngine::classify(std::span<const uint8_t> image) const {
-  return RefEngine(model_).classify(image);
+std::vector<int8_t> XCubeEngine::run(std::span<const uint8_t> image) const {
+  return ref_.run(image);
 }
 
 int64_t XCubeEngine::flash_bytes() const {
   return costs_.runtime_code +
          static_cast<int64_t>(std::llround(
              costs_.weight_compression *
-             static_cast<double>(model_->weight_bytes())));
+             static_cast<double>(model().weight_bytes())));
 }
 
 int64_t XCubeEngine::ram_bytes() const {
   MemoryCostTable t;
   t.runtime_reserve = costs_.ram_runtime_reserve;
-  return model_ram_bytes(*model_, /*packed_engine=*/true, t);
-}
-
-DeployReport XCubeEngine::deploy(const Dataset& eval, const BoardSpec& board,
-                                 int limit) const {
-  const int n = limit < 0 ? eval.size() : std::min(limit, eval.size());
-  check(n > 0, "no images to evaluate");
-  RefEngine ref(model_);
-  std::atomic<int> correct{0};
-  parallel_for(0, n, [&](int64_t i) {
-    if (ref.classify(eval.image(static_cast<int>(i))) ==
-        eval.label(static_cast<int>(i)))
-      correct.fetch_add(1, std::memory_order_relaxed);
-  });
-
-  DeployReport r;
-  r.design = "x-cube-ai";
-  r.network = model_->name;
-  r.top1_accuracy = static_cast<double>(correct.load()) / n;
-  r.cycles = total_cycles_;
-  r.mac_ops = model_->mac_count();
-  r.flash_bytes = flash_bytes();
-  r.ram_bytes = ram_bytes();
-  r.finalize(board);
-  return r;
+  return model_ram_bytes(model(), /*packed_engine=*/true, t);
 }
 
 }  // namespace ataman

@@ -14,11 +14,9 @@
 
 #include <span>
 
-#include "src/data/dataset.hpp"
-#include "src/mcu/board.hpp"
-#include "src/mcu/cost_model.hpp"
-#include "src/mcu/deploy_report.hpp"
+#include "src/core/engine_iface.hpp"
 #include "src/mcu/memory_model.hpp"
+#include "src/nn/engine.hpp"
 #include "src/quant/qtypes.hpp"
 
 namespace ataman {
@@ -41,22 +39,20 @@ struct XCubeCostTable {
   int64_t ram_runtime_reserve = 150 * 1024;
 };
 
-class XCubeEngine {
+class XCubeEngine : public InferenceEngine {
  public:
   explicit XCubeEngine(const QModel* model, XCubeCostTable costs = {});
 
-  // Exact numerics: bit-identical to the reference engine.
-  int classify(std::span<const uint8_t> image) const;
+  // Exact numerics: bit-identical to the reference engine (X-CUBE-AI is
+  // an exact int8 library; only its cost profile differs).
+  std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
-  int64_t total_cycles() const { return total_cycles_; }
-  int64_t flash_bytes() const;
-  int64_t ram_bytes() const;
-
-  DeployReport deploy(const Dataset& eval, const BoardSpec& board,
-                      int limit = -1) const;
+  int64_t total_cycles() const override { return total_cycles_; }
+  int64_t flash_bytes() const override;
+  int64_t ram_bytes() const override;
 
  private:
-  const QModel* model_;
+  RefEngine ref_;  // delegate for the exact numerics
   XCubeCostTable costs_;
   int64_t total_cycles_ = 0;
 };

@@ -55,6 +55,45 @@ TEST(Parallel, IndexedWorkerMappingIsStatic) {
         << "chunks must be contiguous and ordered";
 }
 
+TEST(Parallel, NestedParallelForSerializesInsteadOfOversubscribing) {
+  // DSE shape: outer loop over configs, inner loop over images. The inner
+  // parallel_for must detect the enclosing region and run serially on the
+  // calling worker (threads, not threads^2), still covering every index.
+  EXPECT_FALSE(in_parallel_region());
+  const int outer = 6, inner = 40;
+  std::vector<int> hits(static_cast<size_t>(outer * inner), 0);
+  std::atomic<int> nested_regions{0};
+  parallel_for(0, outer, [&](int64_t o) {
+    EXPECT_TRUE(in_parallel_region());
+    EXPECT_EQ(num_threads(), 1);  // a nested loop would get one worker
+    nested_regions.fetch_add(1, std::memory_order_relaxed);
+    parallel_for(0, inner, [&](int64_t i) {
+      EXPECT_TRUE(in_parallel_region());
+      hits[static_cast<size_t>(o * inner + i)]++;
+    });
+  });
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_EQ(nested_regions.load(), outer);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, NestedChunkedAndIndexedAlsoSerialize) {
+  std::vector<int> hits(64, 0);
+  parallel_for(0, 4, [&](int64_t) {
+    const int workers = parallel_for_indexed(
+        0, 16, [&](int w, int64_t) { EXPECT_EQ(w, 0); });
+    EXPECT_EQ(workers, 1);
+  });
+  parallel_for_chunked(0, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      parallel_for_chunked(i, i + 1, [&](int64_t l2, int64_t h2) {
+        for (int64_t j = l2; j < h2; ++j) hits[static_cast<size_t>(j)]++;
+      });
+    }
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(Parallel, ThreadOverrideRespected) {
   set_num_threads(2);
   EXPECT_EQ(num_threads(), 2);
