@@ -23,6 +23,11 @@ inline int run_fig2(const BenchModel& m, Scale scale) {
               "(paper: >10,000 configs, <2h on 6 threads)\n",
               outcome.results.size(), outcome.wall_seconds,
               outcome.threads_used);
+  std::printf("  prefix cache: %lld segment reuses; early exit: %d configs "
+              "pruned, %lld image evals run (see docs/DSE.md)\n",
+              static_cast<long long>(outcome.cache_hits),
+              outcome.early_exits,
+              static_cast<long long>(outcome.images_evaluated));
 
   // Scatter (all designs) + Pareto front, both axes of the figure.
   CsvWriter scatter(results_dir() + "/fig2_" + m.name + "_scatter.csv",

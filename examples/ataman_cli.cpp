@@ -4,13 +4,18 @@
 // Usage:
 //   ataman_cli [--model lenet|alexnet|micronet] [--loss 0.05]
 //              [--eval-images N] [--tau-step S] [--engine NAME]
+//              [--fast-dse | --exact-sweep]
 //              [--emit out.c] [--json report.json] [--hybrid]
 //
 // Runs: load/train + quantize -> analyze -> DSE -> select at the given
 // accuracy-loss budget -> deploy (vs CMSIS-NN and X-CUBE-AI) -> optional
 // C emission, with a machine-readable JSON report. `--engine` picks the
 // EngineRegistry backend the selected design is deployed through
-// (default "unpacked"; exact backends ignore the skip mask).
+// (default "unpacked"; exact backends ignore the skip mask). The sweep
+// runs through the layer-prefix activation cache with adaptive early
+// exit (`--fast-dse`, the default); `--exact-sweep` evaluates every
+// config on the full image budget instead — bitwise identical to the
+// per-config sweep. See docs/DSE.md.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -32,6 +37,11 @@ struct CliArgs {
   std::string emit_path;
   std::string json_path;
   bool hybrid = false;
+  // --fast-dse is accepted purely so scripts can state the (default)
+  // sweep mode explicitly; its only effect is the mutual-exclusion check
+  // against --exact-sweep, which is what actually switches modes.
+  bool fast_dse = false;
+  bool exact_sweep = false;  // escape hatch: full-budget, bitwise-exact DSE
 };
 
 CliArgs parse_args(int argc, char** argv) {
@@ -58,6 +68,10 @@ CliArgs parse_args(int argc, char** argv) {
       args.json_path = next();
     } else if (a == "--hybrid") {
       args.hybrid = true;
+    } else if (a == "--fast-dse") {
+      args.fast_dse = true;
+    } else if (a == "--exact-sweep") {
+      args.exact_sweep = true;
     } else if (a == "--help" || a == "-h") {
       std::string engines;
       for (const std::string& n : EngineRegistry::instance().names()) {
@@ -68,6 +82,7 @@ CliArgs parse_args(int argc, char** argv) {
           "usage: ataman_cli [--model lenet|alexnet|micronet] [--loss F]\n"
           "                  [--eval-images N] [--tau-step S]\n"
           "                  [--engine %s]\n"
+          "                  [--fast-dse | --exact-sweep]\n"
           "                  [--emit F.c] [--json F.json] [--hybrid]\n",
           engines.c_str());
       std::exit(0);
@@ -99,6 +114,8 @@ int main(int argc, char** argv) {
         "unknown --engine '" + args.engine + "' (see --help)");
   check(!args.hybrid || args.engine == "unpacked",
         "--hybrid requires --engine unpacked");
+  check(!(args.fast_dse && args.exact_sweep),
+        "--fast-dse and --exact-sweep are mutually exclusive");
 
   const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
                        : args.model == "alexnet" ? alexnet_spec()
@@ -110,13 +127,19 @@ int main(int argc, char** argv) {
   PipelineOptions options;
   options.dse.eval_images = args.eval_images;
   options.dse.tau_step = args.tau_step;
+  options.dse.exact_sweep = args.exact_sweep;
   AtamanPipeline pipeline(&model, &data.train, &data.test, options);
 
   const DseOutcome outcome = pipeline.explore([](int done, int total) {
     std::printf("\r[cli] DSE %d/%d", done, total);
     std::fflush(stdout);
   });
-  std::printf("\n");
+  std::printf("\n[cli] sweep (%s): %lld image evals, %lld prefix-cache "
+              "hits, %d early exits\n",
+              args.exact_sweep ? "exact" : "fast",
+              static_cast<long long>(outcome.images_evaluated),
+              static_cast<long long>(outcome.cache_hits),
+              outcome.early_exits);
   const int idx = pipeline.select(outcome, args.loss);
   check(idx >= 0, "no design satisfies the requested accuracy budget");
   const DseResult& chosen = outcome.results[static_cast<size_t>(idx)];
@@ -172,6 +195,10 @@ int main(int argc, char** argv) {
                  static_cast<int64_t>(outcome.results.size()));
     root.emplace("pareto_points",
                  static_cast<int64_t>(outcome.pareto.size()));
+    root.emplace("sweep_cache_hits", static_cast<int64_t>(outcome.cache_hits));
+    root.emplace("sweep_images_evaluated",
+                 static_cast<int64_t>(outcome.images_evaluated));
+    root.emplace("sweep_early_exits", outcome.early_exits);
     JsonArray reports;
     reports.push_back(report_json(cmsis));
     reports.push_back(report_json(xcube));

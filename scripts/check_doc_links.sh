@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fail when any intra-repo Markdown link points at a missing file.
+#
+# Scans every tracked-ish *.md (build/artifact trees excluded) for inline
+# links/images `[text](target)`, ignores external schemes and pure
+# anchors, strips `#fragment`s, resolves the rest against the linking
+# file's directory (and, as a fallback, the repo root), and reports every
+# target that does not exist. CI runs this so docs cannot rot silently.
+#
+# Usage: scripts/check_doc_links.sh [root-dir]
+set -u
+
+root="${1:-.}"
+fail=0
+
+while IFS= read -r -d '' md; do
+  dir=$(dirname "$md")
+  # Inline link targets. Reference-style definitions `[x]: path` are not
+  # used in this repo; nested parentheses in URLs are out of scope.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "dangling link: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done < <(find "$root" \( -name build -o -name 'build-*' -o -name artifacts \
+                         -o -name bench_results -o -name .git \) -prune \
+              -o -name '*.md' -print0)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_doc_links: dangling intra-repo Markdown links found" >&2
+  exit 1
+fi
+echo "check_doc_links: all intra-repo Markdown links resolve"

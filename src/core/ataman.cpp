@@ -47,7 +47,7 @@ DseOutcome AtamanPipeline::explore(const std::vector<ApproxConfig>& configs,
   const ConfigEvaluator evaluator(model_, &significance_, eval_,
                                   options_.dse.eval_images, options_.costs,
                                   options_.memory);
-  return run_dse(evaluator, configs, progress);
+  return run_dse(evaluator, configs, options_.dse, progress);
 }
 
 int AtamanPipeline::select(const DseOutcome& outcome,

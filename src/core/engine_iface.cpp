@@ -28,6 +28,14 @@ int InferenceEngine::classify(std::span<const uint8_t> image) const {
   return argmax_lowest_index(run(image));
 }
 
+std::vector<int8_t> InferenceEngine::run_from(
+    int layer_begin, std::span<const int8_t> activations) const {
+  (void)layer_begin;
+  (void)activations;
+  fail("engine '" + design_name_ + "' does not support run_from " +
+       "(check supports_run_from() before resuming at a layer boundary)");
+}
+
 const std::vector<LayerProfile>& InferenceEngine::layer_profile() const {
   static const std::vector<LayerProfile> kEmpty;
   return kEmpty;

@@ -65,6 +65,22 @@ class InferenceEngine {
   // Full inference; returns the final layer's int8 logits.
   virtual std::vector<int8_t> run(std::span<const uint8_t> image) const = 0;
 
+  // Whether this backend can resume inference at a layer boundary via
+  // run_from. Engines that model per-layer deployment state (packed
+  // pipelines, code-generated streams) generally cannot; the reference
+  // oracle can, which is what the DSE's layer-prefix activation cache
+  // (src/dse/prefix_cache) builds on.
+  virtual bool supports_run_from() const { return false; }
+
+  // Resume inference at a layer boundary: `activations` is the int8 input
+  // tensor of model layer `layer_begin` (as produced by the layers before
+  // it), and the call runs layers [layer_begin, layers.size()) to the
+  // final logits. `layer_begin == 0` is equivalent to run() minus input
+  // quantization; `layer_begin == layers.size()` returns `activations`
+  // unchanged. Throws unless supports_run_from().
+  virtual std::vector<int8_t> run_from(
+      int layer_begin, std::span<const int8_t> activations) const;
+
   // Top-1 class; ties broken lowest-index-wins (argmax_lowest_index).
   virtual int classify(std::span<const uint8_t> image) const;
 

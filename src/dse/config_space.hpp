@@ -20,8 +20,13 @@ enum class DseMode { kUniformTauBySubset, kPerLayerGrid };
 struct DseOptions {
   DseMode mode = DseMode::kUniformTauBySubset;
   double tau_min = 0.0;
-  double tau_max = 0.1;    // paper: tau in [0, 0.1]
-  double tau_step = 0.01;  // paper: 0.001 (LeNet) / 0.01 (AlexNet)
+  double tau_max = 0.1;  // paper: tau in [0, 0.1]
+  // Default 0.01 is a deliberate deviation from the paper's
+  // model-specific grids (0.001 for LeNet, 0.01 for AlexNet) so that the
+  // default sweep stays minutes, not hours. The paper-faithful grids live
+  // in bench/bench_common.hpp (dse_options_for(network, Scale::kPaper));
+  // see docs/DESIGN.md "DSE defaults vs. the paper's tau grids".
+  double tau_step = 0.01;
   // kPerLayerGrid: number of tau levels per layer (log-spaced over
   // [tau_min(+eps), tau_max]) plus the "exact" level.
   int per_layer_levels = 4;
@@ -30,6 +35,35 @@ struct DseOptions {
   // Cap on generated configs (0 = no cap); configs are subsampled
   // deterministically when the space is larger.
   int max_configs = 0;
+
+  // --- fast-sweep controls (see docs/DSE.md) -----------------------------
+  // By default run_dse sweeps through the layer-prefix activation cache
+  // with adaptive early exit: a config stops evaluating once a Wilson
+  // confidence bound proves some config with >= MAC reduction and <=
+  // cycles ends with higher accuracy — it can then reach neither the
+  // Pareto front nor win an (unconstrained) select_design. Abandoned
+  // configs keep their partial-sample accuracy (flagged via
+  // DseResult::partial_eval); the all-exact config and every
+  // Pareto-front member are always evaluated on the full image budget.
+  // The statistics assume the eval subset is not pathologically ordered
+  // (the sweep samples it with a coprime stride to spread any class
+  // ordering; a set whose *first eval_images* images are one class
+  // still biases partial samples). Set exact_sweep = true to evaluate
+  // every config on every image — still prefix-cached, and bitwise
+  // identical to the per-config ConfigEvaluator::evaluate sweep.
+  bool exact_sweep = false;
+  // Images per adaptive evaluation block (early-exit decisions happen at
+  // block boundaries; smaller blocks exit sooner but decide on noisier
+  // counts — the Wilson interval widens accordingly, so soundness does
+  // not depend on the block size).
+  int eval_block = 16;
+  // Wilson interval z-score for the early-exit test (1.96 ~ 95%). Raise
+  // it to prune more cautiously; the all-exact config and the final
+  // Pareto front are fully evaluated regardless.
+  double exit_z = 1.96;
+  // Extra accuracy slack a config must provably fall below before it is
+  // abandoned (guards the front against borderline exits).
+  double exit_margin = 0.01;
 };
 
 // All candidate configurations for a model with `conv_count` conv layers.

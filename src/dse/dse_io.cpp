@@ -13,6 +13,7 @@ Json result_to_json(const DseResult& r) {
   JsonObject o;
   o.emplace("config", r.config.to_json());
   o.emplace("accuracy", r.accuracy);
+  if (r.partial_eval) o.emplace("partial_eval", true);
   o.emplace("executed_macs", static_cast<int64_t>(r.executed_macs));
   o.emplace("skipped_conv_macs", static_cast<int64_t>(r.skipped_conv_macs));
   o.emplace("conv_mac_reduction", r.conv_mac_reduction);
@@ -26,6 +27,9 @@ DseResult result_from_json(const Json& j) {
   DseResult r;
   r.config = ApproxConfig::from_json(j.at("config"));
   r.accuracy = j.at("accuracy").as_number();
+  // Absent in version-1 files (full sweeps only) and omitted for
+  // full-budget results: both mean "not partial".
+  if (j.contains("partial_eval")) r.partial_eval = j.at("partial_eval").as_bool();
   r.executed_macs = j.at("executed_macs").as_int();
   r.skipped_conv_macs = j.at("skipped_conv_macs").as_int();
   r.conv_mac_reduction = j.at("conv_mac_reduction").as_number();
@@ -37,8 +41,17 @@ DseResult result_from_json(const Json& j) {
 
 }  // namespace
 
+// Format history:
+//   1 (implicit, no "version" field): results + pareto + exact_accuracy +
+//     baseline_cycles + wall_seconds + threads_used.
+//   2: adds "version" and the fast-sweep statistics cache_hits /
+//     images_evaluated / early_exits. Loading stays backward compatible:
+//     missing statistics default to 0.
+constexpr int64_t kDseFormatVersion = 2;
+
 Json dse_outcome_to_json(const DseOutcome& outcome) {
   JsonObject o;
+  o.emplace("version", kDseFormatVersion);
   JsonArray results;
   results.reserve(outcome.results.size());
   for (const DseResult& r : outcome.results)
@@ -52,10 +65,17 @@ Json dse_outcome_to_json(const DseOutcome& outcome) {
   o.emplace("baseline_cycles", static_cast<int64_t>(outcome.baseline_cycles));
   o.emplace("wall_seconds", outcome.wall_seconds);
   o.emplace("threads_used", outcome.threads_used);
+  o.emplace("cache_hits", static_cast<int64_t>(outcome.cache_hits));
+  o.emplace("images_evaluated",
+            static_cast<int64_t>(outcome.images_evaluated));
+  o.emplace("early_exits", outcome.early_exits);
   return Json(std::move(o));
 }
 
 DseOutcome dse_outcome_from_json(const Json& j) {
+  const int64_t version = j.contains("version") ? j.at("version").as_int() : 1;
+  check(version >= 1 && version <= kDseFormatVersion,
+        "unsupported DSE file version " + std::to_string(version));
   DseOutcome outcome;
   for (const Json& r : j.at("results").as_array())
     outcome.results.push_back(result_from_json(r));
@@ -65,6 +85,12 @@ DseOutcome dse_outcome_from_json(const Json& j) {
   outcome.baseline_cycles = j.at("baseline_cycles").as_int();
   outcome.wall_seconds = j.at("wall_seconds").as_number();
   outcome.threads_used = static_cast<int>(j.at("threads_used").as_int());
+  // Version-1 files predate the fast-sweep statistics; default to 0.
+  if (j.contains("cache_hits")) outcome.cache_hits = j.at("cache_hits").as_int();
+  if (j.contains("images_evaluated"))
+    outcome.images_evaluated = j.at("images_evaluated").as_int();
+  if (j.contains("early_exits"))
+    outcome.early_exits = static_cast<int>(j.at("early_exits").as_int());
   for (const int idx : outcome.pareto) {
     check(idx >= 0 && idx < static_cast<int>(outcome.results.size()),
           "pareto index out of range in DSE file");

@@ -21,10 +21,37 @@ struct DseOutcome {
   int64_t baseline_cycles = 0;     // packed exact engine cycles
   double wall_seconds = 0.0;
   int threads_used = 0;
+
+  // Fast-sweep statistics (see docs/DSE.md). `cache_hits` counts
+  // layer-segment executions served from the prefix cache instead of
+  // being recomputed; `images_evaluated` is the total number of
+  // per-config image inferences actually run (the exhaustive cost would
+  // be results.size() x the eval budget); `early_exits` counts configs
+  // whose reported accuracy is a partial sample because the Wilson test
+  // abandoned them (always 0 with DseOptions::exact_sweep, and never
+  // includes results[0] or a Pareto member — those are completed before
+  // the outcome is returned). All three are serialized by dse_io
+  // (format version 2; absent fields load as 0 from version-1 files).
+  int64_t cache_hits = 0;
+  int64_t images_evaluated = 0;
+  int early_exits = 0;
 };
 
 using DseProgress = std::function<void(int done, int total)>;
 
+// Sweep an explicit config list. The sweep runs through the layer-prefix
+// activation cache with adaptive early exit by default when the
+// evaluator's accuracy backend is the resumable reference engine;
+// options.exact_sweep = true keeps the cache but evaluates every config
+// on the full image budget (bitwise identical to per-config
+// ConfigEvaluator::evaluate). Non-resumable accuracy backends fall back
+// to the legacy per-config sweep.
+DseOutcome run_dse(const ConfigEvaluator& evaluator,
+                   const std::vector<ApproxConfig>& configs,
+                   const DseOptions& options,
+                   const DseProgress& progress = nullptr);
+
+// As above with default DseOptions (fast adaptive sweep).
 DseOutcome run_dse(const ConfigEvaluator& evaluator,
                    const std::vector<ApproxConfig>& configs,
                    const DseProgress& progress = nullptr);
@@ -36,7 +63,9 @@ DseOutcome run_dse(const ConfigEvaluator& evaluator, int conv_count,
 
 // Latency-optimized design meeting `accuracy >= exact - max_loss`
 // and fitting `flash_capacity` (bytes; <=0 disables the check).
-// Returns results index, or -1 when nothing qualifies.
+// Early-exited results (DseResult::partial_eval) are never selected —
+// their accuracies are partial samples. Returns results index, or -1
+// when nothing qualifies.
 int select_design(const DseOutcome& outcome, double max_accuracy_loss,
                   int64_t flash_capacity = 0);
 

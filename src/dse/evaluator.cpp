@@ -68,9 +68,7 @@ DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
   check(static_cast<int>(config.tau.size()) == model_->conv_layer_count(),
         "config does not match model");
   const SkipMask mask = make_skip_mask(*model_, *significance_, config);
-
-  DseResult r;
-  r.config = config;
+  DseResult r = static_metrics(config, mask);
   // Zeroed-weight copy: numerically identical to skip-aware execution
   // (tests assert it) but branch-free, so the sweep runs ~2x faster.
   const QModel masked = apply_skip_mask(*model_, mask);
@@ -81,7 +79,20 @@ DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
   const auto engine =
       EngineRegistry::instance().create(accuracy_engine_, engine_cfg);
   r.accuracy = evaluate_batch(*engine, *eval_, eval_images_).top1;
+  return r;
+}
 
+DseResult ConfigEvaluator::evaluate_static(const ApproxConfig& config) const {
+  check(static_cast<int>(config.tau.size()) == model_->conv_layer_count(),
+        "config does not match model");
+  return static_metrics(config,
+                        make_skip_mask(*model_, *significance_, config));
+}
+
+DseResult ConfigEvaluator::static_metrics(const ApproxConfig& config,
+                                          const SkipMask& mask) const {
+  DseResult r;
+  r.config = config;
   const UnpackStats stats = compute_unpack_stats(*model_, mask);
   r.executed_macs = stats.retained_conv_macs + fc_total_macs_;
   r.skipped_conv_macs = conv_total_macs_ - stats.retained_conv_macs;

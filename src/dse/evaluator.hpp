@@ -20,6 +20,12 @@ namespace ataman {
 struct DseResult {
   ApproxConfig config;
   double accuracy = 0.0;
+  // True when `accuracy` is a partial sample left behind by the adaptive
+  // sweep's early exit (never set on the all-exact config, a Pareto
+  // member, or any result of an exact sweep). select_design skips
+  // partial results: a lucky partial sample must not satisfy an
+  // accuracy-loss budget its full-budget measurement would miss.
+  bool partial_eval = false;
   int64_t executed_macs = 0;       // retained conv + fc MACs per inference
   int64_t skipped_conv_macs = 0;
   double conv_mac_reduction = 0.0;  // Fig. 2 x-axis (conv layers only)
@@ -51,11 +57,34 @@ class ConfigEvaluator {
 
   DseResult evaluate(const ApproxConfig& config) const;
 
+  // The static (per-inference) deployment metrics only — everything in
+  // DseResult except accuracy, which is left 0. The prefix-cached sweep
+  // (src/dse/prefix_cache + src/dse/adaptive_eval) measures accuracy for
+  // the whole config space at once and fills it in afterwards; evaluate()
+  // is evaluate_static() plus the legacy per-config accuracy measurement.
+  DseResult evaluate_static(const ApproxConfig& config) const;
+
   // Cycle count of the packed exact baseline (latency_reduction reference).
   int64_t baseline_cycles() const { return baseline_cycles_; }
   int64_t conv_total_macs() const { return conv_total_macs_; }
 
+  // Wiring the fast sweep path needs (run_dse builds the prefix cache
+  // from the same model/significance/eval set this evaluator scores).
+  const QModel& model() const { return *model_; }
+  const std::vector<LayerSignificance>& significance() const {
+    return *significance_;
+  }
+  const Dataset& eval_set() const { return *eval_; }
+  int eval_images() const { return eval_images_; }
+  const std::string& accuracy_engine() const { return accuracy_engine_; }
+
  private:
+  // Static metrics for a config whose skip mask is already built (both
+  // public evaluation entry points share this; the mask is O(weights) to
+  // construct, so it is built exactly once per call).
+  DseResult static_metrics(const ApproxConfig& config,
+                           const SkipMask& mask) const;
+
   const QModel* model_;
   const std::vector<LayerSignificance>* significance_;
   const Dataset* eval_;

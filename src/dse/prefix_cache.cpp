@@ -1,0 +1,264 @@
+#include "src/dse/prefix_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/core/eval.hpp"
+#include "src/nn/qkernels_ref.hpp"
+
+namespace ataman {
+
+PrefixCache::PrefixCache(const QModel* model,
+                         const std::vector<LayerSignificance>* significance,
+                         const Dataset* eval,
+                         const std::vector<ApproxConfig>& configs,
+                         int eval_images)
+    : model_(model), eval_(eval), ref_(model) {
+  check(model != nullptr && significance != nullptr && eval != nullptr,
+        "prefix cache needs model, significance and eval set");
+  check(!configs.empty(), "prefix cache needs at least one config");
+  conv_count_ = model_->conv_layer_count();
+  check(conv_count_ > 0, "prefix cache needs at least one conv layer");
+  check(static_cast<int>(significance->size()) == conv_count_,
+        "significance does not match model");
+  n_images_ = clamp_eval_limit(eval_images, eval_->size());
+  // Golden-ratio stride (bumped to the next value coprime with the image
+  // count) so position prefixes sample the eval subset evenly; see
+  // image_at().
+  stride_ = std::max(1, static_cast<int>(n_images_ * 0.6180339887));
+  while (std::gcd(stride_, n_images_) != 1) ++stride_;
+
+  conv_pos_.resize(static_cast<size_t>(conv_count_));
+  for (int k = 0; k < conv_count_; ++k)
+    conv_pos_[static_cast<size_t>(k)] = model_->conv_layer_index(k);
+  tail_begin_ = conv_pos_.back() + 1;
+
+  const int n_cfg = static_cast<int>(configs.size());
+  masked_.resize(static_cast<size_t>(conv_count_));
+  key_slot_.resize(static_cast<size_t>(conv_count_));
+  keys_.assign(static_cast<size_t>(n_cfg),
+               std::vector<int64_t>(static_cast<size_t>(conv_count_), 0));
+  slots_.assign(static_cast<size_t>(n_cfg),
+                std::vector<int>(static_cast<size_t>(conv_count_), -1));
+
+  // Materialize one zeroed-weight variant per distinct (layer, skip set).
+  // The per-layer key is the skipped-operand count: skip sets are nested
+  // in tau (skip_plan.hpp), so equal cardinality implies equal set and
+  // one tau per distinct count suffices.
+  std::vector<uint8_t> layer_mask;
+  for (int k = 0; k < conv_count_; ++k) {
+    const auto& conv = std::get<QConv2D>(
+        model_->layers[static_cast<size_t>(conv_pos_[static_cast<size_t>(k)])]);
+    const LayerSignificance& sig = (*significance)[static_cast<size_t>(k)];
+    std::map<double, std::pair<int64_t, int>> by_tau;  // tau -> (key, slot)
+    for (int c = 0; c < n_cfg; ++c) {
+      check(static_cast<int>(configs[static_cast<size_t>(c)].tau.size()) ==
+                conv_count_,
+            "config does not match model");
+      const double tau = configs[static_cast<size_t>(c)].tau[static_cast<size_t>(k)];
+      if (tau < 0.0) continue;  // exact layer: key 0, slot -1
+      auto it = by_tau.find(tau);
+      if (it == by_tau.end()) {
+        // Same comparison make_skip_mask uses (kAlwaysRetain channels
+        // never satisfy <= tau), so the variant matches the legacy mask.
+        layer_mask.assign(conv.weights.size(), 0);
+        int64_t skipped = 0;
+        for (size_t i = 0; i < layer_mask.size(); ++i) {
+          layer_mask[i] = sig.S[i] <= static_cast<float>(tau) ? 1 : 0;
+          skipped += layer_mask[i];
+        }
+        int slot = -1;
+        if (skipped > 0) {
+          auto slot_it = key_slot_[static_cast<size_t>(k)].find(skipped);
+          if (slot_it == key_slot_[static_cast<size_t>(k)].end()) {
+            QConv2D variant = conv;
+            for (size_t i = 0; i < layer_mask.size(); ++i)
+              if (layer_mask[i]) variant.weights[i] = 0;
+            slot = static_cast<int>(masked_[static_cast<size_t>(k)].size());
+            masked_[static_cast<size_t>(k)].push_back(std::move(variant));
+            key_slot_[static_cast<size_t>(k)].emplace(skipped, slot);
+          } else {
+            slot = slot_it->second;
+          }
+        }
+        it = by_tau.emplace(tau, std::make_pair(skipped, slot)).first;
+      }
+      keys_[static_cast<size_t>(c)][static_cast<size_t>(k)] = it->second.first;
+      slots_[static_cast<size_t>(c)][static_cast<size_t>(k)] = it->second.second;
+    }
+  }
+
+  // Trie leaf order: lexicographic by key vector, stable by config index
+  // so the all-exact config 0 stays first among all-exact twins.
+  order_.resize(static_cast<size_t>(n_cfg));
+  for (int c = 0; c < n_cfg; ++c) order_[static_cast<size_t>(c)] = c;
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    const auto& ka = keys_[static_cast<size_t>(a)];
+    const auto& kb = keys_[static_cast<size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  lcp_.assign(static_cast<size_t>(n_cfg), 0);
+  for (int p = 1; p < n_cfg; ++p) {
+    const auto& ka = keys_[static_cast<size_t>(order_[static_cast<size_t>(p - 1)])];
+    const auto& kb = keys_[static_cast<size_t>(order_[static_cast<size_t>(p)])];
+    int l = 0;
+    while (l < conv_count_ && ka[static_cast<size_t>(l)] == kb[static_cast<size_t>(l)])
+      ++l;
+    lcp_[static_cast<size_t>(p)] = l;
+  }
+}
+
+void PrefixCache::run_segment(int ordinal, int slot,
+                              const std::vector<int8_t>& in,
+                              std::vector<int8_t>& out,
+                              std::vector<int8_t>& scratch) const {
+  const int begin = conv_pos_[static_cast<size_t>(ordinal)];
+  const int end = ordinal + 1 < conv_count_
+                      ? conv_pos_[static_cast<size_t>(ordinal + 1)]
+                      : tail_begin_;
+  const QConv2D& conv =
+      slot < 0 ? std::get<QConv2D>(model_->layers[static_cast<size_t>(begin)])
+               : masked_[static_cast<size_t>(ordinal)][static_cast<size_t>(slot)];
+  out.assign(static_cast<size_t>(conv.geom.positions()) * conv.geom.out_c, 0);
+  conv2d_ref(conv, in, out, nullptr);
+  for (int l = begin + 1; l < end; ++l) {
+    const QLayer& layer = model_->layers[static_cast<size_t>(l)];
+    if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      scratch.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
+                         pool->channels,
+                     0);
+      maxpool_ref(*pool, out, scratch);
+      out.swap(scratch);
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      scratch.assign(static_cast<size_t>(fc->out_dim), 0);
+      dense_ref(*fc, out, scratch);
+      out.swap(scratch);
+    }
+  }
+}
+
+PrefixCacheStats PrefixCache::evaluate_ranges(
+    const std::vector<int>& img_begin, const std::vector<int>& img_end,
+    std::vector<uint8_t>& hits) const {
+  const int n_cfg = config_count();
+  check(static_cast<int>(img_begin.size()) == n_cfg &&
+            static_cast<int>(img_end.size()) == n_cfg,
+        "range vectors do not match config count");
+  check(hits.size() == static_cast<size_t>(n_cfg) * n_images_,
+        "hits matrix size mismatch");
+  int lo_img = n_images_, hi_img = 0;
+  for (int c = 0; c < n_cfg; ++c) {
+    const int b = img_begin[static_cast<size_t>(c)];
+    const int e = img_end[static_cast<size_t>(c)];
+    check(b >= 0 && e <= n_images_, "image range out of bounds");
+    if (b >= e) continue;
+    lo_img = std::min(lo_img, b);
+    hi_img = std::max(hi_img, e);
+  }
+  if (lo_img >= hi_img) return {};
+
+  std::atomic<int64_t> run_total{0}, reuse_total{0};
+  parallel_for_chunked(lo_img, hi_img, [&](int64_t lo, int64_t hi) {
+    // boundary[k] holds the input activations of conv ordinal k for the
+    // current image; boundary[conv_count_] the input of the exact tail.
+    std::vector<std::vector<int8_t>> boundary(
+        static_cast<size_t>(conv_count_) + 1);
+    std::vector<int8_t> scratch;
+    int64_t run = 0, reuse = 0;
+    for (int64_t img = lo; img < hi; ++img) {
+      const int i = static_cast<int>(img);  // position; hits row offset
+      const int image_index = image_at(i);  // dataset image it samples
+      const int label = eval_->label(image_index);
+      std::vector<int8_t> act =
+          ref_.quantize_input(eval_->image(image_index));
+      // Layers before the first conv (normally none) are shared by every
+      // config; run them once into the depth-0 boundary.
+      for (int l = 0; l < conv_pos_.front(); ++l) {
+        const QLayer& layer = model_->layers[static_cast<size_t>(l)];
+        if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+          scratch.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
+                             pool->channels,
+                         0);
+          maxpool_ref(*pool, act, scratch);
+          act.swap(scratch);
+        } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+          scratch.assign(static_cast<size_t>(fc->out_dim), 0);
+          dense_ref(*fc, act, scratch);
+          act.swap(scratch);
+        }
+      }
+      boundary[0] = std::move(act);
+
+      // One trie walk per image over every config whose range covers it.
+      // The resume depth over a gap of skipped configs is the min of the
+      // adjacent lcps (standard property of a lexicographically sorted
+      // sequence), tracked in `pending`.
+      int pending = conv_count_;
+      bool first = true;
+      uint8_t prev_hit = 0;
+      for (int p = 0; p < n_cfg; ++p) {
+        pending = std::min(pending, lcp_[static_cast<size_t>(p)]);
+        const int c = order_[static_cast<size_t>(p)];
+        if (i < img_begin[static_cast<size_t>(c)] ||
+            i >= img_end[static_cast<size_t>(c)])
+          continue;
+        const int depth = first ? 0 : pending;
+        uint8_t hit;
+        if (depth == conv_count_) {
+          hit = prev_hit;  // identical config key: identical logits
+          reuse += conv_count_ + 1;
+        } else {
+          for (int k = depth; k < conv_count_; ++k) {
+            run_segment(k,
+                        slots_[static_cast<size_t>(c)][static_cast<size_t>(k)],
+                        boundary[static_cast<size_t>(k)],
+                        boundary[static_cast<size_t>(k) + 1], scratch);
+          }
+          const std::vector<int8_t> logits = ref_.run_from(
+              tail_begin_, boundary[static_cast<size_t>(conv_count_)]);
+          hit = argmax_lowest_index(logits) == label ? 1 : 0;
+          reuse += depth;
+          run += (conv_count_ - depth) + 1;
+        }
+        hits[static_cast<size_t>(c) * n_images_ + static_cast<size_t>(i)] =
+            hit;
+        prev_hit = hit;
+        first = false;
+        pending = conv_count_;
+      }
+    }
+    // Integer sums are order-insensitive, so the totals stay bitwise
+    // deterministic for any thread count.
+    run_total.fetch_add(run, std::memory_order_relaxed);
+    reuse_total.fetch_add(reuse, std::memory_order_relaxed);
+  });
+
+  PrefixCacheStats total;
+  total.segments_run = run_total.load();
+  total.segments_reused = reuse_total.load();
+  return total;
+}
+
+PrefixCacheStats PrefixCache::evaluate_images(int image_begin, int image_end,
+                                              const std::vector<uint8_t>& alive,
+                                              std::vector<uint8_t>& hits) const {
+  const int n_cfg = config_count();
+  check(static_cast<int>(alive.size()) == n_cfg, "alive mask size mismatch");
+  check(image_begin >= 0 && image_begin <= image_end && image_end <= n_images_,
+        "image range out of bounds");
+  std::vector<int> begin(static_cast<size_t>(n_cfg), 0);
+  std::vector<int> end(static_cast<size_t>(n_cfg), 0);
+  for (int c = 0; c < n_cfg; ++c) {
+    if (!alive[static_cast<size_t>(c)]) continue;
+    begin[static_cast<size_t>(c)] = image_begin;
+    end[static_cast<size_t>(c)] = image_end;
+  }
+  return evaluate_ranges(begin, end, hits);
+}
+
+}  // namespace ataman

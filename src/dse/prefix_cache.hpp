@@ -1,0 +1,132 @@
+// Layer-prefix activation cache for the DSE sweep (§II-C, Fig. 2).
+//
+// The exhaustive exploration scores thousands of ApproxConfigs, each by
+// running inference over hundreds of images — yet most configs share long
+// per-layer prefixes (identical skip decisions on the early conv layers)
+// and differ only in later-layer tau. Re-running every config from the
+// input wastes exactly those shared prefixes.
+//
+// The cache sorts the config space as a trie keyed by each config's
+// per-conv-layer skip decision: configs are visited in lexicographic key
+// order, and for every image the activations at each conv-layer boundary
+// are kept on a stack, so a config that shares a k-layer prefix with its
+// predecessor resumes from the cached input of conv layer k instead of
+// layer 0. Two properties make this exact (bitwise identical to the
+// per-config ConfigEvaluator::evaluate sweep):
+//
+//  * the per-layer key is the skipped-operand count, which uniquely
+//    identifies the layer's skip set because skip sets are nested in tau
+//    (skip_plan.hpp) — equal cardinality implies equal set;
+//  * each distinct (layer, key) pair is materialized once as a
+//    zeroed-weight conv copy (the same branch-free trick
+//    apply_skip_mask uses), so segment execution runs the identical
+//    kernels on identical weights as the legacy path.
+//
+// The exact tail behind the last conv layer (pool/dense/softmax — never
+// approximated) is executed through RefEngine::run_from, the
+// InferenceEngine seam's layer-boundary resume entry point.
+//
+// See docs/DSE.md for the sweep-level picture (adaptive early exit,
+// exact-mode escape hatch, reproduction commands).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/nn/engine.hpp"
+#include "src/sig/skip_plan.hpp"
+
+namespace ataman {
+
+// Deterministic counters for one evaluate_images call. A "segment" is one
+// conv layer plus the non-conv layers up to the next conv; the exact tail
+// behind the last conv counts as one more segment.
+struct PrefixCacheStats {
+  int64_t segments_run = 0;     // segments actually executed
+  int64_t segments_reused = 0;  // segments served from a cached prefix
+};
+
+class PrefixCache {
+ public:
+  // `model`, `significance` and `eval` must outlive the cache. The cache
+  // evaluates up to `eval_images` images of `eval` (-1 = whole set;
+  // clamped by the canonical clamp_eval_limit rule).
+  PrefixCache(const QModel* model,
+              const std::vector<LayerSignificance>* significance,
+              const Dataset* eval, const std::vector<ApproxConfig>& configs,
+              int eval_images);
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  int config_count() const { return static_cast<int>(keys_.size()); }
+  int conv_count() const { return conv_count_; }
+  int eval_images() const { return n_images_; }
+
+  // Image positions are a fixed coprime-stride permutation of the first
+  // eval_images() dataset images, so any prefix of positions is spread
+  // across the whole eval subset instead of mirroring its storage order
+  // (a class-ordered eval set would otherwise bias the adaptive sweep's
+  // partial samples). A full-budget sum covers the same image set either
+  // way, so exact-sweep accuracies are unaffected.
+  int image_at(int position) const {
+    return static_cast<int>((static_cast<int64_t>(position) * stride_) %
+                            n_images_);
+  }
+
+  // Config indices sorted so that shared per-layer prefixes are adjacent
+  // (the trie's depth-first leaf order).
+  const std::vector<int>& order() const { return order_; }
+
+  // Classify, for every config c, the images [img_begin[c], img_end[c])
+  // (empty ranges are skipped), writing per-(config, image) hit flags
+  // into `hits` (row-major, row stride eval_images()):
+  // hits[c * eval_images() + i] = 1 iff config c classifies image i
+  // correctly. All configs needing a given image are evaluated in one
+  // trie walk, so prefix sharing is maximal regardless of how the
+  // caller staggers ranges (blockwise sweeps, anchor completions, ...).
+  // Parallel over images; results and counters are bitwise deterministic
+  // for any thread count.
+  PrefixCacheStats evaluate_ranges(const std::vector<int>& img_begin,
+                                   const std::vector<int>& img_end,
+                                   std::vector<uint8_t>& hits) const;
+
+  // Convenience: one shared range [image_begin, image_end) for every
+  // config with alive[config] != 0.
+  PrefixCacheStats evaluate_images(int image_begin, int image_end,
+                                   const std::vector<uint8_t>& alive,
+                                   std::vector<uint8_t>& hits) const;
+
+ private:
+  // Execute segment `ordinal` (its conv — original or the masked variant
+  // in `slot` — plus trailing non-conv layers) on `in`, leaving the next
+  // boundary activations in `out`.
+  void run_segment(int ordinal, int slot, const std::vector<int8_t>& in,
+                   std::vector<int8_t>& out,
+                   std::vector<int8_t>& scratch) const;
+
+  const QModel* model_;
+  const Dataset* eval_;
+  int n_images_ = 0;
+  int stride_ = 1;  // coprime with n_images_; see image_at()
+  int conv_count_ = 0;
+  std::vector<int> conv_pos_;  // layer index of each conv ordinal
+  int tail_begin_ = 0;         // first layer behind the last conv
+  RefEngine ref_;              // exact engine: input quantization + tail
+
+  // Per conv ordinal: zeroed-weight variants of the layer, one per
+  // distinct non-empty skip set seen in the config space; key_slot_ maps
+  // the skipped-operand count to its variant index (key 0 / slot -1 means
+  // "use the model's original layer").
+  std::vector<std::vector<QConv2D>> masked_;
+  std::vector<std::map<int64_t, int>> key_slot_;
+
+  std::vector<std::vector<int64_t>> keys_;  // [config][ordinal] skip count
+  std::vector<std::vector<int>> slots_;     // [config][ordinal] variant
+  std::vector<int> order_;                  // configs, trie leaf order
+  std::vector<int> lcp_;                    // lcp_[p] = lcp(order[p-1],order[p])
+};
+
+}  // namespace ataman

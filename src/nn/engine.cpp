@@ -20,12 +20,57 @@ int RefEngine::classify(std::span<const uint8_t> image) const {
 std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image,
                                    const SkipMask* mask,
                                    const ConvTap& tap) const {
+  return run_layers(0, quantize_input(image), mask, tap);
+}
+
+std::vector<int8_t> RefEngine::run_from(
+    int layer_begin, std::span<const int8_t> activations) const {
+  return run_from(layer_begin, activations, default_mask_);
+}
+
+std::vector<int8_t> RefEngine::run_from(int layer_begin,
+                                        std::span<const int8_t> activations,
+                                        const SkipMask* mask,
+                                        const ConvTap& tap) const {
+  return run_layers(layer_begin,
+                    std::vector<int8_t>(activations.begin(), activations.end()),
+                    mask, tap);
+}
+
+std::vector<int8_t> RefEngine::run_layers(int layer_begin,
+                                          std::vector<int8_t> act,
+                                          const SkipMask* mask,
+                                          const ConvTap& tap) const {
+  const int layer_count = static_cast<int>(model().layers.size());
+  check(layer_begin >= 0 && layer_begin <= layer_count,
+        "run_from layer index out of range");
   if (mask != nullptr) mask->validate(model());
-  std::vector<int8_t> cur = quantize_input(image);
+  if (layer_begin < layer_count) {
+    const QLayer& entry = model().layers[static_cast<size_t>(layer_begin)];
+    int64_t expected = 0;
+    if (const auto* conv = std::get_if<QConv2D>(&entry)) {
+      expected = static_cast<int64_t>(conv->geom.in_h) * conv->geom.in_w *
+                 conv->geom.in_c;
+    } else if (const auto* pool = std::get_if<QMaxPool>(&entry)) {
+      expected = static_cast<int64_t>(pool->in_h) * pool->in_w *
+                 pool->channels;
+    } else if (const auto* fc = std::get_if<QDense>(&entry)) {
+      expected = fc->in_dim;
+    }
+    check(static_cast<int64_t>(act.size()) == expected,
+          "run_from activation size mismatch at layer " +
+              std::to_string(layer_begin));
+  }
+  std::vector<int8_t> cur = std::move(act);
   std::vector<int8_t> next;
 
   int conv_ordinal = 0;
-  for (const QLayer& layer : model().layers) {
+  for (int l = 0; l < layer_begin; ++l) {
+    if (std::holds_alternative<QConv2D>(model().layers[static_cast<size_t>(l)]))
+      ++conv_ordinal;
+  }
+  for (int l = layer_begin; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       if (tap) tap(conv_ordinal, *conv, cur);
       const uint8_t* skip = nullptr;

@@ -44,14 +44,34 @@ class RefEngine : public InferenceEngine {
   int64_t flash_bytes() const override { return 0; }
   int64_t ram_bytes() const override { return 0; }
 
+  // Layer-boundary resume (the DSE's prefix cache enters here): run
+  // layers [layer_begin, end) on the given int8 activations under the
+  // bound mask. See InferenceEngine::run_from for the contract.
+  bool supports_run_from() const override { return true; }
+  std::vector<int8_t> run_from(
+      int layer_begin, std::span<const int8_t> activations) const override;
+
   // Full inference with an explicit mask and optional conv-input tap.
   std::vector<int8_t> run(std::span<const uint8_t> image,
                           const SkipMask* mask,
                           const ConvTap& tap = nullptr) const;
 
+  // run_from with an explicit mask/tap (the override above forwards here
+  // with the bound mask).
+  std::vector<int8_t> run_from(int layer_begin,
+                               std::span<const int8_t> activations,
+                               const SkipMask* mask,
+                               const ConvTap& tap = nullptr) const;
+
   int classify(std::span<const uint8_t> image, const SkipMask* mask) const;
 
  private:
+  // Shared layer walker: takes the working buffer by value so run() can
+  // hand over the freshly quantized input without a copy.
+  std::vector<int8_t> run_layers(int layer_begin, std::vector<int8_t> act,
+                                 const SkipMask* mask,
+                                 const ConvTap& tap) const;
+
   const SkipMask* default_mask_ = nullptr;
 };
 

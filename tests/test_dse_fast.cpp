@@ -1,0 +1,312 @@
+// Fast DSE path: the run_from layer-boundary resume seam, bitwise parity
+// of the prefix-cached exact sweep with the per-config evaluator, the
+// adaptive early-exit invariants (all-exact config and every Pareto
+// member fully evaluated), determinism across thread counts, and the
+// dse_io format-version-2 round trip with version-1 backward compat.
+//
+// This suite carries the `dse-smoke` ctest label: it is the tiny
+// fast-vs-exact sweep CI runs in the OMP_NUM_THREADS={1,4} matrix.
+#include <gtest/gtest.h>
+
+#include "src/cmsisnn/cmsis_engine.hpp"
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/dse/adaptive_eval.hpp"
+#include "src/dse/config_space.hpp"
+#include "src/dse/dse_io.hpp"
+#include "src/dse/dse_runner.hpp"
+#include "src/dse/evaluator.hpp"
+#include "src/dse/prefix_cache.hpp"
+#include "src/nn/engine.hpp"
+#include "src/sig/act_stats.hpp"
+#include "tests/test_util.hpp"
+
+namespace ataman {
+namespace {
+
+using testing::make_tiny_qmodel;
+
+class DseFastFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new QModel(make_tiny_qmodel(91));
+    eval_ = new Dataset(ImageShape{12, 12, 3}, 10);
+    Rng rng(92);
+    for (int i = 0; i < 120; ++i) {
+      std::vector<uint8_t> img(12 * 12 * 3);
+      for (auto& p : img) p = static_cast<uint8_t>(rng.next_int(0, 255));
+      eval_->add(img, rng.next_int(0, 9));
+    }
+    const auto stats = capture_activation_stats(*model_, *eval_, 32);
+    sig_ = new std::vector<LayerSignificance>(
+        compute_model_significance(*model_, stats));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete eval_;
+    delete sig_;
+    model_ = nullptr;
+    eval_ = nullptr;
+    sig_ = nullptr;
+  }
+
+  static std::vector<ApproxConfig> sweep_configs() {
+    DseOptions o;
+    o.tau_step = 0.02;  // grid {0, 0.02, ..., 0.1}: 1 + 3 subsets x 6 taus
+    return generate_configs(2, o);
+  }
+
+  static QModel* model_;
+  static Dataset* eval_;
+  static std::vector<LayerSignificance>* sig_;
+};
+
+QModel* DseFastFixture::model_ = nullptr;
+Dataset* DseFastFixture::eval_ = nullptr;
+std::vector<LayerSignificance>* DseFastFixture::sig_ = nullptr;
+
+// --- the run_from seam --------------------------------------------------
+
+TEST_F(DseFastFixture, RunFromResumesAtEveryConvBoundary) {
+  const RefEngine ref(model_);
+  const auto image = eval_->image(0);
+  const std::vector<int8_t> full = ref.run(image);
+
+  // Capture each conv layer's input with a tap, then resume there.
+  std::vector<std::vector<int8_t>> conv_inputs(
+      static_cast<size_t>(model_->conv_layer_count()));
+  ref.run(image, nullptr,
+          [&](int ordinal, const QConv2D&, std::span<const int8_t> in) {
+            conv_inputs[static_cast<size_t>(ordinal)].assign(in.begin(),
+                                                             in.end());
+          });
+  for (int k = 0; k < model_->conv_layer_count(); ++k) {
+    const std::vector<int8_t> resumed =
+        ref.run_from(model_->conv_layer_index(k),
+                     conv_inputs[static_cast<size_t>(k)]);
+    EXPECT_EQ(resumed, full) << "resume at conv ordinal " << k;
+  }
+  // Resuming past the last layer is the identity.
+  EXPECT_EQ(ref.run_from(static_cast<int>(model_->layers.size()), full),
+            full);
+}
+
+TEST_F(DseFastFixture, RunFromValidatesInput) {
+  const RefEngine ref(model_);
+  const std::vector<int8_t> wrong(7, 0);
+  EXPECT_THROW(ref.run_from(0, wrong), Error);
+  EXPECT_THROW(ref.run_from(-1, wrong), Error);
+  EXPECT_THROW(
+      ref.run_from(static_cast<int>(model_->layers.size()) + 1, wrong),
+      Error);
+}
+
+TEST_F(DseFastFixture, NonResumableEnginesDeclineRunFrom) {
+  const CmsisEngine cmsis(model_);
+  EXPECT_TRUE(RefEngine(model_).supports_run_from());
+  EXPECT_FALSE(cmsis.supports_run_from());
+  const std::vector<int8_t> acts(static_cast<size_t>(12) * 12 * 3, 0);
+  EXPECT_THROW(cmsis.run_from(0, acts), Error);
+}
+
+// --- Wilson bounds ------------------------------------------------------
+
+TEST(WilsonBound, BracketsTheSampleProportion) {
+  for (const auto& [h, n] :
+       {std::pair{0, 10}, {3, 10}, {10, 10}, {57, 200}}) {
+    const double p = static_cast<double>(h) / n;
+    EXPECT_LE(wilson_lower(h, n, 2.58), p + 1e-12);
+    EXPECT_GE(wilson_upper(h, n, 2.58), p - 1e-12);
+    EXPECT_GE(wilson_lower(h, n, 2.58), 0.0);
+    EXPECT_LE(wilson_upper(h, n, 2.58), 1.0);
+  }
+  // No observations: vacuous interval.
+  EXPECT_EQ(wilson_lower(0, 0, 2.58), 0.0);
+  EXPECT_EQ(wilson_upper(0, 0, 2.58), 1.0);
+  // More evidence tightens the interval.
+  EXPECT_GT(wilson_upper(3, 10, 2.58) - wilson_lower(3, 10, 2.58),
+            wilson_upper(30, 100, 2.58) - wilson_lower(30, 100, 2.58));
+}
+
+// --- prefix-cached exact sweep: bitwise parity --------------------------
+
+TEST_F(DseFastFixture, ExactSweepBitwiseMatchesPerConfigEvaluate) {
+  const ConfigEvaluator ev(model_, sig_, eval_, -1);
+  const auto configs = sweep_configs();
+
+  DseOptions o;
+  o.exact_sweep = true;
+  const DseOutcome fast = run_dse(ev, configs, o);
+
+  // The pre-prefix-cache sweep: one ConfigEvaluator::evaluate per config.
+  std::vector<DseResult> legacy(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i)
+    legacy[i] = ev.evaluate(configs[i]);
+
+  ASSERT_EQ(fast.results.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(fast.results[i].accuracy, legacy[i].accuracy) << "config " << i;
+    EXPECT_EQ(fast.results[i].executed_macs, legacy[i].executed_macs);
+    EXPECT_EQ(fast.results[i].skipped_conv_macs, legacy[i].skipped_conv_macs);
+    EXPECT_EQ(fast.results[i].conv_mac_reduction,
+              legacy[i].conv_mac_reduction);
+    EXPECT_EQ(fast.results[i].cycles, legacy[i].cycles);
+    EXPECT_EQ(fast.results[i].latency_reduction, legacy[i].latency_reduction);
+    EXPECT_EQ(fast.results[i].flash_bytes, legacy[i].flash_bytes);
+    EXPECT_EQ(fast.results[i].config.tau, legacy[i].config.tau);
+  }
+
+  std::vector<ParetoPoint> points;
+  for (size_t i = 0; i < legacy.size(); ++i)
+    points.push_back(
+        {legacy[i].conv_mac_reduction, legacy[i].accuracy,
+         static_cast<int>(i)});
+  EXPECT_EQ(fast.pareto, pareto_front(points));
+
+  // Exact mode: full image budget for everyone, reuse accounted.
+  EXPECT_EQ(fast.early_exits, 0);
+  EXPECT_EQ(fast.images_evaluated,
+            static_cast<int64_t>(configs.size()) * eval_->size());
+  EXPECT_GT(fast.cache_hits, 0);
+}
+
+// --- adaptive early exit ------------------------------------------------
+
+DseOptions aggressive_adaptive_options() {
+  DseOptions o;
+  o.eval_block = 8;
+  o.exit_z = 1.0;       // ~68% interval: exits trigger on noise-level gaps
+  o.exit_margin = 0.0;  // so this random-model space actually prunes
+  return o;
+}
+
+TEST_F(DseFastFixture, AdaptiveSweepFullyEvaluatesBaselineAndFront) {
+  const ConfigEvaluator ev(model_, sig_, eval_, -1);
+  const auto configs = sweep_configs();
+  const DseOutcome fast = run_dse(ev, configs, aggressive_adaptive_options());
+
+  // The scenario must actually prune, or the invariants are vacuous.
+  ASSERT_GT(fast.early_exits, 0);
+  EXPECT_LT(fast.images_evaluated,
+            static_cast<int64_t>(configs.size()) * eval_->size());
+
+  // results[0] (all-exact) is always a full-sample measurement ...
+  EXPECT_EQ(fast.results[0].accuracy, ev.evaluate(configs[0]).accuracy);
+  EXPECT_EQ(fast.exact_accuracy, fast.results[0].accuracy);
+  EXPECT_FALSE(fast.results[0].partial_eval);
+  // ... and so is every Pareto member (bitwise equal to the full eval).
+  for (const int idx : fast.pareto) {
+    const DseResult& r = fast.results[static_cast<size_t>(idx)];
+    EXPECT_FALSE(r.partial_eval);
+    EXPECT_EQ(r.accuracy, ev.evaluate(r.config).accuracy)
+        << "front member " << idx << " not fully evaluated";
+  }
+
+  // Early exits are flagged, and selection never trusts a partial
+  // sample against an accuracy-loss budget.
+  int partial = 0;
+  for (const DseResult& r : fast.results) partial += r.partial_eval ? 1 : 0;
+  EXPECT_EQ(partial, fast.early_exits);
+  for (const double loss : {0.0, 0.05, 0.2}) {
+    const int sel = select_design(fast, loss);
+    if (sel >= 0) {
+      EXPECT_FALSE(fast.results[static_cast<size_t>(sel)].partial_eval);
+    }
+  }
+}
+
+TEST_F(DseFastFixture, AdaptiveSweepDeterministicAcrossThreadCounts) {
+  const ConfigEvaluator ev(model_, sig_, eval_, -1);
+  const auto configs = sweep_configs();
+  const DseOptions o = aggressive_adaptive_options();
+  set_num_threads(1);
+  const DseOutcome a = run_dse(ev, configs, o);
+  set_num_threads(8);
+  const DseOutcome b = run_dse(ev, configs, o);
+  set_num_threads(0);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].accuracy, b.results[i].accuracy);
+    EXPECT_EQ(a.results[i].cycles, b.results[i].cycles);
+  }
+  EXPECT_EQ(a.pareto, b.pareto);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.images_evaluated, b.images_evaluated);
+  EXPECT_EQ(a.early_exits, b.early_exits);
+}
+
+TEST_F(DseFastFixture, NonResumableAccuracyBackendFallsBack) {
+  // A non-"ref" accuracy backend cannot be prefix-cached; the sweep must
+  // fall back to the per-config path and — cmsis being bit-exact with the
+  // reference — still produce identical accuracies.
+  const ConfigEvaluator ref_ev(model_, sig_, eval_, 40);
+  const ConfigEvaluator cmsis_ev(model_, sig_, eval_, 40, {}, {}, "cmsis");
+  const auto configs = sweep_configs();
+  DseOptions o;
+  o.exact_sweep = true;
+  const DseOutcome fast = run_dse(ref_ev, configs, o);
+  const DseOutcome fallback = run_dse(cmsis_ev, configs, o);
+  ASSERT_EQ(fast.results.size(), fallback.results.size());
+  for (size_t i = 0; i < fast.results.size(); ++i)
+    EXPECT_EQ(fast.results[i].accuracy, fallback.results[i].accuracy);
+  EXPECT_EQ(fallback.cache_hits, 0);
+  EXPECT_EQ(fallback.early_exits, 0);
+  EXPECT_EQ(fallback.images_evaluated,
+            static_cast<int64_t>(configs.size()) * 40);
+}
+
+// --- dse_io: format version 2 + backward compat -------------------------
+
+TEST_F(DseFastFixture, OutcomeJsonV2RoundTripCarriesSweepStats) {
+  const ConfigEvaluator ev(model_, sig_, eval_, 48);
+  const DseOutcome a = run_dse(ev, sweep_configs(),
+                               aggressive_adaptive_options());
+  const Json j = dse_outcome_to_json(a);
+  EXPECT_EQ(j.at("version").as_int(), 2);
+
+  const DseOutcome b = dse_outcome_from_json(j);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.images_evaluated, b.images_evaluated);
+  EXPECT_EQ(a.early_exits, b.early_exits);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].accuracy, b.results[i].accuracy);
+    EXPECT_EQ(a.results[i].partial_eval, b.results[i].partial_eval);
+  }
+  EXPECT_EQ(a.pareto, b.pareto);
+}
+
+TEST_F(DseFastFixture, VersionOneFilesStillLoad) {
+  const ConfigEvaluator ev(model_, sig_, eval_, 48);
+  const DseOutcome a = run_dse(ev, sweep_configs(), DseOptions{});
+
+  // A version-1 file is today's format minus the version field and the
+  // fast-sweep statistics.
+  Json j = dse_outcome_to_json(a);
+  j.as_object().erase("version");
+  j.as_object().erase("cache_hits");
+  j.as_object().erase("images_evaluated");
+  j.as_object().erase("early_exits");
+
+  const DseOutcome b = dse_outcome_from_json(Json::parse(j.dump()));
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_EQ(a.results[i].accuracy, b.results[i].accuracy);
+  EXPECT_EQ(a.pareto, b.pareto);
+  EXPECT_EQ(b.cache_hits, 0);
+  EXPECT_EQ(b.images_evaluated, 0);
+  EXPECT_EQ(b.early_exits, 0);
+}
+
+TEST_F(DseFastFixture, UnknownFutureVersionIsRejected) {
+  const ConfigEvaluator ev(model_, sig_, eval_, 24);
+  DseOptions o;
+  o.tau_step = 0.05;
+  Json j = dse_outcome_to_json(run_dse(ev, 2, o));
+  j.as_object()["version"] = Json(static_cast<int64_t>(99));
+  EXPECT_THROW(dse_outcome_from_json(j), Error);
+}
+
+}  // namespace
+}  // namespace ataman
