@@ -6,6 +6,8 @@
 //              [--eval-images N] [--tau-step S] [--engine NAME]
 //              [--fast-dse | --exact-sweep]
 //              [--emit out.c] [--json report.json] [--hybrid]
+//              [--serve [--requests N] [--serve-workers W]
+//               [--serve-batch B]]
 //
 // Runs: load/train + quantize -> analyze -> DSE -> select at the given
 // accuracy-loss budget -> deploy (vs CMSIS-NN and X-CUBE-AI) -> optional
@@ -16,12 +18,20 @@
 // exit (`--fast-dse`, the default); `--exact-sweep` evaluates every
 // config on the full image budget instead — bitwise identical to the
 // per-config sweep. See docs/DSE.md.
+//
+// `--serve` appends a serving demo after deployment: the selected
+// approximate design plus the exact comparators are served as mixed
+// traffic through the batched async runtime (src/serve), and every
+// result is cross-checked bitwise against serial execution. See
+// docs/SERVING.md.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "src/common/stopwatch.hpp"
 #include "src/core/ataman.hpp"
 #include "src/core/engine_iface.hpp"
+#include "src/serve/server.hpp"
 #include "src/unpack/layer_selection.hpp"
 
 namespace {
@@ -42,6 +52,10 @@ struct CliArgs {
   // against --exact-sweep, which is what actually switches modes.
   bool fast_dse = false;
   bool exact_sweep = false;  // escape hatch: full-budget, bitwise-exact DSE
+  bool serve = false;        // post-deploy serving demo (src/serve)
+  int requests = 64;         // --serve traffic volume
+  int serve_workers = 4;
+  int serve_batch = 8;
 };
 
 CliArgs parse_args(int argc, char** argv) {
@@ -72,6 +86,14 @@ CliArgs parse_args(int argc, char** argv) {
       args.fast_dse = true;
     } else if (a == "--exact-sweep") {
       args.exact_sweep = true;
+    } else if (a == "--serve") {
+      args.serve = true;
+    } else if (a == "--requests") {
+      args.requests = std::stoi(next());
+    } else if (a == "--serve-workers") {
+      args.serve_workers = std::stoi(next());
+    } else if (a == "--serve-batch") {
+      args.serve_batch = std::stoi(next());
     } else if (a == "--help" || a == "-h") {
       std::string engines;
       for (const std::string& n : EngineRegistry::instance().names()) {
@@ -83,7 +105,9 @@ CliArgs parse_args(int argc, char** argv) {
           "                  [--eval-images N] [--tau-step S]\n"
           "                  [--engine %s]\n"
           "                  [--fast-dse | --exact-sweep]\n"
-          "                  [--emit F.c] [--json F.json] [--hybrid]\n",
+          "                  [--emit F.c] [--json F.json] [--hybrid]\n"
+          "                  [--serve [--requests N] [--serve-workers W]\n"
+          "                   [--serve-batch B]]\n",
           engines.c_str());
       std::exit(0);
     } else {
@@ -178,6 +202,77 @@ int main(int argc, char** argv) {
     std::printf("[cli] %-14s acc %.4f  %7.2f ms  %6.0f KB  %.3f mJ\n",
                 r->design.c_str(), r->top1_accuracy, r->latency_ms,
                 static_cast<double>(r->flash_bytes) / 1024.0, r->energy_mj);
+  }
+
+  if (args.serve) {
+    // Serving demo: mixed exact/approximate traffic for the selected
+    // design through the batched async runtime, cross-checked bitwise
+    // against serial execution (the determinism contract).
+    const SkipMask serve_mask = pipeline.mask_for(chosen.config);
+    struct ServeKey {
+      const char* engine;
+      const SkipMask* mask;
+    };
+    const ServeKey keys[] = {
+        {"unpacked", &serve_mask},
+        {"cmsis", nullptr},
+        {"ref", &serve_mask},
+        {"xcube", nullptr},
+    };
+    std::vector<serve::InferRequest> traffic;
+    traffic.reserve(static_cast<size_t>(args.requests));
+    for (int i = 0; i < args.requests; ++i) {
+      const ServeKey& key = keys[static_cast<size_t>(i) % std::size(keys)];
+      serve::InferRequest r;
+      r.engine = key.engine;
+      r.mask = key.mask;
+      const auto img = data.test.image(i % data.test.size());
+      r.image.assign(img.begin(), img.end());
+      traffic.push_back(std::move(r));
+    }
+
+    serve::ServeOptions serve_options;
+    serve_options.workers = args.serve_workers;
+    serve_options.max_batch = args.serve_batch;
+    serve::InferenceServer server(&model, serve_options);
+    Stopwatch sw;
+    const std::vector<serve::InferFuture> futures =
+        server.submit_all(std::vector<serve::InferRequest>(traffic));
+    server.drain();
+    const double wall_ms = sw.millis();
+
+    // Serial oracles: one engine per configuration, reused across the
+    // cross-check (the whole point of the runtime's engine pool).
+    std::vector<std::unique_ptr<InferenceEngine>> oracles;
+    for (const ServeKey& key : keys) {
+      EngineConfig cfg;
+      cfg.model = &model;
+      cfg.mask = key.mask;
+      oracles.push_back(EngineRegistry::instance().create(key.engine, cfg));
+    }
+    int mismatches = 0;
+    for (size_t i = 0; i < traffic.size(); ++i) {
+      const auto& serial = oracles[i % std::size(keys)];
+      if (futures[i].get().logits != serial->run(traffic[i].image))
+        ++mismatches;
+    }
+    const serve::ServeStats stats = server.stats();
+    std::printf(
+        "[serve] %d requests, %d workers, max batch %d: %.1f ms "
+        "(%.0f req/s)\n",
+        args.requests, args.serve_workers, args.serve_batch, wall_ms,
+        1e3 * args.requests / wall_ms);
+    std::printf(
+        "[serve] %lld micro-batches (max fill %lld), %lld coalesced, "
+        "%lld prototypes + %lld clones in the pool\n",
+        static_cast<long long>(stats.batches),
+        static_cast<long long>(stats.max_batch_seen),
+        static_cast<long long>(stats.coalesced),
+        static_cast<long long>(stats.pool.prototypes_built),
+        static_cast<long long>(stats.pool.engines_cloned));
+    check(mismatches == 0, "serve results diverged from serial execution");
+    std::printf("[serve] all %d results bitwise identical to serial runs\n",
+                args.requests);
   }
 
   if (!args.emit_path.empty()) {

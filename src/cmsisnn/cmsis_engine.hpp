@@ -26,6 +26,12 @@ class CmsisEngine : public InferenceEngine {
 
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
+  // Copies the offline-packed weight streams and the precomputed profile
+  // instead of re-running the packing analysis.
+  std::unique_ptr<InferenceEngine> clone() const override {
+    return std::make_unique<CmsisEngine>(*this);
+  }
+
   // Structure-derived metrics (no execution needed).
   int64_t total_cycles() const override { return total_cycles_; }
   const std::vector<LayerProfile>& layer_profile() const override {

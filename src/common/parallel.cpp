@@ -43,6 +43,9 @@ int num_threads() { return effective_threads(); }
 
 bool in_parallel_region() { return t_region_depth > 0; }
 
+SerialRegionScope::SerialRegionScope() { ++t_region_depth; }
+SerialRegionScope::~SerialRegionScope() { --t_region_depth; }
+
 void set_num_threads(int n) {
   g_thread_override.store(n, std::memory_order_relaxed);
 }

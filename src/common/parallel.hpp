@@ -31,6 +31,23 @@ int num_threads();
 // parallel_for* issued in that state runs serially on the caller.
 bool in_parallel_region();
 
+// RAII: marks the calling thread as inside a parallel region for the
+// scope's lifetime, so every parallel_for* it issues runs serially on
+// this thread (and num_threads() reports 1). This is how non-OpenMP
+// thread pools compose with the library's data-parallel loops: each of
+// the serve runtime's std::thread workers (src/serve) holds one for its
+// whole life — a worker is already one lane of an outer parallel
+// execution, and without the scope an inner parallel_for would spawn an
+// OpenMP team per worker (threads x threads), the same oversubscription
+// the nesting rule exists to prevent.
+class SerialRegionScope {
+ public:
+  SerialRegionScope();
+  ~SerialRegionScope();
+  SerialRegionScope(const SerialRegionScope&) = delete;
+  SerialRegionScope& operator=(const SerialRegionScope&) = delete;
+};
+
 // Override the worker count for subsequent parallel_for calls; n <= 0
 // restores the OpenMP default.
 void set_num_threads(int n);

@@ -36,6 +36,12 @@ std::vector<int8_t> InferenceEngine::run_from(
        "(check supports_run_from() before resuming at a layer boundary)");
 }
 
+void InferenceEngine::rebind_mask(const SkipMask* mask) {
+  (void)mask;
+  fail("engine '" + design_name_ + "' does not support mask rebinding " +
+       "(check supports_mask_rebind(); pools key such engines per mask)");
+}
+
 const std::vector<LayerProfile>& InferenceEngine::layer_profile() const {
   static const std::vector<LayerProfile> kEmpty;
   return kEmpty;

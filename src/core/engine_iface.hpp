@@ -84,6 +84,26 @@ class InferenceEngine {
   // Top-1 class; ties broken lowest-index-wins (argmax_lowest_index).
   virtual int classify(std::span<const uint8_t> image) const;
 
+  // Cheap duplicate for per-worker engine pools (src/serve): copies the
+  // engine's derived state (packed weight streams, unpacked channel
+  // programs, precomputed cost tallies) without re-running the expensive
+  // constructor analysis, and shares the immutable QModel / bound
+  // SkipMask through the same non-owning pointers. Returns nullptr when
+  // the backend is not clonable; callers (EnginePool) then fall back to
+  // building a fresh instance through the registry factory. All four
+  // in-tree backends clone.
+  virtual std::unique_ptr<InferenceEngine> clone() const { return nullptr; }
+
+  // Mask rebinding: a backend that applies the skip mask at *run* time
+  // (the reference oracle) can swap masks between inferences on one
+  // instance, so a pool keeps one engine per worker for any number of
+  // approximate configs. Backends that bake the mask into constructed
+  // state (unpacked instruction streams) cannot rebind — pools key those
+  // per mask instead. `mask` must outlive the engine; nullptr unbinds.
+  // Throws unless supports_mask_rebind().
+  virtual bool supports_mask_rebind() const { return false; }
+  virtual void rebind_mask(const SkipMask* mask);
+
   // Modeled deployment cost of one inference (0 = not modeled).
   virtual int64_t total_cycles() const = 0;
 

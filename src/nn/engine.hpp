@@ -36,6 +36,16 @@ class RefEngine : public InferenceEngine {
   // `mask` must outlive the engine; nullptr unbinds.
   void bind_mask(const SkipMask* mask) { default_mask_ = mask; }
 
+  // The mask lives in run-time state only, so one instance serves any
+  // number of approximate configs (serve pools rebind per micro-batch).
+  bool supports_mask_rebind() const override { return true; }
+  void rebind_mask(const SkipMask* mask) override { bind_mask(mask); }
+
+  // Trivially cheap: the engine is a model pointer plus a mask pointer.
+  std::unique_ptr<InferenceEngine> clone() const override {
+    return std::make_unique<RefEngine>(*this);
+  }
+
   // InferenceEngine: exact (or bound-mask) inference.
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
   int classify(std::span<const uint8_t> image) const override;

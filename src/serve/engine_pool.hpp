@@ -1,0 +1,102 @@
+// Per-worker engine instances for the serve runtime.
+//
+// Rule: an engine instance is only ever executed by the worker that owns
+// it. Engine run() paths are const, but the pool does not bet
+// correctness on every present and future backend staying internally
+// stateless (see the clone/concurrency note on XCubeEngine) — isolation
+// per worker makes a data race impossible by construction.
+//
+// Construction is two-tier so warmup stays cheap:
+//   * The first request for a (backend, mask) key builds a shared
+//     *prototype* through EngineRegistry — the expensive path (weight
+//     packing, program unpacking, cycle pricing).
+//   * Each worker then takes InferenceEngine::clone() of the prototype —
+//     a flat copy of the derived state. Backends that decline to clone
+//     (clone() == nullptr) fall back to a per-worker factory build.
+//   * Mask-rebindable backends ("ref") collapse the mask dimension: one
+//     instance per worker total, mask rebound per micro-batch through
+//     the bind_mask seam — a thousand approximate configs never mean a
+//     thousand RefEngines.
+//
+// Whether a backend rebinds is resolved from its first prototype and
+// cached per backend name (rebindability is a property of the backend
+// class, not of one configuration — which also means a factory must not
+// return rebindable engines for some configs and non-rebindable ones
+// for others). Each worker keeps its own copy of the flag, so the
+// steady state — engine already cloned — touches no shared lock at all;
+// the global mutex is only taken to build something new.
+//
+// Exact backends that ignore masks (cmsis, xcube) should be addressed
+// with mask == nullptr; a non-null mask is keyed literally and would
+// duplicate an identical engine per mask pointer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/engine_iface.hpp"
+#include "src/xcube/xcube_engine.hpp"  // XCubeCostTable (by value in the pool)
+
+namespace ataman::serve {
+
+struct EnginePoolStats {
+  int64_t prototypes_built = 0;  // registry builds shared across workers
+  int64_t engines_cloned = 0;    // cheap per-worker clones
+  int64_t factory_builds = 0;    // per-worker fallback registry builds
+};
+
+class EnginePool {
+ public:
+  // `model` must outlive the pool; cost tables are copied. `workers` is
+  // the number of distinct owner ids engine_for will be called with.
+  EnginePool(const QModel* model, int workers, CortexM33CostTable costs = {},
+             MemoryCostTable memory = {}, XCubeCostTable xcube = {});
+
+  // The engine owned by `worker` for (backend, mask), built lazily, with
+  // `mask` bound (rebound in place for rebindable backends, baked in at
+  // construction otherwise). Thread contract: any number of workers may
+  // call concurrently, but each worker id must have at most one caller —
+  // the returned reference is only safe to use on that worker's thread,
+  // and it stays valid until the pool dies.
+  InferenceEngine& engine_for(int worker, const std::string& backend,
+                              const SkipMask* mask);
+
+  EnginePoolStats stats() const;
+
+ private:
+  // Resolved cache key: the mask slot is nullptr for rebindable
+  // backends (one instance covers every mask).
+  using Key = std::pair<std::string, const SkipMask*>;
+
+  struct WorkerState {
+    std::map<std::string, bool> rebindable;  // per-backend flag copy
+    std::map<Key, std::unique_ptr<InferenceEngine>> engines;
+  };
+
+  std::unique_ptr<InferenceEngine> build_from_registry(const Key& key) const;
+
+  // Slow path: resolve the backend's rebindability, build/find the
+  // prototype and produce this worker's instance. Takes proto_mutex_.
+  std::unique_ptr<InferenceEngine> make_instance(const std::string& backend,
+                                                 const SkipMask* mask,
+                                                 bool& rebindable_out);
+
+  const QModel* model_;
+  CortexM33CostTable costs_;
+  MemoryCostTable memory_;
+  XCubeCostTable xcube_;
+
+  mutable std::mutex proto_mutex_;  // guards the three members below
+  std::map<Key, std::unique_ptr<InferenceEngine>> prototypes_;
+  std::map<std::string, bool> rebindable_;
+  EnginePoolStats stats_;
+
+  // per_worker_[w] is touched only by worker w (no lock needed).
+  std::vector<WorkerState> per_worker_;
+};
+
+}  // namespace ataman::serve

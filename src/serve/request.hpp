@@ -1,0 +1,137 @@
+// Request/response types and the completion handle of the serve runtime.
+//
+// A request names an EngineRegistry backend, optionally points at a skip
+// mask (the same approximate-config seam the DSE binds through
+// EngineConfig), and owns its image bytes. The server answers through
+// InferFuture, a small mutex+condvar completion handle. A hand-rolled
+// state (rather than std::future) lets the server cancel still-queued
+// work on shutdown, lets callers poll ready()/cancelled(), and carries
+// queue/run timings next to the logits.
+//
+// Determinism contract: `logits` and `top1` are bitwise identical to
+// running the same (engine, mask, image) through the engine serially —
+// for any worker count, batch composition or arrival order (see
+// docs/SERVING.md). `queue_ms`/`run_ms`/`worker`/`batch_size` are
+// wall-clock/scheduling diagnostics and are NOT deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+struct SkipMask;
+
+namespace serve {
+
+struct InferRequest {
+  std::string engine = "ref";      // EngineRegistry backend name
+  const SkipMask* mask = nullptr;  // approximate config; nullptr = exact.
+                                   // Must outlive request completion.
+  std::vector<uint8_t> image;      // owned u8 pixels, model input shape
+};
+
+struct InferResult {
+  std::vector<int8_t> logits;  // final-layer int8 logits
+  int top1 = -1;               // argmax_lowest_index(logits)
+  double queue_ms = 0.0;       // submit -> execution start
+  double run_ms = 0.0;         // execution start -> logits
+  int worker = -1;             // executing worker id (diagnostic)
+  int batch_size = 0;          // size of the micro-batch it rode in
+};
+
+namespace detail {
+
+// Shared completion slot between the server (producer) and any number of
+// InferFuture copies (consumers).
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool cancelled = false;
+  InferResult result;
+  std::string error;  // non-empty -> get() throws
+
+  void complete(InferResult r) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  void fail_with(std::string message, bool was_cancelled) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      error = std::move(message);
+      cancelled = was_cancelled;
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+// Completion handle returned by InferenceServer::submit. Copyable (all
+// copies observe the same slot); a default-constructed handle is invalid.
+class InferFuture {
+ public:
+  InferFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    require_valid();
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
+  }
+
+  // True once the request was resolved by cancellation (queue shutdown
+  // before execution). Only meaningful after ready().
+  bool cancelled() const {
+    require_valid();
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done && state_->cancelled;
+  }
+
+  void wait() const {
+    require_valid();
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  // Blocks until resolved; returns the result, or throws Error when the
+  // request was cancelled or its execution failed. get() may be called
+  // repeatedly (it copies).
+  InferResult get() const {
+    require_valid();
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->error.empty()) fail(state_->error);
+    return state_->result;
+  }
+
+ private:
+  friend class InferenceServer;
+  explicit InferFuture(std::shared_ptr<detail::FutureState> state)
+      : state_(std::move(state)) {}
+
+  void require_valid() const {
+    check(valid(), "operation on an invalid (default-constructed) "
+                   "InferFuture");
+  }
+
+  std::shared_ptr<detail::FutureState> state_;
+};
+
+}  // namespace serve
+}  // namespace ataman

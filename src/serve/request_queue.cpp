@@ -1,0 +1,80 @@
+#include "src/serve/request_queue.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ataman::serve {
+
+RequestQueue::RequestQueue(int max_batch) : max_batch_(max_batch) {
+  check(max_batch >= 1, "RequestQueue max_batch must be >= 1");
+}
+
+bool RequestQueue::same_key(const InferRequest& a, const InferRequest& b) {
+  return a.mask == b.mask && a.engine == b.engine;
+}
+
+bool RequestQueue::push(QueuedJob job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop_batch(std::vector<QueuedJob>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;  // closed and drained
+
+  out.push_back(std::move(jobs_.front()));
+  jobs_.pop_front();
+  // Coalesce later same-key arrivals (arrival order preserved — we scan
+  // front to back and never reorder survivors).
+  for (auto it = jobs_.begin();
+       it != jobs_.end() && static_cast<int>(out.size()) < max_batch_;) {
+    if (same_key(out.front().request, it->request)) {
+      out.push_back(std::move(*it));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<QueuedJob> RequestQueue::cancel_pending() {
+  std::vector<QueuedJob> cancelled;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cancelled.reserve(jobs_.size());
+    while (!jobs_.empty()) {
+      cancelled.push_back(std::move(jobs_.front()));
+      jobs_.pop_front();
+    }
+  }
+  cv_.notify_all();
+  return cancelled;
+}
+
+int RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(jobs_.size());
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace ataman::serve

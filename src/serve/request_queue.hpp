@@ -1,0 +1,79 @@
+// Lock-guarded FIFO of pending inference jobs + the micro-batching
+// policy.
+//
+// Workers drain the queue through pop_batch(), which implements the
+// coalescing scheduler: take the oldest job, then pull up to
+// max_batch - 1 *later* jobs sharing its batch key — (engine name, mask
+// pointer) — into one chunk, preserving arrival order inside the chunk.
+// A batch therefore always runs on one engine instance with one bound
+// mask, which is what lets the worker execute it evaluate_batch-style
+// (tight loop over images, engine state hot in cache, no per-request
+// pool lookups).
+//
+// Fairness: only the *head* job's key is ever coalesced, so a flood of
+// one configuration cannot starve others — the oldest job always leaves
+// with the next batch, and foreign-key jobs keep their queue position.
+//
+// Shutdown: close() stops admissions but lets queued jobs drain;
+// cancel_pending() additionally strips the still-queued jobs and hands
+// them back so the owner can resolve their futures as cancelled.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/serve/request.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+
+namespace ataman::serve {
+
+struct QueuedJob {
+  uint64_t id = 0;  // submission order, unique per server
+  InferRequest request;
+  std::shared_ptr<detail::FutureState> state;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(int max_batch);
+
+  // Enqueue one job; false (job untouched) once the queue is closed.
+  bool push(QueuedJob job);
+
+  // Blocks until a job is available or the queue is closed; extracts one
+  // micro-batch into `out` (cleared first). False means closed-and-empty:
+  // the calling worker should exit.
+  bool pop_batch(std::vector<QueuedJob>& out);
+
+  // Stop accepting jobs; queued ones still drain through pop_batch.
+  void close();
+
+  // close() plus: remove every still-queued job and return them (the
+  // server resolves their futures as cancelled). In-flight jobs already
+  // popped by workers are unaffected.
+  std::vector<QueuedJob> cancel_pending();
+
+  int size() const;
+  bool closed() const;
+
+  // Batching key equality: same backend name and same SkipMask object.
+  // Mask identity (not content) is deliberate: the mask is a non-owning
+  // pointer the caller keeps alive, so pointer equality is the only
+  // comparison that is both cheap and lifetime-safe.
+  static bool same_key(const InferRequest& a, const InferRequest& b);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueuedJob> jobs_;
+  const int max_batch_;
+  bool closed_ = false;
+};
+
+}  // namespace ataman::serve

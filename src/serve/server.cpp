@@ -1,0 +1,177 @@
+#include "src/serve/server.hpp"
+
+#include <chrono>
+
+#include "src/common/parallel.hpp"
+#include "src/nn/skip_mask.hpp"
+
+namespace ataman::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const QModel* model, ServeOptions options)
+    : model_(model),
+      options_(options),
+      queue_(options.max_batch),
+      pool_(model, options.workers, options.costs, options.memory,
+            options.xcube),
+      per_worker_done_(static_cast<size_t>(options.workers), 0) {
+  check(model != nullptr, "InferenceServer needs a model");
+  check(options_.workers >= 1, "InferenceServer needs at least one worker");
+  threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+InferenceServer::~InferenceServer() { stop(Shutdown::kDrain); }
+
+InferFuture InferenceServer::submit(InferRequest request) {
+  // Fail on the caller's thread, before anything is queued.
+  const QModel& m = *model_;
+  const int64_t expected = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+  check(static_cast<int64_t>(request.image.size()) == expected,
+        "submit: image size " + std::to_string(request.image.size()) +
+            " does not match model input " + std::to_string(expected));
+  check(EngineRegistry::instance().contains(request.engine),
+        "submit: unknown engine '" + request.engine + "'");
+  if (request.mask != nullptr) request.mask->validate(m);
+
+  QueuedJob job;
+  job.request = std::move(request);
+  job.state = std::make_shared<detail::FutureState>();
+  job.enqueued = std::chrono::steady_clock::now();
+  InferFuture future(job.state);
+
+  {
+    // Count before pushing so drain() can never observe a resolved job
+    // that was not yet counted as submitted.
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    job.id = next_id_++;
+    ++submitted_;
+  }
+  if (!queue_.push(std::move(job))) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      --submitted_;
+    }
+    drain_cv_.notify_all();
+    fail("submit: server is stopped");
+  }
+  return future;
+}
+
+std::vector<InferFuture> InferenceServer::submit_all(
+    std::vector<InferRequest> requests) {
+  std::vector<InferFuture> futures;
+  futures.reserve(requests.size());
+  for (InferRequest& r : requests) futures.push_back(submit(std::move(r)));
+  return futures;
+}
+
+void InferenceServer::worker_main(int worker_id) {
+  // One lane of the serving pool: any parallel_for issued while running
+  // a request stays serial on this thread (see parallel.hpp).
+  const SerialRegionScope serial;
+  std::vector<QueuedJob> batch;
+  while (queue_.pop_batch(batch)) {
+    // A batch shares one (engine, mask) key; bind the engine once and
+    // run the images back-to-back, evaluate_batch-style.
+    InferenceEngine* engine = nullptr;
+    std::string setup_error;
+    try {
+      engine = &pool_.engine_for(worker_id, batch.front().request.engine,
+                                 batch.front().request.mask);
+    } catch (const std::exception& e) {
+      setup_error = e.what();
+    }
+
+    for (QueuedJob& job : batch) {
+      if (engine == nullptr) {
+        job.state->fail_with("engine setup failed: " + setup_error,
+                             /*was_cancelled=*/false);
+        continue;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        InferResult r;
+        r.logits = engine->run(job.request.image);
+        r.top1 = argmax_lowest_index(r.logits);
+        r.queue_ms = ms_between(job.enqueued, start);
+        r.run_ms = ms_between(start, std::chrono::steady_clock::now());
+        r.worker = worker_id;
+        r.batch_size = static_cast<int>(batch.size());
+        job.state->complete(std::move(r));
+      } catch (const std::exception& e) {
+        job.state->fail_with(e.what(), /*was_cancelled=*/false);
+      }
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const int64_t n = static_cast<int64_t>(batch.size());
+      completed_ += n;
+      ++batches_;
+      if (n > 1) coalesced_ += n;
+      if (n > max_batch_seen_) max_batch_seen_ = n;
+      per_worker_done_[static_cast<size_t>(worker_id)] += n;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  drain_cv_.wait(lock, [&] { return completed_ + cancelled_ >= submitted_; });
+}
+
+void InferenceServer::stop(Shutdown mode) {
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (mode == Shutdown::kCancelPending) {
+    std::vector<QueuedJob> pending = queue_.cancel_pending();
+    if (!pending.empty()) {
+      // Count before resolving: anyone woken by a cancelled future must
+      // already see it in stats().cancelled.
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      cancelled_ += static_cast<int64_t>(pending.size());
+    }
+    for (QueuedJob& job : pending) {
+      job.state->fail_with(
+          "request cancelled: server shut down with pending requests",
+          /*was_cancelled=*/true);
+    }
+    drain_cv_.notify_all();
+  } else {
+    queue_.close();
+  }
+  if (!joined_) {
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    joined_ = true;
+  }
+}
+
+ServeStats InferenceServer::stats() const {
+  ServeStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.cancelled = cancelled_;
+    s.batches = batches_;
+    s.coalesced = coalesced_;
+    s.max_batch_seen = max_batch_seen_;
+    s.per_worker = per_worker_done_;
+  }
+  s.pool = pool_.stats();
+  return s;
+}
+
+}  // namespace ataman::serve

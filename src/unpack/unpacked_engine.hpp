@@ -36,6 +36,15 @@ class UnpackedEngine : public InferenceEngine {
 
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
+  // Copies the unpacked channel programs / packed FC streams verbatim —
+  // much cheaper than re-unpacking, which is why serve pools clone a
+  // shared prototype per (mask, selection) instead of reconstructing.
+  // The mask is baked into the programs at construction, so this engine
+  // deliberately does NOT support rebind_mask().
+  std::unique_ptr<InferenceEngine> clone() const override {
+    return std::make_unique<UnpackedEngine>(*this);
+  }
+
   int64_t total_cycles() const override { return total_cycles_; }
   // Executed (retained) conv MACs + FC MACs per inference.
   int64_t executed_macs() const { return executed_macs_; }

@@ -47,6 +47,20 @@ class XCubeEngine : public InferenceEngine {
   // an exact int8 library; only its cost profile differs).
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
+  // Clone/concurrency contract (audited for the serve runtime, and pinned
+  // by tests/test_serve.cpp XCubeCloneAndWorkerIsolation): the embedded
+  // `ref_` delegate is stateless after construction — run() uses only
+  // call-local buffers, `ref_` never has a mask bound, and the cost
+  // tallies are written once in the constructor. Copying the engine is
+  // therefore a shallow, cheap duplicate (model pointer + cost table),
+  // and even a *shared* instance is safe to run() from concurrent serve
+  // workers. Pools still keep one instance per worker (the blanket rule
+  // for all backends), so a future stateful delegate cannot regress
+  // concurrent serving.
+  std::unique_ptr<InferenceEngine> clone() const override {
+    return std::make_unique<XCubeEngine>(*this);
+  }
+
   int64_t total_cycles() const override { return total_cycles_; }
   int64_t flash_bytes() const override;
   int64_t ram_bytes() const override;

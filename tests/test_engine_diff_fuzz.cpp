@@ -1,0 +1,227 @@
+// Seeded-RNG differential fuzz across the four InferenceEngine backends.
+//
+// PR 2's parity suite checks crafted cases; this one generates them:
+// random small conv/pool/dense models (random geometry, random quantized
+// weights, chained activation params) and significance-derived tau skip
+// masks, asserting for every generated case that
+//   * all four engines match the reference logits/classifications
+//     bit-exactly on exact configs,
+//   * the masked reference oracle and the unpacked approximate engine
+//     match bit-exactly for every tau (masking == instruction removal),
+//   * as tau grows, skip sets nest, executed MACs are non-increasing and
+//     the unpacked cycle model is strictly cheaper whenever MACs drop,
+//   * exact engines' cycle models ignore the mask entirely.
+//
+// Deterministic by construction: the base seed is fixed (override with
+// ATAMAN_FUZZ_SEED to replay a corpus), and every failure message names
+// the per-model seed so a single case can be replayed in isolation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/engine_iface.hpp"
+#include "src/nn/engine.hpp"
+#include "src/nn/skip_mask.hpp"
+#include "src/sig/act_stats.hpp"
+#include "src/sig/significance.hpp"
+#include "src/sig/skip_plan.hpp"
+#include "src/unpack/unpacked_engine.hpp"
+#include "tests/test_util.hpp"
+
+namespace ataman {
+namespace {
+
+using testing::make_random_image;
+using testing::make_random_qconv;
+using testing::make_random_qdense;
+
+constexpr uint64_t kDefaultBaseSeed = 20260730;
+constexpr int kModels = 6;
+constexpr int kParityImages = 6;
+
+uint64_t base_seed() {
+  if (const char* env = std::getenv("ATAMAN_FUZZ_SEED")) {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return kDefaultBaseSeed;
+}
+
+// Random structurally-valid model: 1-2 conv layers (kernel 1 or 3,
+// stride 1, same-padding, so any geometry chains), optional 2x2 maxpool,
+// final dense head. Channel counts are randomized to hit both the even
+// (dual-MAC fast path) and odd (leftover single) patch parities.
+QModel make_random_model(uint64_t seed) {
+  Rng rng(seed);
+  QModel m;
+  m.name = "fuzz-" + std::to_string(seed);
+  m.in_h = m.in_w = 2 * rng.next_int(3, 6);  // 6..12, even for pooling
+  m.in_c = rng.next_int(1, 4);
+  m.input = {1.0f / 255.0f, -128};
+  m.topology = "fuzz";
+
+  int h = m.in_h, w = m.in_w, c = m.in_c;
+  QuantParams upstream = m.input;
+  const int conv_count = rng.next_int(1, 2);
+  const bool with_pool = rng.next_bool(0.5);
+  for (int i = 0; i < conv_count; ++i) {
+    ConvGeom g;
+    g.in_h = h;
+    g.in_w = w;
+    g.in_c = c;
+    g.out_c = rng.next_int(2, 8);
+    g.kernel = rng.next_bool(0.5) ? 3 : 1;
+    g.stride = 1;
+    g.pad = g.kernel / 2;
+    QConv2D conv = make_random_qconv(g, rng.next_u64(), /*folded_relu=*/true);
+    conv.in = upstream;
+    conv.requant = quantize_multiplier(static_cast<double>(conv.in.scale) *
+                                       conv.w_scale / conv.out.scale);
+    conv.act_min = conv.out.zero_point;
+    upstream = conv.out;
+    c = g.out_c;
+    m.layers.emplace_back(std::move(conv));
+    if (i == 0 && with_pool) {
+      QMaxPool pool;
+      pool.in_h = h;
+      pool.in_w = w;
+      pool.channels = c;
+      pool.kernel = 2;
+      pool.stride = 2;
+      m.layers.emplace_back(pool);
+      h /= 2;
+      w /= 2;
+    }
+  }
+  QDense fc = make_random_qdense(h * w * c, rng.next_int(2, 10),
+                                 rng.next_u64());
+  fc.in = upstream;
+  fc.requant = quantize_multiplier(static_cast<double>(fc.in.scale) *
+                                   fc.w_scale / fc.out.scale);
+  m.layers.emplace_back(std::move(fc));
+  return m;
+}
+
+Dataset make_calib_set(const QModel& m, int images, uint64_t seed) {
+  Dataset ds(ImageShape{m.in_h, m.in_w, m.in_c}, 10);
+  Rng rng(seed);
+  for (int i = 0; i < images; ++i) {
+    std::vector<uint8_t> img(static_cast<size_t>(m.in_h) * m.in_w * m.in_c);
+    for (auto& p : img) p = static_cast<uint8_t>(rng.next_int(0, 255));
+    ds.add(img, rng.next_int(0, 9));
+  }
+  return ds;
+}
+
+// True when every operand skipped by `inner` is also skipped by `outer`.
+bool mask_subset(const SkipMask& inner, const SkipMask& outer) {
+  if (inner.conv_masks.size() != outer.conv_masks.size()) return false;
+  for (size_t l = 0; l < inner.conv_masks.size(); ++l) {
+    if (inner.conv_masks[l].size() != outer.conv_masks[l].size()) return false;
+    for (size_t i = 0; i < inner.conv_masks[l].size(); ++i) {
+      if (inner.conv_masks[l][i] != 0 && outer.conv_masks[l][i] == 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(EngineDiffFuzz, ExactParityMaskedParityAndCostMonotonicity) {
+  const uint64_t base = base_seed();
+  const double taus[] = {0.0, 0.01, 0.03, 0.08, 0.2};
+
+  for (int iter = 0; iter < kModels; ++iter) {
+    const uint64_t model_seed = base + static_cast<uint64_t>(iter) * 1000;
+    SCOPED_TRACE("model_seed=" + std::to_string(model_seed) +
+                 " (replay: ATAMAN_FUZZ_SEED=" + std::to_string(base) + ")");
+    const QModel m = make_random_model(model_seed);
+    const int64_t pixels =
+        static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+    const RefEngine oracle(&m);
+    EngineConfig exact_cfg;
+    exact_cfg.model = &m;
+
+    // --- exact configs: four-way bitwise parity -------------------------
+    for (const char* name : {"ref", "cmsis", "unpacked", "xcube"}) {
+      const auto engine = EngineRegistry::instance().create(name, exact_cfg);
+      for (int i = 0; i < kParityImages; ++i) {
+        const auto img = make_random_image(pixels, model_seed + 77 + i);
+        EXPECT_EQ(engine->run(img), oracle.run(img))
+            << name << " image " << i;
+        EXPECT_EQ(engine->classify(img), oracle.classify(img))
+            << name << " image " << i;
+      }
+    }
+
+    // Exact engines' cost models must not depend on the mask field.
+    const int conv_count = m.conv_layer_count();
+    const Dataset calib = make_calib_set(m, 12, model_seed + 5);
+    const auto stats = capture_activation_stats(m, calib, -1);
+    const auto significance = compute_model_significance(m, stats);
+    SkipMask heavy = make_skip_mask(
+        m, significance, ApproxConfig::uniform(conv_count, taus[4]));
+    for (const char* name : {"cmsis", "xcube"}) {
+      EngineConfig masked_cfg = exact_cfg;
+      masked_cfg.mask = &heavy;
+      const auto plain = EngineRegistry::instance().create(name, exact_cfg);
+      const auto masked = EngineRegistry::instance().create(name, masked_cfg);
+      EXPECT_EQ(plain->total_cycles(), masked->total_cycles()) << name;
+      EXPECT_EQ(plain->mac_ops(), masked->mac_ops()) << name;
+    }
+
+    // --- tau ladder: nesting, masked parity, cost monotonicity ----------
+    SkipMask prev_mask;
+    int64_t prev_skipped = -1;
+    int64_t prev_macs = -1;
+    int64_t prev_cycles = -1;
+    for (const double tau : taus) {
+      SCOPED_TRACE("tau=" + std::to_string(tau));
+      const SkipMask mask = make_skip_mask(
+          m, significance, ApproxConfig::uniform(conv_count, tau));
+      mask.validate(m);
+
+      EngineConfig cfg = exact_cfg;
+      cfg.mask = &mask;
+      const auto masked_ref = EngineRegistry::instance().create("ref", cfg);
+      const auto unpacked =
+          EngineRegistry::instance().create("unpacked", cfg);
+      for (int i = 0; i < kParityImages; ++i) {
+        const auto img = make_random_image(pixels, model_seed + 177 + i);
+        EXPECT_EQ(masked_ref->run(img), unpacked->run(img)) << "image " << i;
+        EXPECT_EQ(masked_ref->classify(img), unpacked->classify(img))
+            << "image " << i;
+      }
+
+      // Both mask-aware engines agree on executed work.
+      const int64_t macs = unpacked->mac_ops();
+      EXPECT_EQ(masked_ref->mac_ops(), macs);
+      EXPECT_EQ(macs, m.mac_count() - mask.skipped_macs(m));
+      const int64_t skipped = mask.skipped_static_operands();
+      const int64_t cycles = unpacked->total_cycles();
+      EXPECT_GT(cycles, 0);
+
+      if (prev_skipped >= 0) {
+        // Skip sets are nested in tau (the DSE's core assumption),
+        // therefore every cost axis moves monotonically.
+        EXPECT_TRUE(mask_subset(prev_mask, mask));
+        EXPECT_GE(skipped, prev_skipped);
+        EXPECT_LE(macs, prev_macs);
+        EXPECT_LE(cycles, prev_cycles);
+        if (macs < prev_macs) {
+          EXPECT_LT(cycles, prev_cycles)
+              << "fewer executed MACs must price strictly cheaper";
+        }
+      }
+      prev_mask = mask;
+      prev_skipped = skipped;
+      prev_macs = macs;
+      prev_cycles = cycles;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ataman
