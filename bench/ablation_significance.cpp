@@ -6,23 +6,30 @@
 
 #include "bench/bench_common.hpp"
 #include "src/nn/engine.hpp"
+#include "src/sig/act_stats.hpp"
 
 namespace {
 
 using namespace ataman;
 using namespace ataman::bench;
 
-// Magnitude-only "significance": replaces E[a_i] with 1 in Eq. (2).
+// Magnitude-only "significance": replaces E[a_i] with 1 in Eq. (2),
+// for every approximable (conv + depthwise) layer.
 std::vector<LayerSignificance> magnitude_significance(const QModel& model) {
   std::vector<LayerSignificance> out;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
-    ConvInputStats ones;
-    ones.mean_corrected.assign(
-        static_cast<size_t>(conv->geom.patch_size()), 1.0);
-    ones.samples = 1;
-    out.push_back(compute_significance(*conv, ones));
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      ConvInputStats ones;
+      ones.mean_corrected.assign(
+          static_cast<size_t>(conv->geom.patch_size()), 1.0);
+      ones.samples = 1;
+      out.push_back(compute_significance(*conv, ones));
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      ConvInputStats ones;
+      ones.mean_corrected.assign(static_cast<size_t>(stats_len(layer)), 1.0);
+      ones.samples = 1;
+      out.push_back(compute_significance(*dw, ones));
+    }
   }
   return out;
 }
@@ -35,10 +42,9 @@ double accuracy_at_fraction(const QModel& model,
   SkipMask mask = SkipMask::none(model);
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
+    if (!describe_layer(layer).skippable) continue;
     const LayerSignificance& s = sig[static_cast<size_t>(ordinal)];
-    auto& m = mask.conv_masks[static_cast<size_t>(ordinal)];
+    auto& m = mask.masks[static_cast<size_t>(ordinal)];
     for (int oc = 0; oc < s.out_c; ++oc) {
       const auto& order = s.ascending[static_cast<size_t>(oc)];
       const auto n_skip = static_cast<size_t>(frac * s.patch);

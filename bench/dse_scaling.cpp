@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   pipe.analyze();
 
   const auto configs =
-      generate_configs(lenet.qmodel.conv_layer_count(), opts.dse);
+      generate_configs(lenet.qmodel.approx_layer_count(), opts.dse);
   const ConfigEvaluator evaluator(&lenet.qmodel, &pipe.significance(),
                                   &lenet.data.test, opts.dse.eval_images);
   DseOptions exact = opts.dse;

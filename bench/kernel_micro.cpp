@@ -73,6 +73,74 @@ void BM_ConvUnpacked(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvUnpacked)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
 
+QDepthwiseConv2D bench_depthwise() {
+  return ataman::testing::make_random_qdw(16, 16, 16, /*kernel=*/3,
+                                          /*stride=*/1, /*pad=*/1, 4343);
+}
+
+void BM_DepthwiseReference(benchmark::State& state) {
+  const QDepthwiseConv2D dw = bench_depthwise();
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 11);
+  std::vector<int8_t> out(static_cast<size_t>(dw.positions()) * dw.channels);
+  for (auto _ : state) {
+    depthwise_conv2d_ref(dw, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["macs"] = static_cast<double>(dw.macs());
+}
+BENCHMARK(BM_DepthwiseReference);
+
+void BM_DepthwisePackedCmsis(benchmark::State& state) {
+  const QDepthwiseConv2D dw = bench_depthwise();
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 12);
+  std::vector<int8_t> out(static_cast<size_t>(dw.positions()) * dw.channels);
+  for (auto _ : state) {
+    packed_depthwise_conv2d(dw, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["modeled_mcu_cycles"] =
+      static_cast<double>(packed_depthwise_cycles(dw));
+}
+BENCHMARK(BM_DepthwisePackedCmsis);
+
+void BM_DepthwiseUnpacked(benchmark::State& state) {
+  // state.range(0): percent of (channel, tap) operands skipped.
+  const QDepthwiseConv2D dw = bench_depthwise();
+  Rng rng(177);
+  std::vector<uint8_t> skip(static_cast<size_t>(dw.weight_count()));
+  for (auto& m : skip) m = rng.next_bool(state.range(0) / 100.0) ? 1 : 0;
+  const UnpackedDepthwise u = UnpackedDepthwise::build(
+      dw, state.range(0) > 0 ? skip.data() : nullptr);
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 13);
+  std::vector<int8_t> out(static_cast<size_t>(dw.positions()) * dw.channels);
+  for (auto _ : state) {
+    u.run(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["modeled_mcu_cycles"] = static_cast<double>(
+      unpacked_depthwise_cycles(dw, u.static_pairs(), u.static_singles()));
+  state.counters["retained_macs"] = static_cast<double>(u.retained_macs());
+}
+BENCHMARK(BM_DepthwiseUnpacked)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_AvgPoolReference(benchmark::State& state) {
+  QAvgPool pool;
+  pool.in_h = 16;
+  pool.in_w = 16;
+  pool.channels = 16;
+  pool.kernel = 2;
+  pool.stride = 2;
+  const auto in = ataman::testing::make_random_input(16 * 16 * 16, 14);
+  std::vector<int8_t> out(8 * 8 * 16);
+  for (auto _ : state) {
+    avgpool_ref(pool, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["modeled_mcu_cycles"] =
+      static_cast<double>(avgpool_cycles(pool));
+}
+BENCHMARK(BM_AvgPoolReference);
+
 void BM_Im2ColQ15(benchmark::State& state) {
   const QConv2D conv = bench_conv();
   const auto in = ataman::testing::make_random_input(16 * 16 * 16, 4);

@@ -2,7 +2,7 @@
 // the paper's "automated toolkit" entry point.
 //
 // Usage:
-//   ataman_cli [--model lenet|alexnet|micronet] [--loss 0.05]
+//   ataman_cli [--model lenet|alexnet|micronet|dscnn] [--loss 0.05]
 //              [--eval-images N] [--tau-step S] [--engine NAME]
 //              [--fast-dse | --exact-sweep]
 //              [--emit out.c] [--json report.json] [--hybrid]
@@ -101,7 +101,7 @@ CliArgs parse_args(int argc, char** argv) {
         engines += n;
       }
       std::printf(
-          "usage: ataman_cli [--model lenet|alexnet|micronet] [--loss F]\n"
+          "usage: ataman_cli [--model lenet|alexnet|micronet|dscnn] [--loss F]\n"
           "                  [--eval-images N] [--tau-step S]\n"
           "                  [--engine %s]\n"
           "                  [--fast-dse | --exact-sweep]\n"
@@ -140,9 +140,13 @@ int main(int argc, char** argv) {
         "--hybrid requires --engine unpacked");
   check(!(args.fast_dse && args.exact_sweep),
         "--fast-dse and --exact-sweep are mutually exclusive");
+  check(args.model == "lenet" || args.model == "alexnet" ||
+            args.model == "micronet" || args.model == "dscnn",
+        "unknown --model '" + args.model + "' (see --help)");
 
   const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
                        : args.model == "alexnet" ? alexnet_spec()
+                       : args.model == "dscnn"   ? dscnn_spec()
                                                  : micronet_spec();
   std::printf("[cli] model=%s loss=%.3f\n", args.model.c_str(), args.loss);
   const QModel model = get_or_build_qmodel(spec);

@@ -34,7 +34,7 @@ int main() {
 
   // Emit exact and approximate builds.
   const std::string exact_code =
-      pipeline.generate_code(ApproxConfig::exact(model.conv_layer_count()));
+      pipeline.generate_code(ApproxConfig::exact(model.approx_layer_count()));
   const std::string approx_code = pipeline.generate_code(config);
   write_text_file("generated/model_exact.c", exact_code);
   write_text_file("generated/model_approx.c", approx_code);

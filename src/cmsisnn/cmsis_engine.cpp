@@ -20,9 +20,19 @@ CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
       const int64_t c = packed_conv_cycles(*conv, costs_);
       profile_.push_back({"conv", c, conv->geom.macs()});
       cycles += static_cast<double>(c);
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      // Depthwise runs the scalar loop kernel; no packed weight stream
+      // (see packed_depthwise_conv2d).
+      const int64_t c = packed_depthwise_cycles(*dw, costs_);
+      profile_.push_back({"depthwise", c, dw->macs()});
+      cycles += static_cast<double>(c);
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       const int64_t c = pool_cycles(*pool, costs_);
       profile_.push_back({"pool", c, 0});
+      cycles += static_cast<double>(c);
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      const int64_t c = avgpool_cycles(*pool, costs_);
+      profile_.push_back({"avgpool", c, 0});
       cycles += static_cast<double>(c);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       packed_.push_back(
@@ -45,17 +55,16 @@ std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
   std::vector<int8_t> next;
   size_t packed_idx = 0;
   for (const QLayer& layer : model().layers) {
+    next.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      next.assign(
-          static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
       packed_conv2d(*conv, packed_[packed_idx++], cur, next);
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      packed_depthwise_conv2d(*dw, cur, next);
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
-                      pool->channels,
-                  0);
       maxpool_ref(*pool, cur, next);
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      avgpool_ref(*pool, cur, next);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      next.assign(static_cast<size_t>(fc->out_dim), 0);
       packed_dense(*fc, packed_[packed_idx++], cur, next);
     }
     cur.swap(next);

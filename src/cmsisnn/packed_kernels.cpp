@@ -85,6 +85,59 @@ void packed_conv2d(const QConv2D& layer, const PackedWeights& packed,
   }
 }
 
+void packed_depthwise_conv2d(const QDepthwiseConv2D& layer,
+                             std::span<const int8_t> in,
+                             std::span<int8_t> out) {
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(layer.in_h) * layer.in_w * layer.channels,
+        "depthwise input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(layer.positions()) * layer.channels,
+        "depthwise output size mismatch");
+  const int oh = layer.out_h(), ow = layer.out_w(), c = layer.channels;
+  const int patch = layer.patch_size();
+  const int32_t zp = layer.in.zero_point;
+
+  // One q15 expansion of the receptive field per position, shared by all
+  // channels: col[tap * c + ch], matching the [k][k][c] weight order.
+  std::vector<int16_t> col(static_cast<size_t>(patch) * c);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int p = 0;
+      for (int ky = 0; ky < layer.kernel; ++ky) {
+        const int iy = oy * layer.stride - layer.pad + ky;
+        for (int kx = 0; kx < layer.kernel; ++kx, ++p) {
+          const int ix = ox * layer.stride - layer.pad + kx;
+          const bool inside =
+              iy >= 0 && iy < layer.in_h && ix >= 0 && ix < layer.in_w;
+          const int8_t* src =
+              inside ? in.data() +
+                           (static_cast<size_t>(iy) * layer.in_w + ix) * c
+                     : nullptr;
+          int16_t* dst = col.data() + static_cast<size_t>(p) * c;
+          for (int ch = 0; ch < c; ++ch)
+            dst[ch] = static_cast<int16_t>((inside ? src[ch] : zp) - zp);
+        }
+      }
+
+      int8_t* orow = out.data() + (static_cast<size_t>(oy) * ow + ox) * c;
+      for (int ch = 0; ch < c; ++ch) {
+        int32_t acc = layer.bias[static_cast<size_t>(ch)];
+        for (int t = 0; t < patch; ++t) {
+          acc += static_cast<int32_t>(col[static_cast<size_t>(t) * c + ch]) *
+                 static_cast<int32_t>(
+                     layer.weights[static_cast<size_t>(t) * c + ch]);
+        }
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, layer.requant) +
+            layer.out.zero_point;
+        orow[ch] = static_cast<int8_t>(
+            std::clamp(scaled, layer.act_min, layer.act_max));
+      }
+    }
+  }
+}
+
 void packed_dense(const QDense& layer, const PackedWeights& packed,
                   std::span<const int8_t> in, std::span<int8_t> out) {
   check(packed.patch == layer.in_dim && packed.out_c == layer.out_dim,

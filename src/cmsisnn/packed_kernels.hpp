@@ -34,6 +34,19 @@ struct PackedWeights {
 void packed_conv2d(const QConv2D& layer, const PackedWeights& packed,
                    std::span<const int8_t> in, std::span<int8_t> out);
 
+// Depthwise loop kernel in the arm_depthwise_conv_s8 shape: one shared
+// zero-point-corrected q15 patch expansion per output position (taps x
+// channels, channel innermost — the [k][k][c] weight order), then a
+// scalar per-channel tap loop. Per-channel filters cannot feed the
+// dual-MAC path (two weights of one SMLAD would hit two different
+// accumulators), which is why no PackedWeights stream exists for it —
+// exactly CMSIS-NN's structure, and priced accordingly
+// (CortexM33CostTable::packed_depthwise_per_mac). Bit-exact with
+// depthwise_conv2d_ref.
+void packed_depthwise_conv2d(const QDepthwiseConv2D& layer,
+                             std::span<const int8_t> in,
+                             std::span<int8_t> out);
+
 void packed_dense(const QDense& layer, const PackedWeights& packed,
                   std::span<const int8_t> in, std::span<int8_t> out);
 

@@ -39,4 +39,23 @@ constexpr int conv_out_extent(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
+// Hard-errors unless the (un-padded) pool window tiles the input exactly:
+// the window must fit and (extent - kernel) must be divisible by stride
+// in both dimensions. Non-covering geometry would silently truncate edge
+// pixels, whose handling the ref/packed/unpacked/codegen paths could
+// disagree on; the quantizer, the float substrate and the pool kernels
+// all enforce this instead.
+inline void validate_pool_geometry(int in_h, int in_w, int kernel, int stride,
+                                   const char* what) {
+  check(kernel >= 1 && stride >= 1,
+        std::string(what) + ": pool kernel/stride must be positive");
+  check(in_h >= kernel && in_w >= kernel,
+        std::string(what) + ": pool window exceeds the input extent");
+  check((in_h - kernel) % stride == 0 && (in_w - kernel) % stride == 0,
+        std::string(what) +
+            ": pool window does not tile the input exactly "
+            "((extent - kernel) % stride != 0); pick a covering geometry "
+            "so no engine has to invent edge-pixel semantics");
+}
+
 }  // namespace ataman

@@ -14,8 +14,8 @@ AtamanPipeline::AtamanPipeline(const QModel* model, const Dataset* calib,
     : model_(model), calib_(calib), eval_(eval), options_(options) {
   check(model != nullptr && calib != nullptr && eval != nullptr,
         "pipeline needs model, calibration and eval datasets");
-  check(model->conv_layer_count() > 0,
-        "the approximation targets conv layers; model has none");
+  check(model->approx_layer_count() > 0,
+        "the approximation targets conv/depthwise layers; model has none");
 }
 
 void AtamanPipeline::analyze() {
@@ -38,7 +38,7 @@ const std::vector<ConvInputStats>& AtamanPipeline::activation_stats() const {
 DseOutcome AtamanPipeline::explore(const DseProgress& progress) {
   analyze();
   return explore(
-      generate_configs(model_->conv_layer_count(), options_.dse), progress);
+      generate_configs(model_->approx_layer_count(), options_.dse), progress);
 }
 
 DseOutcome AtamanPipeline::explore(const std::vector<ApproxConfig>& configs,

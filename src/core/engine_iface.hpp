@@ -110,7 +110,7 @@ class InferenceEngine {
   // Per-layer cycle/MAC breakdown (empty when the engine does not profile).
   virtual const std::vector<LayerProfile>& layer_profile() const;
 
-  // Executed (non-skipped) conv + fc MACs per inference.
+  // Executed (non-skipped) conv/depthwise + fc MACs per inference.
   virtual int64_t mac_ops() const { return model().mac_count(); }
 
   // Modeled deployment footprint (0 = not modeled).
@@ -143,7 +143,7 @@ struct EngineConfig {
   // Skip mask for mask-aware engines (ref, unpacked). Must outlive the
   // engine.
   const SkipMask* mask = nullptr;
-  // Per-conv-ordinal hybrid selection (unpacked only; see
+  // Per-approximable-layer-ordinal hybrid selection (unpacked only; see
   // src/unpack/layer_selection.hpp). Must outlive the engine.
   const std::vector<uint8_t>* unpack_selection = nullptr;
   CortexM33CostTable costs{};

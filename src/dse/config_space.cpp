@@ -18,16 +18,16 @@ std::vector<double> tau_grid(const DseOptions& o) {
   return grid;
 }
 
-std::vector<ApproxConfig> uniform_by_subset(int conv_count,
+std::vector<ApproxConfig> uniform_by_subset(int approx_count,
                                             const DseOptions& o) {
   const std::vector<double> grid = tau_grid(o);
   std::vector<ApproxConfig> configs;
-  configs.push_back(ApproxConfig::exact(conv_count));
-  const uint32_t subsets = 1u << conv_count;
+  configs.push_back(ApproxConfig::exact(approx_count));
+  const uint32_t subsets = 1u << approx_count;
   for (uint32_t mask = 1; mask < subsets; ++mask) {
     for (const double tau : grid) {
-      ApproxConfig c = ApproxConfig::exact(conv_count);
-      for (int l = 0; l < conv_count; ++l)
+      ApproxConfig c = ApproxConfig::exact(approx_count);
+      for (int l = 0; l < approx_count; ++l)
         if (mask & (1u << l)) c.tau[static_cast<size_t>(l)] = tau;
       configs.push_back(std::move(c));
     }
@@ -35,7 +35,7 @@ std::vector<ApproxConfig> uniform_by_subset(int conv_count,
   return configs;
 }
 
-std::vector<ApproxConfig> per_layer_grid(int conv_count,
+std::vector<ApproxConfig> per_layer_grid(int approx_count,
                                          const DseOptions& o) {
   // Per-layer levels: "exact" plus `per_layer_levels` log-spaced taus.
   check(o.per_layer_levels >= 1, "need at least one tau level");
@@ -53,15 +53,15 @@ std::vector<ApproxConfig> per_layer_grid(int conv_count,
 
   const size_t n_levels = levels.size();
   size_t total = 1;
-  for (int l = 0; l < conv_count; ++l) total *= n_levels;
+  for (int l = 0; l < approx_count; ++l) total *= n_levels;
 
   std::vector<ApproxConfig> configs;
   configs.reserve(total);
   for (size_t code = 0; code < total; ++code) {
     ApproxConfig c;
-    c.tau.resize(static_cast<size_t>(conv_count));
+    c.tau.resize(static_cast<size_t>(approx_count));
     size_t rest = code;
-    for (int l = 0; l < conv_count; ++l) {
+    for (int l = 0; l < approx_count; ++l) {
       c.tau[static_cast<size_t>(l)] = levels[rest % n_levels];
       rest /= n_levels;
     }
@@ -72,14 +72,14 @@ std::vector<ApproxConfig> per_layer_grid(int conv_count,
 
 }  // namespace
 
-std::vector<ApproxConfig> generate_configs(int conv_count,
+std::vector<ApproxConfig> generate_configs(int approx_count,
                                            const DseOptions& options) {
-  check(conv_count >= 1, "model has no conv layers");
-  check(conv_count <= 24, "subset enumeration limited to 24 conv layers");
+  check(approx_count >= 1, "model has no approximable layers");
+  check(approx_count <= 24, "subset enumeration limited to 24 approximable layers");
   std::vector<ApproxConfig> configs =
       options.mode == DseMode::kUniformTauBySubset
-          ? uniform_by_subset(conv_count, options)
-          : per_layer_grid(conv_count, options);
+          ? uniform_by_subset(approx_count, options)
+          : per_layer_grid(approx_count, options);
 
   if (options.max_configs > 0 &&
       static_cast<int>(configs.size()) > options.max_configs) {

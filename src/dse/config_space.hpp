@@ -1,10 +1,11 @@
 // Design-space generation (§II-C): "exhaustive DSE w.r.t. the targeted
 // layers and the values of tau".
 //
-// Two generation modes, matching the paper's description:
-//  * kUniformTauBySubset: for every non-empty subset of conv layers and
-//    every tau in [tau_min, tau_max] at tau_step, approximate exactly the
-//    layers in the subset with that tau.
+// Two generation modes, matching the paper's description (layers are the
+// approximable ones — conv and depthwise — in ordinal order):
+//  * kUniformTauBySubset: for every non-empty subset of approximable
+//    layers and every tau in [tau_min, tau_max] at tau_step, approximate
+//    exactly the layers in the subset with that tau.
 //  * kPerLayerGrid: cartesian product of a per-layer tau grid (including
 //    "exact") — the mode that reaches the paper's >10,000 designs.
 #pragma once
@@ -66,9 +67,10 @@ struct DseOptions {
   double exit_margin = 0.01;
 };
 
-// All candidate configurations for a model with `conv_count` conv layers.
-// Always includes the all-exact baseline config at index 0.
-std::vector<ApproxConfig> generate_configs(int conv_count,
+// All candidate configurations for a model with `approx_count`
+// approximable (conv + depthwise) layers. Always includes the all-exact
+// baseline config at index 0.
+std::vector<ApproxConfig> generate_configs(int approx_count,
                                            const DseOptions& options);
 
 }  // namespace ataman

@@ -13,22 +13,21 @@ UnpackStats compute_unpack_stats(const QModel& model, const SkipMask& mask) {
   UnpackStats stats;
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
-    const int patch = conv->geom.patch_size();
+    const OpDescriptor d = describe_layer(layer);
+    if (!d.skippable) continue;
     const uint8_t* m = nullptr;
-    if (ordinal < static_cast<int>(mask.conv_masks.size()) &&
-        !mask.conv_masks[static_cast<size_t>(ordinal)].empty()) {
-      m = mask.conv_masks[static_cast<size_t>(ordinal)].data();
+    if (ordinal < static_cast<int>(mask.masks.size()) &&
+        !mask.masks[static_cast<size_t>(ordinal)].empty()) {
+      m = mask.masks[static_cast<size_t>(ordinal)].data();
     }
     int64_t pairs = 0, singles = 0, retained_static = 0;
-    for (int oc = 0; oc < conv->geom.out_c; ++oc) {
+    for (int ch = 0; ch < d.channels; ++ch) {
       int retained = 0;
       if (m == nullptr) {
-        retained = patch;
+        retained = d.patch;
       } else {
-        const uint8_t* row = m + static_cast<size_t>(oc) * patch;
-        for (int i = 0; i < patch; ++i) retained += row[i] ? 0 : 1;
+        const uint8_t* row = m + static_cast<size_t>(ch) * d.patch;
+        for (int i = 0; i < d.patch; ++i) retained += row[i] ? 0 : 1;
       }
       pairs += retained / 2;
       singles += retained % 2;
@@ -36,7 +35,7 @@ UnpackStats compute_unpack_stats(const QModel& model, const SkipMask& mask) {
     }
     stats.static_pairs.push_back(pairs);
     stats.static_singles.push_back(singles);
-    stats.retained_conv_macs += retained_static * conv->geom.positions();
+    stats.retained_conv_macs += retained_static * d.positions;
     ++ordinal;
   }
   return stats;
@@ -55,17 +54,18 @@ ConfigEvaluator::ConfigEvaluator(
       accuracy_engine_(std::move(accuracy_engine)) {
   check(model != nullptr && significance != nullptr && eval != nullptr,
         "evaluator needs model, significance and eval set");
-  check(static_cast<int>(significance->size()) == model->conv_layer_count(),
+  check(static_cast<int>(significance->size()) ==
+            model->approx_layer_count(),
         "significance does not match model");
   check(EngineRegistry::instance().contains(accuracy_engine_),
         "unknown accuracy engine '" + accuracy_engine_ + "'");
   baseline_cycles_ = packed_model_cycles(*model_, costs_);
-  conv_total_macs_ = model_->conv_mac_count();
+  conv_total_macs_ = model_->approx_mac_count();
   fc_total_macs_ = model_->mac_count() - conv_total_macs_;
 }
 
 DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
-  check(static_cast<int>(config.tau.size()) == model_->conv_layer_count(),
+  check(static_cast<int>(config.tau.size()) == model_->approx_layer_count(),
         "config does not match model");
   const SkipMask mask = make_skip_mask(*model_, *significance_, config);
   DseResult r = static_metrics(config, mask);
@@ -83,7 +83,7 @@ DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
 }
 
 DseResult ConfigEvaluator::evaluate_static(const ApproxConfig& config) const {
-  check(static_cast<int>(config.tau.size()) == model_->conv_layer_count(),
+  check(static_cast<int>(config.tau.size()) == model_->approx_layer_count(),
         "config does not match model");
   return static_metrics(config,
                         make_skip_mask(*model_, *significance_, config));
@@ -102,7 +102,8 @@ DseResult ConfigEvaluator::static_metrics(const ApproxConfig& config,
                 static_cast<double>(conv_total_macs_)
           : 0.0;
 
-  // Unpacked deployment cycles: unpacked convs + packed FC/pool/softmax.
+  // Unpacked deployment cycles: unpacked conv/depthwise + packed
+  // FC/pool/softmax.
   double cycles = 0.0;
   int ordinal = 0;
   int out_dim = 0;
@@ -112,9 +113,17 @@ DseResult ConfigEvaluator::static_metrics(const ApproxConfig& config,
           *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
           stats.static_singles[static_cast<size_t>(ordinal)], costs_));
       ++ordinal;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      cycles += static_cast<double>(unpacked_depthwise_cycles(
+          *dw, stats.static_pairs[static_cast<size_t>(ordinal)],
+          stats.static_singles[static_cast<size_t>(ordinal)], costs_));
+      ++ordinal;
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       cycles += costs_.layer_dispatch +
                 static_cast<double>(pool_cycles(*pool, costs_));
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      cycles += costs_.layer_dispatch +
+                static_cast<double>(avgpool_cycles(*pool, costs_));
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       cycles += costs_.layer_dispatch +
                 static_cast<double>(dense_cycles(*fc, costs_));

@@ -26,9 +26,13 @@ struct DseResult {
   // partial results: a lucky partial sample must not satisfy an
   // accuracy-loss budget its full-budget measurement would miss.
   bool partial_eval = false;
-  int64_t executed_macs = 0;       // retained conv + fc MACs per inference
+  // Retained conv/depthwise + fc MACs per inference.
+  int64_t executed_macs = 0;
+  // MACs skipped in the approximable (conv + depthwise) layers; the
+  // `conv_` prefix is historical (pre-depthwise) and kept for the
+  // serialized dse_io format.
   int64_t skipped_conv_macs = 0;
-  double conv_mac_reduction = 0.0;  // Fig. 2 x-axis (conv layers only)
+  double conv_mac_reduction = 0.0;  // Fig. 2 x-axis (approximable layers)
   int64_t cycles = 0;               // unpacked deployment cycles
   double latency_reduction = 0.0;   // vs. packed exact baseline
   int64_t flash_bytes = 0;          // unpacked deployment flash
@@ -36,8 +40,8 @@ struct DseResult {
 
 // Static (per-layer) unpacking statistics induced by a skip mask.
 struct UnpackStats {
-  std::vector<int64_t> static_pairs;    // by conv ordinal
-  std::vector<int64_t> static_singles;  // by conv ordinal
+  std::vector<int64_t> static_pairs;    // by approximable-layer ordinal
+  std::vector<int64_t> static_singles;  // by approximable-layer ordinal
   int64_t retained_conv_macs = 0;       // dynamic, per inference
 };
 

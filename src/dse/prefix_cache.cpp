@@ -20,9 +20,10 @@ PrefixCache::PrefixCache(const QModel* model,
   check(model != nullptr && significance != nullptr && eval != nullptr,
         "prefix cache needs model, significance and eval set");
   check(!configs.empty(), "prefix cache needs at least one config");
-  conv_count_ = model_->conv_layer_count();
-  check(conv_count_ > 0, "prefix cache needs at least one conv layer");
-  check(static_cast<int>(significance->size()) == conv_count_,
+  approx_count_ = model_->approx_layer_count();
+  check(approx_count_ > 0,
+        "prefix cache needs at least one approximable layer");
+  check(static_cast<int>(significance->size()) == approx_count_,
         "significance does not match model");
   n_images_ = clamp_eval_limit(eval_images, eval_->size());
   // Golden-ratio stride (bumped to the next value coprime with the image
@@ -31,32 +32,34 @@ PrefixCache::PrefixCache(const QModel* model,
   stride_ = std::max(1, static_cast<int>(n_images_ * 0.6180339887));
   while (std::gcd(stride_, n_images_) != 1) ++stride_;
 
-  conv_pos_.resize(static_cast<size_t>(conv_count_));
-  for (int k = 0; k < conv_count_; ++k)
-    conv_pos_[static_cast<size_t>(k)] = model_->conv_layer_index(k);
-  tail_begin_ = conv_pos_.back() + 1;
+  approx_pos_.resize(static_cast<size_t>(approx_count_));
+  for (int k = 0; k < approx_count_; ++k)
+    approx_pos_[static_cast<size_t>(k)] = model_->approx_layer_index(k);
+  tail_begin_ = approx_pos_.back() + 1;
 
   const int n_cfg = static_cast<int>(configs.size());
-  masked_.resize(static_cast<size_t>(conv_count_));
-  key_slot_.resize(static_cast<size_t>(conv_count_));
+  masked_.resize(static_cast<size_t>(approx_count_));
+  key_slot_.resize(static_cast<size_t>(approx_count_));
   keys_.assign(static_cast<size_t>(n_cfg),
-               std::vector<int64_t>(static_cast<size_t>(conv_count_), 0));
+               std::vector<int64_t>(static_cast<size_t>(approx_count_), 0));
   slots_.assign(static_cast<size_t>(n_cfg),
-                std::vector<int>(static_cast<size_t>(conv_count_), -1));
+                std::vector<int>(static_cast<size_t>(approx_count_), -1));
 
   // Materialize one zeroed-weight variant per distinct (layer, skip set).
   // The per-layer key is the skipped-operand count: skip sets are nested
   // in tau (skip_plan.hpp), so equal cardinality implies equal set and
   // one tau per distinct count suffices.
   std::vector<uint8_t> layer_mask;
-  for (int k = 0; k < conv_count_; ++k) {
-    const auto& conv = std::get<QConv2D>(
-        model_->layers[static_cast<size_t>(conv_pos_[static_cast<size_t>(k)])]);
+  for (int k = 0; k < approx_count_; ++k) {
+    const QLayer& layer =
+        model_->layers[static_cast<size_t>(approx_pos_[static_cast<size_t>(k)])];
+    const int64_t operand_count =
+        describe_layer(layer).skippable_operand_count();
     const LayerSignificance& sig = (*significance)[static_cast<size_t>(k)];
     std::map<double, std::pair<int64_t, int>> by_tau;  // tau -> (key, slot)
     for (int c = 0; c < n_cfg; ++c) {
       check(static_cast<int>(configs[static_cast<size_t>(c)].tau.size()) ==
-                conv_count_,
+                approx_count_,
             "config does not match model");
       const double tau = configs[static_cast<size_t>(c)].tau[static_cast<size_t>(k)];
       if (tau < 0.0) continue;  // exact layer: key 0, slot -1
@@ -64,7 +67,7 @@ PrefixCache::PrefixCache(const QModel* model,
       if (it == by_tau.end()) {
         // Same comparison make_skip_mask uses (kAlwaysRetain channels
         // never satisfy <= tau), so the variant matches the legacy mask.
-        layer_mask.assign(conv.weights.size(), 0);
+        layer_mask.assign(static_cast<size_t>(operand_count), 0);
         int64_t skipped = 0;
         for (size_t i = 0; i < layer_mask.size(); ++i) {
           layer_mask[i] = sig.S[i] <= static_cast<float>(tau) ? 1 : 0;
@@ -74,9 +77,8 @@ PrefixCache::PrefixCache(const QModel* model,
         if (skipped > 0) {
           auto slot_it = key_slot_[static_cast<size_t>(k)].find(skipped);
           if (slot_it == key_slot_[static_cast<size_t>(k)].end()) {
-            QConv2D variant = conv;
-            for (size_t i = 0; i < layer_mask.size(); ++i)
-              if (layer_mask[i]) variant.weights[i] = 0;
+            QLayer variant = layer;
+            zero_skipped_weights(variant, layer_mask);
             slot = static_cast<int>(masked_[static_cast<size_t>(k)].size());
             masked_[static_cast<size_t>(k)].push_back(std::move(variant));
             key_slot_[static_cast<size_t>(k)].emplace(skipped, slot);
@@ -107,7 +109,7 @@ PrefixCache::PrefixCache(const QModel* model,
     const auto& ka = keys_[static_cast<size_t>(order_[static_cast<size_t>(p - 1)])];
     const auto& kb = keys_[static_cast<size_t>(order_[static_cast<size_t>(p)])];
     int l = 0;
-    while (l < conv_count_ && ka[static_cast<size_t>(l)] == kb[static_cast<size_t>(l)])
+    while (l < approx_count_ && ka[static_cast<size_t>(l)] == kb[static_cast<size_t>(l)])
       ++l;
     lcp_[static_cast<size_t>(p)] = l;
   }
@@ -117,28 +119,18 @@ void PrefixCache::run_segment(int ordinal, int slot,
                               const std::vector<int8_t>& in,
                               std::vector<int8_t>& out,
                               std::vector<int8_t>& scratch) const {
-  const int begin = conv_pos_[static_cast<size_t>(ordinal)];
-  const int end = ordinal + 1 < conv_count_
-                      ? conv_pos_[static_cast<size_t>(ordinal + 1)]
+  const int begin = approx_pos_[static_cast<size_t>(ordinal)];
+  const int end = ordinal + 1 < approx_count_
+                      ? approx_pos_[static_cast<size_t>(ordinal + 1)]
                       : tail_begin_;
-  const QConv2D& conv =
-      slot < 0 ? std::get<QConv2D>(model_->layers[static_cast<size_t>(begin)])
+  const QLayer& head =
+      slot < 0 ? model_->layers[static_cast<size_t>(begin)]
                : masked_[static_cast<size_t>(ordinal)][static_cast<size_t>(slot)];
-  out.assign(static_cast<size_t>(conv.geom.positions()) * conv.geom.out_c, 0);
-  conv2d_ref(conv, in, out, nullptr);
+  run_layer_ref(head, in, out, nullptr);
   for (int l = begin + 1; l < end; ++l) {
-    const QLayer& layer = model_->layers[static_cast<size_t>(l)];
-    if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      scratch.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
-                         pool->channels,
-                     0);
-      maxpool_ref(*pool, out, scratch);
-      out.swap(scratch);
-    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      scratch.assign(static_cast<size_t>(fc->out_dim), 0);
-      dense_ref(*fc, out, scratch);
-      out.swap(scratch);
-    }
+    run_layer_ref(model_->layers[static_cast<size_t>(l)], out, scratch,
+                  nullptr);
+    out.swap(scratch);
   }
 }
 
@@ -164,10 +156,11 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
 
   std::atomic<int64_t> run_total{0}, reuse_total{0};
   parallel_for_chunked(lo_img, hi_img, [&](int64_t lo, int64_t hi) {
-    // boundary[k] holds the input activations of conv ordinal k for the
-    // current image; boundary[conv_count_] the input of the exact tail.
+    // boundary[k] holds the input activations of approximable ordinal k
+    // for the current image; boundary[approx_count_] the input of the
+    // exact tail.
     std::vector<std::vector<int8_t>> boundary(
-        static_cast<size_t>(conv_count_) + 1);
+        static_cast<size_t>(approx_count_) + 1);
     std::vector<int8_t> scratch;
     int64_t run = 0, reuse = 0;
     for (int64_t img = lo; img < hi; ++img) {
@@ -176,21 +169,12 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
       const int label = eval_->label(image_index);
       std::vector<int8_t> act =
           ref_.quantize_input(eval_->image(image_index));
-      // Layers before the first conv (normally none) are shared by every
-      // config; run them once into the depth-0 boundary.
-      for (int l = 0; l < conv_pos_.front(); ++l) {
-        const QLayer& layer = model_->layers[static_cast<size_t>(l)];
-        if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-          scratch.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
-                             pool->channels,
-                         0);
-          maxpool_ref(*pool, act, scratch);
-          act.swap(scratch);
-        } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-          scratch.assign(static_cast<size_t>(fc->out_dim), 0);
-          dense_ref(*fc, act, scratch);
-          act.swap(scratch);
-        }
+      // Layers before the first approximable layer (normally none) are
+      // shared by every config; run them once into the depth-0 boundary.
+      for (int l = 0; l < approx_pos_.front(); ++l) {
+        run_layer_ref(model_->layers[static_cast<size_t>(l)], act, scratch,
+                      nullptr);
+        act.swap(scratch);
       }
       boundary[0] = std::move(act);
 
@@ -198,7 +182,7 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
       // The resume depth over a gap of skipped configs is the min of the
       // adjacent lcps (standard property of a lexicographically sorted
       // sequence), tracked in `pending`.
-      int pending = conv_count_;
+      int pending = approx_count_;
       bool first = true;
       uint8_t prev_hit = 0;
       for (int p = 0; p < n_cfg; ++p) {
@@ -209,27 +193,27 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
           continue;
         const int depth = first ? 0 : pending;
         uint8_t hit;
-        if (depth == conv_count_) {
+        if (depth == approx_count_) {
           hit = prev_hit;  // identical config key: identical logits
-          reuse += conv_count_ + 1;
+          reuse += approx_count_ + 1;
         } else {
-          for (int k = depth; k < conv_count_; ++k) {
+          for (int k = depth; k < approx_count_; ++k) {
             run_segment(k,
                         slots_[static_cast<size_t>(c)][static_cast<size_t>(k)],
                         boundary[static_cast<size_t>(k)],
                         boundary[static_cast<size_t>(k) + 1], scratch);
           }
           const std::vector<int8_t> logits = ref_.run_from(
-              tail_begin_, boundary[static_cast<size_t>(conv_count_)]);
+              tail_begin_, boundary[static_cast<size_t>(approx_count_)]);
           hit = argmax_lowest_index(logits) == label ? 1 : 0;
           reuse += depth;
-          run += (conv_count_ - depth) + 1;
+          run += (approx_count_ - depth) + 1;
         }
         hits[static_cast<size_t>(c) * n_images_ + static_cast<size_t>(i)] =
             hit;
         prev_hit = hit;
         first = false;
-        pending = conv_count_;
+        pending = approx_count_;
       }
     }
     // Integer sums are order-insensitive, so the totals stay bitwise

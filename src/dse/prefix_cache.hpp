@@ -7,10 +7,11 @@
 // input wastes exactly those shared prefixes.
 //
 // The cache sorts the config space as a trie keyed by each config's
-// per-conv-layer skip decision: configs are visited in lexicographic key
-// order, and for every image the activations at each conv-layer boundary
-// are kept on a stack, so a config that shares a k-layer prefix with its
-// predecessor resumes from the cached input of conv layer k instead of
+// per-approximable-layer skip decision (conv and depthwise alike):
+// configs are visited in lexicographic key order, and for every image
+// the activations at each approximable-layer boundary are kept on a
+// stack, so a config that shares a k-layer prefix with its predecessor
+// resumes from the cached input of approximable layer k instead of
 // layer 0. Two properties make this exact (bitwise identical to the
 // per-config ConfigEvaluator::evaluate sweep):
 //
@@ -18,12 +19,12 @@
 //    identifies the layer's skip set because skip sets are nested in tau
 //    (skip_plan.hpp) — equal cardinality implies equal set;
 //  * each distinct (layer, key) pair is materialized once as a
-//    zeroed-weight conv copy (the same branch-free trick
+//    zeroed-weight layer copy (the same branch-free trick
 //    apply_skip_mask uses), so segment execution runs the identical
 //    kernels on identical weights as the legacy path.
 //
-// The exact tail behind the last conv layer (pool/dense/softmax — never
-// approximated) is executed through RefEngine::run_from, the
+// The exact tail behind the last approximable layer (pool/dense/softmax
+// — never approximated) is executed through RefEngine::run_from, the
 // InferenceEngine seam's layer-boundary resume entry point.
 //
 // See docs/DSE.md for the sweep-level picture (adaptive early exit,
@@ -40,9 +41,10 @@
 
 namespace ataman {
 
-// Deterministic counters for one evaluate_images call. A "segment" is one
-// conv layer plus the non-conv layers up to the next conv; the exact tail
-// behind the last conv counts as one more segment.
+// Deterministic counters for one evaluate_images call. A "segment" is
+// one approximable layer plus the non-approximable layers up to the
+// next approximable one; the exact tail behind the last approximable
+// layer counts as one more segment.
 struct PrefixCacheStats {
   int64_t segments_run = 0;     // segments actually executed
   int64_t segments_reused = 0;  // segments served from a cached prefix
@@ -62,7 +64,8 @@ class PrefixCache {
   PrefixCache& operator=(const PrefixCache&) = delete;
 
   int config_count() const { return static_cast<int>(keys_.size()); }
-  int conv_count() const { return conv_count_; }
+  // Approximable (conv + depthwise) layer count — the trie depth.
+  int conv_count() const { return approx_count_; }
   int eval_images() const { return n_images_; }
 
   // Image positions are a fixed coprime-stride permutation of the first
@@ -100,9 +103,9 @@ class PrefixCache {
                                    std::vector<uint8_t>& hits) const;
 
  private:
-  // Execute segment `ordinal` (its conv — original or the masked variant
-  // in `slot` — plus trailing non-conv layers) on `in`, leaving the next
-  // boundary activations in `out`.
+  // Execute segment `ordinal` (its approximable layer — original or the
+  // masked variant in `slot` — plus trailing non-approximable layers) on
+  // `in`, leaving the next boundary activations in `out`.
   void run_segment(int ordinal, int slot, const std::vector<int8_t>& in,
                    std::vector<int8_t>& out,
                    std::vector<int8_t>& scratch) const;
@@ -111,16 +114,17 @@ class PrefixCache {
   const Dataset* eval_;
   int n_images_ = 0;
   int stride_ = 1;  // coprime with n_images_; see image_at()
-  int conv_count_ = 0;
-  std::vector<int> conv_pos_;  // layer index of each conv ordinal
-  int tail_begin_ = 0;         // first layer behind the last conv
-  RefEngine ref_;              // exact engine: input quantization + tail
+  int approx_count_ = 0;
+  std::vector<int> approx_pos_;  // layer index of each approx ordinal
+  int tail_begin_ = 0;  // first layer behind the last approximable layer
+  RefEngine ref_;       // exact engine: input quantization + tail
 
-  // Per conv ordinal: zeroed-weight variants of the layer, one per
-  // distinct non-empty skip set seen in the config space; key_slot_ maps
-  // the skipped-operand count to its variant index (key 0 / slot -1 means
-  // "use the model's original layer").
-  std::vector<std::vector<QConv2D>> masked_;
+  // Per approximable ordinal: zeroed-weight variants of the layer (conv
+  // or depthwise), one per distinct non-empty skip set seen in the
+  // config space; key_slot_ maps the skipped-operand count to its
+  // variant index (key 0 / slot -1 means "use the model's original
+  // layer").
+  std::vector<std::vector<QLayer>> masked_;
   std::vector<std::map<int64_t, int>> key_slot_;
 
   std::vector<std::vector<int64_t>> keys_;  // [config][ordinal] skip count

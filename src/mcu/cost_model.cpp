@@ -50,6 +50,31 @@ int64_t unpacked_conv_cycles(const QConv2D& layer, int64_t static_pairs,
   return static_cast<int64_t>(std::llround(cycles));
 }
 
+int64_t packed_depthwise_cycles(const QDepthwiseConv2D& layer,
+                                const CortexM33CostTable& t) {
+  double cycles =
+      t.packed_depthwise_per_mac * static_cast<double>(layer.macs());
+  cycles += t.packed_chan_epilogue *
+            static_cast<double>(layer.positions()) * layer.channels;
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+int64_t unpacked_depthwise_cycles(const QDepthwiseConv2D& layer,
+                                  int64_t static_pairs,
+                                  int64_t static_singles,
+                                  const CortexM33CostTable& t) {
+  check(static_pairs >= 0 && static_singles >= 0,
+        "negative retained op counts");
+  const int64_t positions = layer.positions();
+  double cycles = t.unpacked_layer_setup;
+  cycles += t.unpacked_per_pair * static_cast<double>(static_pairs * positions);
+  cycles +=
+      t.unpacked_per_single * static_cast<double>(static_singles * positions);
+  cycles += t.unpacked_chan_epilogue *
+            static_cast<double>(positions * layer.channels);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
 int64_t dense_cycles(const QDense& layer, const CortexM33CostTable& t) {
   double cycles = 0.0;
   cycles += t.fc_per_pair *
@@ -69,6 +94,16 @@ int64_t pool_cycles(const QMaxPool& layer, const CortexM33CostTable& t) {
                    static_cast<double>(outputs * taps)));
 }
 
+int64_t avgpool_cycles(const QAvgPool& layer, const CortexM33CostTable& t) {
+  const int64_t outputs =
+      static_cast<int64_t>(layer.out_h()) * layer.out_w() * layer.channels;
+  const int64_t taps = static_cast<int64_t>(layer.kernel) * layer.kernel;
+  return static_cast<int64_t>(
+      std::llround(t.pool_per_output_elem_per_tap *
+                       static_cast<double>(outputs * taps) +
+                   t.avgpool_div_per_output * static_cast<double>(outputs)));
+}
+
 int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
   double total = 0.0;
   int out_dim = 0;
@@ -76,8 +111,12 @@ int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
     total += t.layer_dispatch;
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       total += static_cast<double>(packed_conv_cycles(*conv, t));
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      total += static_cast<double>(packed_depthwise_cycles(*dw, t));
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       total += static_cast<double>(pool_cycles(*pool, t));
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      total += static_cast<double>(avgpool_cycles(*pool, t));
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       total += static_cast<double>(dense_cycles(*fc, t));
       out_dim = fc->out_dim;

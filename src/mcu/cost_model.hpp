@@ -67,8 +67,18 @@ struct CortexM33CostTable {
   double unpacked_layer_setup = 200.0;   // customized runtime, no dispatch
                                          // table walk
 
+  // -- packed depthwise convolution --
+  // CMSIS-NN depthwise kernels (arm_depthwise_conv_s8) run a scalar
+  // per-channel tap loop — the dual-MAC trick needs two weights against
+  // one accumulator, which a per-channel filter cannot feed from
+  // consecutive memory. Priced per MAC like the basic conv path, with a
+  // slightly cheaper constant (no im2col, better locality).
+  double packed_depthwise_per_mac = 5.2;
+
   // -- pooling --
   double pool_per_output_elem_per_tap = 2.0;  // load+compare per window tap
+  double avgpool_div_per_output = 7.0;  // rounding divide + saturate per
+                                        // output element (SDIV + fixup)
 };
 
 // True when the layer qualifies for the CMSIS fast (dual-SMLAD) path.
@@ -86,9 +96,24 @@ int64_t unpacked_conv_cycles(const QConv2D& layer, int64_t static_pairs,
                              int64_t static_singles,
                              const CortexM33CostTable& t = {});
 
+// Packed (loop-kernel) depthwise convolution.
+int64_t packed_depthwise_cycles(const QDepthwiseConv2D& layer,
+                                const CortexM33CostTable& t = {});
+
+// Unpacked depthwise convolution: per-channel straight-line tap programs
+// (same instruction shape as unpacked conv; operand pairs come from one
+// channel's k*k taps).
+int64_t unpacked_depthwise_cycles(const QDepthwiseConv2D& layer,
+                                  int64_t static_pairs,
+                                  int64_t static_singles,
+                                  const CortexM33CostTable& t = {});
+
 int64_t dense_cycles(const QDense& layer, const CortexM33CostTable& t = {});
 
 int64_t pool_cycles(const QMaxPool& layer, const CortexM33CostTable& t = {});
+
+int64_t avgpool_cycles(const QAvgPool& layer,
+                       const CortexM33CostTable& t = {});
 
 // Whole-model cycles for the packed (exact CMSIS-like) engine, including
 // per-layer dispatch and the final softmax.

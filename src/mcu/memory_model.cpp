@@ -25,28 +25,31 @@ FlashReport unpacked_flash(const QModel& model,
   FlashReport r;
   r.code_bytes = t.custom_runtime_code + t.const_tables;
 
-  int conv_ordinal = 0;
+  int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    const OpDescriptor d = describe_layer(layer);
+    if (d.skippable) {
+      // Conv or depthwise: per-channel programs, weights either burned
+      // into code (unpacked) or kept as data (packed fallback).
+      const int64_t weight_data = d.skippable_operand_count();
+      const int64_t bias_data = static_cast<int64_t>(d.channels) * 4;
       const bool unpacked =
-          conv_ordinal < static_cast<int>(static_pairs.size()) &&
-          static_pairs[static_cast<size_t>(conv_ordinal)] >= 0;
+          ordinal < static_cast<int>(static_pairs.size()) &&
+          static_pairs[static_cast<size_t>(ordinal)] >= 0;
       if (unpacked) {
-        const int64_t pairs = static_pairs[static_cast<size_t>(conv_ordinal)];
-        const int64_t singles =
-            static_singles[static_cast<size_t>(conv_ordinal)];
+        const int64_t pairs = static_pairs[static_cast<size_t>(ordinal)];
+        const int64_t singles = static_singles[static_cast<size_t>(ordinal)];
         r.unpacked_code_bytes += t.unpacked_bytes_per_layer +
-                                 t.unpacked_bytes_per_channel * conv->geom.out_c +
+                                 t.unpacked_bytes_per_channel * d.channels +
                                  t.unpacked_bytes_per_pair * pairs +
                                  t.unpacked_bytes_per_single * singles;
         // Biases remain data (loaded by the per-channel prologue).
-        r.weight_bytes += static_cast<int64_t>(conv->bias.size()) * 4;
+        r.weight_bytes += bias_data;
       } else {
-        r.weight_bytes += static_cast<int64_t>(conv->weights.size()) +
-                          static_cast<int64_t>(conv->bias.size()) * 4;
+        r.weight_bytes += weight_data + bias_data;
         r.code_bytes += t.per_layer_descriptor;
       }
-      ++conv_ordinal;
+      ++ordinal;
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       r.weight_bytes += static_cast<int64_t>(fc->weights.size()) +
                         static_cast<int64_t>(fc->bias.size()) * 4;
@@ -67,20 +70,15 @@ int64_t model_ram_bytes(const QModel& model, bool packed_engine,
   int64_t arena = cur;
   int64_t im2col = 0;
   for (const QLayer& layer : model.layers) {
-    int64_t next = 0;
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      next = static_cast<int64_t>(conv->geom.positions()) * conv->geom.out_c;
-      if (packed_engine) {
+    const int64_t next = describe_layer(layer).out_elems;
+    if (packed_engine) {
+      if (const auto* conv = std::get_if<QConv2D>(&layer)) {
         // Two q15 columns of one receptive field each (CMSIS 2-column
-        // mat_mult scratch).
+        // mat_mult scratch). Depthwise kernels read activations directly
+        // (no column scratch).
         im2col = std::max<int64_t>(
             im2col, 2LL * conv->geom.patch_size() * 2);
       }
-    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      next = static_cast<int64_t>(pool->out_h()) * pool->out_w() *
-             pool->channels;
-    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      next = fc->out_dim;
     }
     arena = std::max(arena, cur + next);
     cur = next;

@@ -53,10 +53,10 @@ struct FlashReport {
 // Packed (CMSIS-like) deployment: weights stored as data.
 FlashReport packed_flash(const QModel& model, const MemoryCostTable& t = {});
 
-// Unpacked deployment: conv layers in `unpacked_static_pairs` /
-// `unpacked_static_singles` (indexed by conv ordinal, -1 entries = layer
-// kept packed) become straight-line code; their weights disappear from
-// the data segment. FC layers stay packed.
+// Unpacked deployment: approximable layers (conv + depthwise) in
+// `static_pairs` / `static_singles` (indexed by approximable-layer
+// ordinal, -1 entries = layer kept packed) become straight-line code;
+// their weights disappear from the data segment. FC layers stay packed.
 FlashReport unpacked_flash(const QModel& model,
                            const std::vector<int64_t>& static_pairs,
                            const std::vector<int64_t>& static_singles,

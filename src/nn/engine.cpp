@@ -47,52 +47,32 @@ std::vector<int8_t> RefEngine::run_layers(int layer_begin,
   if (mask != nullptr) mask->validate(model());
   if (layer_begin < layer_count) {
     const QLayer& entry = model().layers[static_cast<size_t>(layer_begin)];
-    int64_t expected = 0;
-    if (const auto* conv = std::get_if<QConv2D>(&entry)) {
-      expected = static_cast<int64_t>(conv->geom.in_h) * conv->geom.in_w *
-                 conv->geom.in_c;
-    } else if (const auto* pool = std::get_if<QMaxPool>(&entry)) {
-      expected = static_cast<int64_t>(pool->in_h) * pool->in_w *
-                 pool->channels;
-    } else if (const auto* fc = std::get_if<QDense>(&entry)) {
-      expected = fc->in_dim;
-    }
-    check(static_cast<int64_t>(act.size()) == expected,
+    check(static_cast<int64_t>(act.size()) ==
+              describe_layer(entry).in_elems,
           "run_from activation size mismatch at layer " +
               std::to_string(layer_begin));
   }
   std::vector<int8_t> cur = std::move(act);
   std::vector<int8_t> next;
 
-  int conv_ordinal = 0;
+  int approx_ordinal = 0;
   for (int l = 0; l < layer_begin; ++l) {
-    if (std::holds_alternative<QConv2D>(model().layers[static_cast<size_t>(l)]))
-      ++conv_ordinal;
+    if (describe_layer(model().layers[static_cast<size_t>(l)]).skippable)
+      ++approx_ordinal;
   }
   for (int l = layer_begin; l < layer_count; ++l) {
     const QLayer& layer = model().layers[static_cast<size_t>(l)];
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      if (tap) tap(conv_ordinal, *conv, cur);
-      const uint8_t* skip = nullptr;
+    const uint8_t* skip = nullptr;
+    if (describe_layer(layer).skippable) {
+      if (tap) tap(approx_ordinal, layer, cur);
       if (mask != nullptr &&
-          conv_ordinal < static_cast<int>(mask->conv_masks.size()) &&
-          !mask->conv_masks[static_cast<size_t>(conv_ordinal)].empty()) {
-        skip = mask->conv_masks[static_cast<size_t>(conv_ordinal)].data();
+          approx_ordinal < static_cast<int>(mask->masks.size()) &&
+          !mask->masks[static_cast<size_t>(approx_ordinal)].empty()) {
+        skip = mask->masks[static_cast<size_t>(approx_ordinal)].data();
       }
-      next.assign(static_cast<size_t>(conv->geom.positions()) *
-                      conv->geom.out_c,
-                  0);
-      conv2d_ref(*conv, cur, next, skip);
-      ++conv_ordinal;
-    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
-                      pool->channels,
-                  0);
-      maxpool_ref(*pool, cur, next);
-    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      next.assign(static_cast<size_t>(fc->out_dim), 0);
-      dense_ref(*fc, cur, next);
+      ++approx_ordinal;
     }
+    run_layer_ref(layer, cur, next, skip);
     cur.swap(next);
   }
   return cur;

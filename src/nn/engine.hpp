@@ -23,9 +23,12 @@
 
 namespace ataman {
 
-// Called before each conv layer executes: (conv_ordinal, layer, input).
+// Called before each approximable (conv/depthwise) layer executes:
+// (approx_ordinal, layer, input). The layer is passed as the QLayer
+// variant so statistics capture handles every approximable kind through
+// one hook.
 using ConvTap =
-    std::function<void(int, const QConv2D&, std::span<const int8_t>)>;
+    std::function<void(int, const QLayer&, std::span<const int8_t>)>;
 
 class RefEngine : public InferenceEngine {
  public:

@@ -60,9 +60,69 @@ void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
   }
 }
 
+int32_t depthwise_accumulate_ref(const QDepthwiseConv2D& layer,
+                                 std::span<const int8_t> in, int oy, int ox,
+                                 int ch, const uint8_t* skip) {
+  const int patch = layer.patch_size();
+  const uint8_t* sk =
+      skip != nullptr ? skip + static_cast<size_t>(ch) * patch : nullptr;
+
+  int32_t acc = layer.bias[static_cast<size_t>(ch)];
+  int p = 0;
+  for (int ky = 0; ky < layer.kernel; ++ky) {
+    const int iy = oy * layer.stride - layer.pad + ky;
+    for (int kx = 0; kx < layer.kernel; ++kx, ++p) {
+      if (sk != nullptr && sk[p]) continue;
+      const int ix = ox * layer.stride - layer.pad + kx;
+      const bool inside =
+          iy >= 0 && iy < layer.in_h && ix >= 0 && ix < layer.in_w;
+      // Padding taps read the zero-point, i.e. real value 0.
+      const int32_t x =
+          inside ? in[(static_cast<size_t>(iy) * layer.in_w + ix) *
+                          layer.channels +
+                      ch]
+                 : layer.in.zero_point;
+      acc += (x - layer.in.zero_point) *
+             static_cast<int32_t>(
+                 layer.weights[dw_weight_index(ch, p, layer.channels)]);
+    }
+  }
+  return acc;
+}
+
+void depthwise_conv2d_ref(const QDepthwiseConv2D& layer,
+                          std::span<const int8_t> in, std::span<int8_t> out,
+                          const uint8_t* skip) {
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(layer.in_h) * layer.in_w * layer.channels,
+        "depthwise input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(layer.positions()) * layer.channels,
+        "depthwise output size mismatch");
+
+  const int oh = layer.out_h(), ow = layer.out_w();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int8_t* orow =
+          out.data() + (static_cast<size_t>(oy) * ow + ox) * layer.channels;
+      for (int ch = 0; ch < layer.channels; ++ch) {
+        const int32_t acc =
+            depthwise_accumulate_ref(layer, in, oy, ox, ch, skip);
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, layer.requant) +
+            layer.out.zero_point;
+        orow[ch] = static_cast<int8_t>(
+            std::clamp(scaled, layer.act_min, layer.act_max));
+      }
+    }
+  }
+}
+
 void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
                  std::span<int8_t> out) {
   const int oh = layer.out_h(), ow = layer.out_w(), c = layer.channels;
+  validate_pool_geometry(layer.in_h, layer.in_w, layer.kernel, layer.stride,
+                         "maxpool_ref");
   check(static_cast<int64_t>(in.size()) ==
             static_cast<int64_t>(layer.in_h) * layer.in_w * c,
         "pool input size mismatch");
@@ -72,18 +132,50 @@ void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
       for (int ch = 0; ch < c; ++ch) {
+        // Covering geometry is validated above, so every tap is inside.
         int8_t best = -128;
         for (int ky = 0; ky < layer.kernel; ++ky) {
           const int iy = oy * layer.stride + ky;
-          if (iy >= layer.in_h) continue;
           for (int kx = 0; kx < layer.kernel; ++kx) {
             const int ix = ox * layer.stride + kx;
-            if (ix >= layer.in_w) continue;
             best = std::max(
                 best, in[(static_cast<size_t>(iy) * layer.in_w + ix) * c + ch]);
           }
         }
         out[(static_cast<size_t>(oy) * ow + ox) * c + ch] = best;
+      }
+    }
+  }
+}
+
+void avgpool_ref(const QAvgPool& layer, std::span<const int8_t> in,
+                 std::span<int8_t> out) {
+  const int oh = layer.out_h(), ow = layer.out_w(), c = layer.channels;
+  validate_pool_geometry(layer.in_h, layer.in_w, layer.kernel, layer.stride,
+                         "avgpool_ref");
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(layer.in_h) * layer.in_w * c,
+        "pool input size mismatch");
+  check(static_cast<int64_t>(out.size()) ==
+            static_cast<int64_t>(oh) * ow * c,
+        "pool output size mismatch");
+  const int32_t count = layer.kernel * layer.kernel;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int ch = 0; ch < c; ++ch) {
+        int32_t sum = 0;
+        for (int ky = 0; ky < layer.kernel; ++ky) {
+          const int iy = oy * layer.stride + ky;
+          for (int kx = 0; kx < layer.kernel; ++kx) {
+            const int ix = ox * layer.stride + kx;
+            sum += in[(static_cast<size_t>(iy) * layer.in_w + ix) * c + ch];
+          }
+        }
+        // Round half away from zero (TFLite AVERAGE_POOL_2D).
+        const int32_t avg =
+            sum >= 0 ? (sum + count / 2) / count : (sum - count / 2) / count;
+        out[(static_cast<size_t>(oy) * ow + ox) * c + ch] =
+            saturate_int8(avg);
       }
     }
   }
@@ -107,6 +199,22 @@ void dense_ref(const QDense& layer, std::span<const int8_t> in,
         layer.out.zero_point;
     out[static_cast<size_t>(o)] =
         static_cast<int8_t>(std::clamp(scaled, layer.act_min, layer.act_max));
+  }
+}
+
+void run_layer_ref(const QLayer& layer, std::span<const int8_t> in,
+                   std::vector<int8_t>& out, const uint8_t* skip) {
+  out.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
+  if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    conv2d_ref(*conv, in, out, skip);
+  } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+    depthwise_conv2d_ref(*dw, in, out, skip);
+  } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+    maxpool_ref(*pool, in, out);
+  } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+    avgpool_ref(*pool, in, out);
+  } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+    dense_ref(*fc, in, out);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "src/quant/qtypes.hpp"
 
@@ -16,7 +17,18 @@ namespace ataman {
 void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
                 std::span<int8_t> out, const uint8_t* skip = nullptr);
 
+// out[pos][ch]; `skip` is nullptr or [channels * k*k] indexed
+// channel * patch + (ky*k + kx) — SkipMask's depthwise operand order.
+void depthwise_conv2d_ref(const QDepthwiseConv2D& layer,
+                          std::span<const int8_t> in, std::span<int8_t> out,
+                          const uint8_t* skip = nullptr);
+
 void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
+                 std::span<int8_t> out);
+
+// Int8 average pool: window sum, round-half-away-from-zero divide
+// (TFLite-Micro semantics; in/out quantization params are shared).
+void avgpool_ref(const QAvgPool& layer, std::span<const int8_t> in,
                  std::span<int8_t> out);
 
 void dense_ref(const QDense& layer, std::span<const int8_t> in,
@@ -26,5 +38,17 @@ void dense_ref(const QDense& layer, std::span<const int8_t> in,
 // reference kernel and the significance brute-force tests.
 int32_t conv_accumulate_ref(const QConv2D& layer, std::span<const int8_t> in,
                             int oy, int ox, int oc, const uint8_t* skip);
+
+// As above for one depthwise output position/channel.
+int32_t depthwise_accumulate_ref(const QDepthwiseConv2D& layer,
+                                 std::span<const int8_t> in, int oy, int ox,
+                                 int ch, const uint8_t* skip);
+
+// Dispatch any QLayer through its reference kernel: sizes `out` from the
+// layer descriptor and runs the matching *_ref above (`skip` applies to
+// approximable layers only). The one layer-walk helper every generic
+// executor (RefEngine, the DSE prefix cache, engine constructors) shares.
+void run_layer_ref(const QLayer& layer, std::span<const int8_t> in,
+                   std::vector<int8_t>& out, const uint8_t* skip = nullptr);
 
 }  // namespace ataman

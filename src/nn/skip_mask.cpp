@@ -7,7 +7,7 @@
 namespace ataman {
 
 bool SkipMask::empty() const {
-  for (const auto& m : conv_masks)
+  for (const auto& m : masks)
     for (const uint8_t v : m)
       if (v) return false;
   return true;
@@ -15,7 +15,7 @@ bool SkipMask::empty() const {
 
 int64_t SkipMask::skipped_static_operands() const {
   int64_t total = 0;
-  for (const auto& m : conv_masks)
+  for (const auto& m : masks)
     total += std::accumulate(m.begin(), m.end(), int64_t{0});
   return total;
 }
@@ -25,13 +25,13 @@ int64_t SkipMask::skipped_macs(const QModel& model) const {
   int64_t total = 0;
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
-    if (ordinal < static_cast<int>(conv_masks.size())) {
-      const auto& m = conv_masks[static_cast<size_t>(ordinal)];
+    const OpDescriptor d = describe_layer(layer);
+    if (!d.skippable) continue;
+    if (ordinal < static_cast<int>(masks.size())) {
+      const auto& m = masks[static_cast<size_t>(ordinal)];
       const int64_t skipped =
           std::accumulate(m.begin(), m.end(), int64_t{0});
-      total += skipped * conv->geom.positions();
+      total += skipped * d.positions;
     }
     ++ordinal;
   }
@@ -39,18 +39,19 @@ int64_t SkipMask::skipped_macs(const QModel& model) const {
 }
 
 void SkipMask::validate(const QModel& model) const {
-  const int conv_count = model.conv_layer_count();
-  check(static_cast<int>(conv_masks.size()) <= conv_count,
-        "skip mask has more layers than the model has convs");
+  const int approx_count = model.approx_layer_count();
+  check(static_cast<int>(masks.size()) <= approx_count,
+        "skip mask has more layers than the model has approximable layers");
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
-    if (ordinal < static_cast<int>(conv_masks.size())) {
-      const auto& m = conv_masks[static_cast<size_t>(ordinal)];
-      check(m.empty() ||
-                static_cast<int64_t>(m.size()) == conv->geom.weight_count(),
-            "skip mask size mismatch on conv layer " + std::to_string(ordinal));
+    const OpDescriptor d = describe_layer(layer);
+    if (!d.skippable) continue;
+    if (ordinal < static_cast<int>(masks.size())) {
+      const auto& m = masks[static_cast<size_t>(ordinal)];
+      check(m.empty() || static_cast<int64_t>(m.size()) ==
+                             d.skippable_operand_count(),
+            "skip mask size mismatch on approximable layer " +
+                std::to_string(ordinal));
     }
     ++ordinal;
   }
@@ -59,11 +60,32 @@ void SkipMask::validate(const QModel& model) const {
 SkipMask SkipMask::none(const QModel& model) {
   SkipMask mask;
   for (const QLayer& layer : model.layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer))
-      mask.conv_masks.emplace_back(
-          static_cast<size_t>(conv->geom.weight_count()), 0);
+    const OpDescriptor d = describe_layer(layer);
+    if (d.skippable)
+      mask.masks.emplace_back(
+          static_cast<size_t>(d.skippable_operand_count()), 0);
   }
   return mask;
+}
+
+void zero_skipped_weights(QLayer& layer, const std::vector<uint8_t>& mask) {
+  if (mask.empty()) return;
+  if (auto* conv = std::get_if<QConv2D>(&layer)) {
+    // Plain conv: mask index == weight index ([out_c][patch]).
+    ATAMAN_ASSERT(mask.size() == conv->weights.size());
+    for (size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) conv->weights[i] = 0;
+  } else if (auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+    // Depthwise: mask is [channel][tap], weights are [tap][channel].
+    const int patch = dw->patch_size();
+    ATAMAN_ASSERT(static_cast<int64_t>(mask.size()) == dw->weight_count());
+    for (int ch = 0; ch < dw->channels; ++ch)
+      for (int p = 0; p < patch; ++p)
+        if (mask[static_cast<size_t>(ch) * patch + p])
+          dw->weights[dw_weight_index(ch, p, dw->channels)] = 0;
+  } else {
+    fail("zero_skipped_weights on a non-approximable layer");
+  }
 }
 
 QModel apply_skip_mask(const QModel& model, const SkipMask& mask) {
@@ -71,14 +93,9 @@ QModel apply_skip_mask(const QModel& model, const SkipMask& mask) {
   QModel masked = model;
   int ordinal = 0;
   for (QLayer& layer : masked.layers) {
-    auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
-    if (ordinal < static_cast<int>(mask.conv_masks.size()) &&
-        !mask.conv_masks[static_cast<size_t>(ordinal)].empty()) {
-      const auto& m = mask.conv_masks[static_cast<size_t>(ordinal)];
-      for (size_t i = 0; i < conv->weights.size(); ++i)
-        if (m[i]) conv->weights[i] = 0;
-    }
+    if (!describe_layer(layer).skippable) continue;
+    if (ordinal < static_cast<int>(mask.masks.size()))
+      zero_skipped_weights(layer, mask.masks[static_cast<size_t>(ordinal)]);
     ++ordinal;
   }
   return masked;

@@ -1,12 +1,18 @@
-// Skip mask: which static conv products are omitted.
+// Skip mask: which static approximable products are omitted.
 //
 // The paper's approximation (§II-C) removes individual products a_i * w_i
 // from each output channel's accumulation. A skipped product is a *static*
-// (conv layer, out channel, filter operand index) triple — the operand
-// index is the (ky, kx, in_c)-flattened position within the filter, the
-// same ordering used by im2col, the unpacked programs and the code
-// generator. Skipping removes that operand at every output spatial
-// position, exactly like deleting its instruction from generated code.
+// (approximable layer, channel, filter operand index) triple. Approximable
+// layers are the convolution kinds — plain conv and depthwise conv — in
+// layer order; `ordinal` below always means the n-th approximable layer
+// (QModel::approx_layer_index). The operand index is
+//   * plain conv:     the (ky, kx, in_c)-flattened position within the
+//                     output channel's filter (the im2col order), and
+//   * depthwise conv: the (ky, kx)-flattened tap position within the
+//                     channel's own k×k filter (dw_weight_index maps it
+//                     into the [k][k][c] weight tensor).
+// Skipping removes that operand at every output spatial position, exactly
+// like deleting its instruction from generated code.
 #pragma once
 
 #include <cstdint>
@@ -17,9 +23,9 @@
 namespace ataman {
 
 struct SkipMask {
-  // conv_masks[conv_ordinal][out_c * patch_size + operand] == 1 -> skip.
+  // masks[approx_ordinal][channel * patch + operand] == 1 -> skip.
   // An empty per-layer vector means "layer untouched".
-  std::vector<std::vector<uint8_t>> conv_masks;
+  std::vector<std::vector<uint8_t>> masks;
 
   bool empty() const;
   // Total number of skipped static operands.
@@ -36,11 +42,16 @@ struct SkipMask {
   static SkipMask none(const QModel& model);
 };
 
-// A copy of `model` with every skipped conv weight set to zero. The
-// quantized product (a - zp) * w vanishes for w == 0, so running the
+// A copy of `model` with every skipped conv/depthwise weight set to zero.
+// The quantized product (a - zp) * w vanishes for w == 0, so running the
 // masked copy through any exact engine is numerically identical to
 // skip-aware execution — and faster to evaluate (no per-MAC branch),
 // which is what the DSE uses for its thousands of accuracy evaluations.
 QModel apply_skip_mask(const QModel& model, const SkipMask& mask);
+
+// Zero the weights of one approximable layer in place according to its
+// per-layer mask (the mask/weight index mapping point shared by
+// apply_skip_mask and the DSE prefix cache).
+void zero_skipped_weights(QLayer& layer, const std::vector<uint8_t>& mask);
 
 }  // namespace ataman

@@ -18,23 +18,74 @@ float QuantParams::dequantize(int8_t q) const {
   return scale * static_cast<float>(static_cast<int32_t>(q) - zero_point);
 }
 
+OpDescriptor describe_layer(const QLayer& layer) {
+  OpDescriptor d;
+  if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    const ConvGeom& g = conv->geom;
+    d.kind = OpKind::kConv;
+    d.in_elems = static_cast<int64_t>(g.in_h) * g.in_w * g.in_c;
+    d.out_elems = static_cast<int64_t>(g.positions()) * g.out_c;
+    d.macs = g.macs();
+    d.skippable = true;
+    d.channels = g.out_c;
+    d.patch = g.patch_size();
+    d.positions = g.positions();
+  } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+    d.kind = OpKind::kDepthwise;
+    d.in_elems = static_cast<int64_t>(dw->in_h) * dw->in_w * dw->channels;
+    d.out_elems = static_cast<int64_t>(dw->positions()) * dw->channels;
+    d.macs = dw->macs();
+    d.skippable = true;
+    d.channels = dw->channels;
+    d.patch = dw->patch_size();
+    d.positions = dw->positions();
+  } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+    d.kind = OpKind::kMaxPool;
+    d.in_elems = static_cast<int64_t>(pool->in_h) * pool->in_w *
+                 pool->channels;
+    d.out_elems = static_cast<int64_t>(pool->out_h()) * pool->out_w() *
+                  pool->channels;
+    d.positions = static_cast<int64_t>(pool->out_h()) * pool->out_w();
+  } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+    d.kind = OpKind::kAvgPool;
+    d.in_elems = static_cast<int64_t>(pool->in_h) * pool->in_w *
+                 pool->channels;
+    d.out_elems = static_cast<int64_t>(pool->out_h()) * pool->out_w() *
+                  pool->channels;
+    d.positions = static_cast<int64_t>(pool->out_h()) * pool->out_w();
+  } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+    d.kind = OpKind::kDense;
+    d.in_elems = fc->in_dim;
+    d.out_elems = fc->out_dim;
+    d.macs = fc->macs();
+    d.positions = 1;
+    d.out_dim = fc->out_dim;
+  }
+  return d;
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv: return "conv";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kDense: return "dense";
+    case OpKind::kDepthwise: return "depthwise";
+    case OpKind::kAvgPool: return "avgpool";
+  }
+  return "?";
+}
+
 int64_t QModel::mac_count() const {
   int64_t total = 0;
-  for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      total += conv->geom.macs();
-    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      total += fc->macs();
-    }
-  }
+  for (const QLayer& layer : layers) total += describe_layer(layer).macs;
   return total;
 }
 
-int64_t QModel::conv_mac_count() const {
+int64_t QModel::approx_mac_count() const {
   int64_t total = 0;
   for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer))
-      total += conv->geom.macs();
+    const OpDescriptor d = describe_layer(layer);
+    if (d.skippable) total += d.macs;
   }
   return total;
 }
@@ -46,15 +97,22 @@ int QModel::conv_layer_count() const {
   return count;
 }
 
-int QModel::conv_layer_index(int n) const {
+int QModel::approx_layer_count() const {
+  int count = 0;
+  for (const QLayer& layer : layers)
+    if (describe_layer(layer).skippable) ++count;
+  return count;
+}
+
+int QModel::approx_layer_index(int n) const {
   int seen = 0;
   for (size_t i = 0; i < layers.size(); ++i) {
-    if (std::holds_alternative<QConv2D>(layers[i])) {
+    if (describe_layer(layers[i]).skippable) {
       if (seen == n) return static_cast<int>(i);
       ++seen;
     }
   }
-  fail("conv layer ordinal out of range");
+  fail("approximable layer ordinal out of range");
 }
 
 int64_t QModel::weight_bytes() const {
@@ -63,6 +121,9 @@ int64_t QModel::weight_bytes() const {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       total += static_cast<int64_t>(conv->weights.size()) +
                static_cast<int64_t>(conv->bias.size()) * 4;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      total += static_cast<int64_t>(dw->weights.size()) +
+               static_cast<int64_t>(dw->bias.size()) * 4;
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       total += static_cast<int64_t>(fc->weights.size()) +
                static_cast<int64_t>(fc->bias.size()) * 4;
@@ -74,17 +135,8 @@ int64_t QModel::weight_bytes() const {
 std::pair<int64_t, int64_t> QModel::two_largest_activations() const {
   std::vector<int64_t> sizes;
   sizes.push_back(static_cast<int64_t>(in_h) * in_w * in_c);
-  for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      sizes.push_back(static_cast<int64_t>(conv->geom.positions()) *
-                      conv->geom.out_c);
-    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      sizes.push_back(static_cast<int64_t>(pool->out_h()) * pool->out_w() *
-                      pool->channels);
-    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      sizes.push_back(fc->out_dim);
-    }
-  }
+  for (const QLayer& layer : layers)
+    sizes.push_back(describe_layer(layer).out_elems);
   std::sort(sizes.begin(), sizes.end(), std::greater<>());
   return {sizes[0], sizes.size() > 1 ? sizes[1] : 0};
 }

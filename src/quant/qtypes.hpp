@@ -8,9 +8,11 @@
 //     fixed-point multiplier (see common/fixed_point.hpp)
 //   * ReLU is folded into the conv/fc output clamp (act_min/act_max)
 //
-// Layer weight layout is [out_c][kernel][kernel][in_c] for conv and
-// [out][in] for fully-connected — identical to the float substrate and to
-// the operand indexing used by the significance analysis and codegen.
+// Layer weight layout is [out_c][kernel][kernel][in_c] for conv,
+// [kernel][kernel][channels] (channel innermost, the TFLite-Micro
+// depthwise convention) for depthwise conv, and [out][in] for
+// fully-connected — identical to the float substrate and to the operand
+// indexing used by the significance analysis and codegen.
 #pragma once
 
 #include <cstdint>
@@ -66,7 +68,87 @@ struct QMaxPool {
   int out_w() const { return conv_out_extent(in_w, kernel, stride, 0); }
 };
 
-using QLayer = std::variant<QConv2D, QMaxPool, QDense>;
+// Depthwise convolution: channel c of the output reads only channel c of
+// the input — the TinyML efficiency primitive (MobileNet/DS-CNN blocks).
+// Weights are [kernel][kernel][channels] with the channel innermost
+// (TFLite-Micro layout); the *skip-mask operand index* for channel c is
+// the (ky*kernel + kx)-flattened tap position p in [0, kernel²), so a
+// skipped static operand is the (layer, channel, p) triple and
+// dw_weight_index() maps it into the weight tensor.
+struct QDepthwiseConv2D {
+  int in_h = 0, in_w = 0, channels = 0;
+  int kernel = 1, stride = 1, pad = 0;
+  std::vector<int8_t> weights;  // [k][k][channels], channel innermost
+  std::vector<int32_t> bias;    // [channels], scale = in.scale * w_scale
+  QuantParams in, out;
+  float w_scale = 1.0f;
+  QuantizedMultiplier requant;
+  int32_t act_min = -128;
+  int32_t act_max = 127;
+
+  int out_h() const { return conv_out_extent(in_h, kernel, stride, pad); }
+  int out_w() const { return conv_out_extent(in_w, kernel, stride, pad); }
+  int patch_size() const { return kernel * kernel; }  // taps per channel
+  int positions() const { return out_h() * out_w(); }
+  int64_t macs() const {
+    return static_cast<int64_t>(positions()) * channels * patch_size();
+  }
+  int64_t weight_count() const {
+    return static_cast<int64_t>(channels) * patch_size();
+  }
+};
+
+// Weight-tensor index of (channel, tap) under the [k][k][c] layout. The
+// skip mask, significance S[] and channel programs all index operands as
+// channel * patch_size + tap; this is the one conversion point.
+inline size_t dw_weight_index(int channel, int tap, int channels) {
+  return static_cast<size_t>(tap) * channels + channel;
+}
+
+// Int8 average pool: sum over the window, round-half-away-from-zero
+// divide (the TFLite-Micro AVERAGE_POOL_2D reference op). Input and
+// output share quantization parameters, so no requant state is needed.
+struct QAvgPool {
+  int in_h = 0, in_w = 0, channels = 0;
+  int kernel = 2, stride = 2;
+
+  int out_h() const { return conv_out_extent(in_h, kernel, stride, 0); }
+  int out_w() const { return conv_out_extent(in_w, kernel, stride, 0); }
+};
+
+using QLayer =
+    std::variant<QConv2D, QMaxPool, QDense, QDepthwiseConv2D, QAvgPool>;
+
+// ---------------------------------------------------------------------------
+// Per-operator descriptor — the one contract every layer-generic consumer
+// (significance, skip masks, DSE, codegen, cost/memory models) reads
+// instead of re-implementing per-variant switches. A new operator is one
+// `describe_layer` case + kernels, not ten parallel edits; see
+// docs/ARCHITECTURE.md "Operator contract".
+// ---------------------------------------------------------------------------
+
+enum class OpKind { kConv, kMaxPool, kDense, kDepthwise, kAvgPool };
+
+struct OpDescriptor {
+  OpKind kind = OpKind::kConv;
+  int64_t in_elems = 0;   // activation tensor sizes (int8 elements)
+  int64_t out_elems = 0;
+  int64_t macs = 0;       // multiply-accumulates per inference
+  // Approximable (skippable) operators only — conv and depthwise:
+  bool skippable = false;
+  int channels = 0;       // per-channel programs (conv: out_c)
+  int patch = 0;          // skippable operands per channel
+  int64_t positions = 0;  // output spatial positions (1 for dense)
+  int out_dim = 0;        // dense head width (0 otherwise)
+
+  // Skip-mask length for this layer (0 when not skippable).
+  int64_t skippable_operand_count() const {
+    return skippable ? static_cast<int64_t>(channels) * patch : 0;
+  }
+};
+
+OpDescriptor describe_layer(const QLayer& layer);
+const char* op_kind_name(OpKind kind);
 
 struct QModel {
   std::string name;      // architecture name ("lenet", ...)
@@ -75,12 +157,18 @@ struct QModel {
   QuantParams input;     // quantization of the u8/255 input
   std::vector<QLayer> layers;
 
-  int64_t mac_count() const;          // conv + dense MACs
-  int64_t conv_mac_count() const;     // conv-only (Fig. 2 normalization)
-  int conv_layer_count() const;
+  int64_t mac_count() const;          // conv + depthwise + dense MACs
+  // MACs of the approximable (conv + depthwise) layers — the Fig. 2
+  // MAC-reduction normalization. Equals the historical conv-only count
+  // on models without depthwise layers.
+  int64_t approx_mac_count() const;
+  int conv_layer_count() const;       // plain conv layers only
+  // Approximable layers (conv + depthwise) — the ordinal space skip
+  // masks, significance vectors and ApproxConfig::tau are indexed by.
+  int approx_layer_count() const;
+  // Index of the n-th approximable layer inside `layers`.
+  int approx_layer_index(int n) const;
   int64_t weight_bytes() const;       // int8 weights + int32 biases
-  // Index of the n-th conv layer inside `layers` (n in [0, conv_count)).
-  int conv_layer_index(int n) const;
 
   // Largest activation tensor sizes, for the RAM model: returns the two
   // biggest inter-layer buffers (bytes) in descending order.

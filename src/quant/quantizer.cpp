@@ -77,6 +77,8 @@ QModel quantize_model(Network& net, const Dataset& calib,
   qm.input = {1.0f / 255.0f, -128};
 
   QuantParams act = qm.input;
+  // Running activation extent (valid while the net is still spatial).
+  int h = qm.in_h, w = qm.in_w, c = qm.in_c;
   for (size_t li = 0; li < layers.size(); ++li) {
     Layer* layer = layers[li].get();
     const bool relu_next =
@@ -97,6 +99,29 @@ QModel quantize_model(Network& net, const Dataset& calib,
       q.act_min = relu_next ? q.out.zero_point : -128;
       q.act_max = 127;
       act = q.out;
+      h = q.geom.out_h();
+      w = q.geom.out_w();
+      c = q.geom.out_c;
+      qm.layers.emplace_back(std::move(q));
+    } else if (auto* dw = dynamic_cast<DepthwiseConv2DLayer*>(layer)) {
+      QDepthwiseConv2D q;
+      q.in_h = dw->geom().in_h;
+      q.in_w = dw->geom().in_w;
+      q.channels = dw->geom().channels;
+      q.kernel = dw->geom().kernel;
+      q.stride = dw->geom().stride;
+      q.pad = dw->geom().pad;
+      q.in = act;
+      q.w_scale = quantize_weights(dw->weights(), q.weights);
+      q.bias = quantize_bias(dw->bias(), act.scale, q.w_scale);
+      q.out = out_obs.to_affine_params();
+      q.requant = quantize_multiplier(
+          static_cast<double>(act.scale) * q.w_scale / q.out.scale);
+      q.act_min = relu_next ? q.out.zero_point : -128;
+      q.act_max = 127;
+      act = q.out;
+      h = q.out_h();
+      w = q.out_w();
       qm.layers.emplace_back(std::move(q));
     } else if (auto* fc = dynamic_cast<DenseLayer*>(layer)) {
       QDense q;
@@ -114,26 +139,31 @@ QModel quantize_model(Network& net, const Dataset& calib,
       qm.layers.emplace_back(std::move(q));
     } else if (auto* pool = dynamic_cast<MaxPool2DLayer*>(layer)) {
       // Max pooling commutes with the (monotone) quantization map: params
-      // pass through unchanged. Shape bookkeeping needs the running size.
+      // pass through unchanged.
+      validate_pool_geometry(h, w, pool->kernel(), pool->stride(),
+                             "quantizer maxpool");
       QMaxPool q;
-      // Derive input extent from the previous layer in qm.
-      int h = qm.in_h, w = qm.in_w, c = qm.in_c;
-      for (const QLayer& prev : qm.layers) {
-        if (const auto* pc = std::get_if<QConv2D>(&prev)) {
-          h = pc->geom.out_h();
-          w = pc->geom.out_w();
-          c = pc->geom.out_c;
-        } else if (const auto* pp = std::get_if<QMaxPool>(&prev)) {
-          h = pp->out_h();
-          w = pp->out_w();
-          c = pp->channels;
-        }
-      }
       q.in_h = h;
       q.in_w = w;
       q.channels = c;
       q.kernel = pool->kernel();
       q.stride = pool->stride();
+      h = q.out_h();
+      w = q.out_w();
+      qm.layers.emplace_back(q);
+    } else if (auto* pool = dynamic_cast<AvgPool2DLayer*>(layer)) {
+      // Int8 average pooling reuses the input quantization (TFLite
+      // convention: in/out params equal, rounding divide in q space).
+      validate_pool_geometry(h, w, pool->kernel(), pool->stride(),
+                             "quantizer avgpool");
+      QAvgPool q;
+      q.in_h = h;
+      q.in_w = w;
+      q.channels = c;
+      q.kernel = pool->kernel();
+      q.stride = pool->stride();
+      h = q.out_h();
+      w = q.out_w();
       qm.layers.emplace_back(q);
     }
     // ReLU layers are folded; nothing is emitted for them.
@@ -194,6 +224,32 @@ void save_qmodel(const QModel& m, const std::string& path) {
       w.i32(fc->requant.shift);
       w.i32(fc->act_min);
       w.i32(fc->act_max);
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      w.u32(3);
+      w.i32(dw->in_h);
+      w.i32(dw->in_w);
+      w.i32(dw->channels);
+      w.i32(dw->kernel);
+      w.i32(dw->stride);
+      w.i32(dw->pad);
+      w.vec(dw->weights);
+      w.vec(dw->bias);
+      w.f32(dw->in.scale);
+      w.i32(dw->in.zero_point);
+      w.f32(dw->out.scale);
+      w.i32(dw->out.zero_point);
+      w.f32(dw->w_scale);
+      w.i32(dw->requant.mult);
+      w.i32(dw->requant.shift);
+      w.i32(dw->act_min);
+      w.i32(dw->act_max);
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      w.u32(4);
+      w.i32(pool->in_h);
+      w.i32(pool->in_w);
+      w.i32(pool->channels);
+      w.i32(pool->kernel);
+      w.i32(pool->stride);
     }
   }
   w.close();
@@ -257,6 +313,34 @@ QModel load_qmodel(const std::string& path) {
       fc.act_min = r.i32();
       fc.act_max = r.i32();
       m.layers.emplace_back(std::move(fc));
+    } else if (kind == 3) {
+      QDepthwiseConv2D dw;
+      dw.in_h = r.i32();
+      dw.in_w = r.i32();
+      dw.channels = r.i32();
+      dw.kernel = r.i32();
+      dw.stride = r.i32();
+      dw.pad = r.i32();
+      dw.weights = r.vec<int8_t>();
+      dw.bias = r.vec<int32_t>();
+      dw.in.scale = r.f32();
+      dw.in.zero_point = r.i32();
+      dw.out.scale = r.f32();
+      dw.out.zero_point = r.i32();
+      dw.w_scale = r.f32();
+      dw.requant.mult = r.i32();
+      dw.requant.shift = r.i32();
+      dw.act_min = r.i32();
+      dw.act_max = r.i32();
+      m.layers.emplace_back(std::move(dw));
+    } else if (kind == 4) {
+      QAvgPool pool;
+      pool.in_h = r.i32();
+      pool.in_w = r.i32();
+      pool.channels = r.i32();
+      pool.kernel = r.i32();
+      pool.stride = r.i32();
+      m.layers.emplace_back(pool);
     } else {
       fail("unknown layer kind in " + path);
     }

@@ -10,15 +10,33 @@ namespace ataman {
 
 namespace {
 
+// Receptive-field geometry of one approximable layer, with `taps_c` the
+// innermost (channel) extent of a patch row: in_c for conv, channels for
+// depthwise. The (ky, kx, c)-flattened accumulation index then matches
+// the conv patch order and the depthwise [k][k][c] weight layout alike.
+struct PatchGeom {
+  int in_h, in_w, taps_c, kernel, stride, pad;
+  int out_h, out_w;
+  int32_t zp;
+};
+
+PatchGeom patch_geom(const QLayer& layer) {
+  if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    const ConvGeom& g = conv->geom;
+    return {g.in_h,    g.in_w,    g.in_c, g.kernel, g.stride, g.pad,
+            g.out_h(), g.out_w(), conv->in.zero_point};
+  }
+  const auto& dw = std::get<QDepthwiseConv2D>(layer);
+  return {dw.in_h,    dw.in_w,    dw.channels, dw.kernel, dw.stride, dw.pad,
+          dw.out_h(), dw.out_w(), dw.in.zero_point};
+}
+
 // Accumulate per-operand sums of (x - zp) over all output positions of
-// one conv input feature map.
-void accumulate_patch_sums(const QConv2D& conv, std::span<const int8_t> in,
+// one input feature map.
+void accumulate_patch_sums(const PatchGeom& g, std::span<const int8_t> in,
                            std::vector<double>& sums, int64_t& positions) {
-  const ConvGeom& g = conv.geom;
-  const int32_t zp = conv.in.zero_point;
-  const int oh = g.out_h(), ow = g.out_w();
-  for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
+  for (int oy = 0; oy < g.out_h; ++oy) {
+    for (int ox = 0; ox < g.out_w; ++ox) {
       int idx = 0;
       for (int ky = 0; ky < g.kernel; ++ky) {
         const int iy = oy * g.stride - g.pad + ky;
@@ -28,71 +46,74 @@ void accumulate_patch_sums(const QConv2D& conv, std::span<const int8_t> in,
               iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
           const int8_t* src =
               inside ? in.data() +
-                           (static_cast<size_t>(iy) * g.in_w + ix) * g.in_c
+                           (static_cast<size_t>(iy) * g.in_w + ix) * g.taps_c
                      : nullptr;
-          for (int c = 0; c < g.in_c; ++c, ++idx) {
+          for (int c = 0; c < g.taps_c; ++c, ++idx) {
             // Padding taps contribute (zp - zp) == 0.
             if (inside)
               sums[static_cast<size_t>(idx)] +=
-                  static_cast<double>(src[c] - zp);
+                  static_cast<double>(src[c] - g.zp);
           }
         }
       }
     }
   }
-  positions += static_cast<int64_t>(oh) * ow;
+  positions += static_cast<int64_t>(g.out_h) * g.out_w;
 }
 
 }  // namespace
+
+int64_t stats_len(const QLayer& layer) {
+  const PatchGeom g = patch_geom(layer);
+  return static_cast<int64_t>(g.kernel) * g.kernel * g.taps_c;
+}
 
 std::vector<ConvInputStats> capture_activation_stats(const QModel& model,
                                                      const Dataset& calib,
                                                      int limit) {
   const int n = limit < 0 ? calib.size() : std::min(limit, calib.size());
   check(n > 0, "calibration subset is empty");
-  const int conv_count = model.conv_layer_count();
-  check(conv_count > 0, "model has no conv layers");
+  const int approx_count = model.approx_layer_count();
+  check(approx_count > 0, "model has no approximable layers");
 
   RefEngine engine(&model);
 
   // Per-worker accumulators, reduced in worker order for determinism.
   struct Acc {
-    std::vector<std::vector<double>> sums;   // [conv][patch]
-    std::vector<int64_t> positions;          // [conv]
+    std::vector<std::vector<double>> sums;   // [approx ordinal][patch]
+    std::vector<int64_t> positions;          // [approx ordinal]
   };
   const int max_workers = num_threads();
   std::vector<Acc> accs(static_cast<size_t>(max_workers));
   for (Acc& acc : accs) {
-    acc.sums.resize(static_cast<size_t>(conv_count));
-    acc.positions.assign(static_cast<size_t>(conv_count), 0);
+    acc.sums.resize(static_cast<size_t>(approx_count));
+    acc.positions.assign(static_cast<size_t>(approx_count), 0);
     int ordinal = 0;
     for (const QLayer& layer : model.layers) {
-      if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-        acc.sums[static_cast<size_t>(ordinal)].assign(
-            static_cast<size_t>(conv->geom.patch_size()), 0.0);
-        ++ordinal;
-      }
+      if (!describe_layer(layer).skippable) continue;
+      acc.sums[static_cast<size_t>(ordinal)].assign(
+          static_cast<size_t>(stats_len(layer)), 0.0);
+      ++ordinal;
     }
   }
 
   const int workers = parallel_for_indexed(0, n, [&](int w, int64_t i) {
     Acc& acc = accs[static_cast<size_t>(w)];
-    const ConvTap tap = [&](int ordinal, const QConv2D& conv,
+    const ConvTap tap = [&](int ordinal, const QLayer& layer,
                             std::span<const int8_t> in) {
-      accumulate_patch_sums(conv, in, acc.sums[static_cast<size_t>(ordinal)],
+      accumulate_patch_sums(patch_geom(layer), in,
+                            acc.sums[static_cast<size_t>(ordinal)],
                             acc.positions[static_cast<size_t>(ordinal)]);
     };
     (void)engine.run(calib.image(static_cast<int>(i)), nullptr, tap);
   });
 
-  std::vector<ConvInputStats> stats(static_cast<size_t>(conv_count));
+  std::vector<ConvInputStats> stats(static_cast<size_t>(approx_count));
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
+    if (!describe_layer(layer).skippable) continue;
     ConvInputStats& s = stats[static_cast<size_t>(ordinal)];
-    s.mean_corrected.assign(static_cast<size_t>(conv->geom.patch_size()),
-                            0.0);
+    s.mean_corrected.assign(static_cast<size_t>(stats_len(layer)), 0.0);
     for (int w = 0; w < workers; ++w) {
       const Acc& acc = accs[static_cast<size_t>(w)];
       for (size_t i = 0; i < s.mean_corrected.size(); ++i)

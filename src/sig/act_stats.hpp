@@ -1,14 +1,18 @@
 // Activation statistics capture (§II-C, framework step 2).
 //
 // The significance of a product a_i * w_i depends on the *expected* value
-// of its input operand: E[a_i] is estimated per conv layer and per filter
-// operand position ((ky,kx,in_c)-flattened) by averaging the zero-point-
-// corrected quantized activations over every output position of every
-// image in a small calibration subset — "capturing the input values'
-// distribution from a small portion of the dataset".
+// of its input operand: E[a_i] is estimated per approximable layer (conv
+// and depthwise conv) by averaging the zero-point-corrected quantized
+// activations over every output position of every image in a small
+// calibration subset — "capturing the input values' distribution from a
+// small portion of the dataset".
 //
-// E[a_i] is shared by all output channels of a layer (they read the same
-// receptive field); per-channel significance differs only through w_i.
+//   * plain conv:     mean_corrected[(ky,kx,in_c)-flattened patch index].
+//     E[a_i] is shared by all output channels (they read the same
+//     receptive field); per-channel significance differs only through w_i.
+//   * depthwise conv: mean_corrected[(ky*kx)*channels + ch] — the same
+//     (ky, kx, channel) iteration, which is exactly the [k][k][c] weight
+//     layout, so stats index == weight index (dw_weight_index).
 #pragma once
 
 #include <vector>
@@ -24,8 +28,13 @@ struct ConvInputStats {
   int64_t samples = 0;  // positions x images averaged over
 };
 
-// One entry per conv layer (ordinal order). Uses up to `limit` images of
-// `calib` (all if < 0). Parallel over images; deterministic reduction.
+// Stats vector length for one approximable layer: conv patch size, or
+// k*k*channels for depthwise (see header comment).
+int64_t stats_len(const QLayer& layer);
+
+// One entry per approximable layer (ordinal order). Uses up to `limit`
+// images of `calib` (all if < 0). Parallel over images; deterministic
+// reduction.
 std::vector<ConvInputStats> capture_activation_stats(const QModel& model,
                                                      const Dataset& calib,
                                                      int limit = 256);

@@ -8,6 +8,46 @@
 
 namespace ataman {
 
+namespace {
+
+// Shared Eq. (2) core: one channel's significance row from parallel
+// spans of expected operands and weights (any stride/picking already
+// applied by the caller).
+void significance_row(const double* mean, const int8_t* w, int stride,
+                      int patch, float* srow) {
+  // Expected channel sum (bias excluded: Eq. (2) normalizes over the
+  // weighted-sum part of Eq. (1)).
+  double denom = 0.0;
+  for (int i = 0; i < patch; ++i)
+    denom += mean[static_cast<size_t>(i) * stride] *
+             static_cast<double>(w[static_cast<size_t>(i) * stride]);
+
+  if (denom == 0.0) {
+    // Zero-sum rule: consider every S_i large -> retain all products.
+    std::fill(srow, srow + patch, kAlwaysRetain);
+    return;
+  }
+  for (int i = 0; i < patch; ++i) {
+    const double contrib = mean[static_cast<size_t>(i) * stride] *
+                           static_cast<double>(w[static_cast<size_t>(i) * stride]);
+    srow[i] = static_cast<float>(std::abs(contrib / denom));
+  }
+}
+
+void sort_ascending(LayerSignificance& sig) {
+  sig.ascending.resize(static_cast<size_t>(sig.out_c));
+  for (int oc = 0; oc < sig.out_c; ++oc) {
+    const float* srow = sig.S.data() + static_cast<size_t>(oc) * sig.patch;
+    auto& order = sig.ascending[static_cast<size_t>(oc)];
+    order.resize(static_cast<size_t>(sig.patch));
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) { return srow[a] < srow[b]; });
+  }
+}
+
+}  // namespace
+
 LayerSignificance compute_significance(const QConv2D& layer,
                                        const ConvInputStats& stats) {
   const int patch = layer.geom.patch_size();
@@ -19,50 +59,55 @@ LayerSignificance compute_significance(const QConv2D& layer,
   sig.out_c = out_c;
   sig.patch = patch;
   sig.S.resize(static_cast<size_t>(out_c) * patch);
-  sig.ascending.resize(static_cast<size_t>(out_c));
-
   for (int oc = 0; oc < out_c; ++oc) {
-    const int8_t* w =
-        layer.weights.data() + static_cast<size_t>(oc) * patch;
-    // Expected channel sum (bias excluded: Eq. (2) normalizes over the
-    // weighted-sum part of Eq. (1)).
-    double denom = 0.0;
-    for (int i = 0; i < patch; ++i)
-      denom += stats.mean_corrected[static_cast<size_t>(i)] *
-               static_cast<double>(w[i]);
-
-    float* srow = sig.S.data() + static_cast<size_t>(oc) * patch;
-    if (denom == 0.0) {
-      // Zero-sum rule: consider every S_i large -> retain all products.
-      std::fill(srow, srow + patch, kAlwaysRetain);
-    } else {
-      for (int i = 0; i < patch; ++i) {
-        const double contrib =
-            stats.mean_corrected[static_cast<size_t>(i)] *
-            static_cast<double>(w[i]);
-        srow[i] = static_cast<float>(std::abs(contrib / denom));
-      }
-    }
-
-    auto& order = sig.ascending[static_cast<size_t>(oc)];
-    order.resize(static_cast<size_t>(patch));
-    std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](uint32_t a, uint32_t b) { return srow[a] < srow[b]; });
+    // Conv: stats are shared across output channels; weights are the
+    // channel's contiguous [patch] row.
+    significance_row(stats.mean_corrected.data(),
+                     layer.weights.data() + static_cast<size_t>(oc) * patch,
+                     /*stride=*/1, patch,
+                     sig.S.data() + static_cast<size_t>(oc) * patch);
   }
+  sort_ascending(sig);
+  return sig;
+}
+
+LayerSignificance compute_significance(const QDepthwiseConv2D& layer,
+                                       const ConvInputStats& stats) {
+  const int patch = layer.patch_size();
+  check(static_cast<int64_t>(stats.mean_corrected.size()) ==
+            static_cast<int64_t>(patch) * layer.channels,
+        "activation stats do not match depthwise layer");
+
+  LayerSignificance sig;
+  sig.out_c = layer.channels;
+  sig.patch = patch;
+  sig.S.resize(static_cast<size_t>(layer.channels) * patch);
+  for (int ch = 0; ch < layer.channels; ++ch) {
+    // Depthwise: stats and weights are both [tap][channel]; channel ch's
+    // operands sit at stride `channels` starting from offset ch.
+    significance_row(stats.mean_corrected.data() + ch,
+                     layer.weights.data() + ch,
+                     /*stride=*/layer.channels, patch,
+                     sig.S.data() + static_cast<size_t>(ch) * patch);
+  }
+  sort_ascending(sig);
   return sig;
 }
 
 std::vector<LayerSignificance> compute_model_significance(
     const QModel& model, const std::vector<ConvInputStats>& stats) {
-  check(static_cast<int>(stats.size()) == model.conv_layer_count(),
-        "stats/convolution count mismatch");
+  check(static_cast<int>(stats.size()) == model.approx_layer_count(),
+        "stats/approximable-layer count mismatch");
   std::vector<LayerSignificance> out;
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       out.push_back(compute_significance(
           *conv, stats[static_cast<size_t>(ordinal)]));
+      ++ordinal;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      out.push_back(compute_significance(
+          *dw, stats[static_cast<size_t>(ordinal)]));
       ++ordinal;
     }
   }

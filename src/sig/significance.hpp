@@ -23,8 +23,8 @@
 namespace ataman {
 
 struct LayerSignificance {
-  int out_c = 0;
-  int patch = 0;
+  int out_c = 0;  // per-channel programs (depthwise: channels)
+  int patch = 0;  // skippable operands per channel (depthwise: k*k)
   // S[oc * patch + i]; +infinity encodes "always retain" (zero-sum rule).
   std::vector<float> S;
   // Per channel, operand indices sorted by ascending S (ties by index):
@@ -41,7 +41,13 @@ struct LayerSignificance {
 LayerSignificance compute_significance(const QConv2D& layer,
                                        const ConvInputStats& stats);
 
-// All conv layers of a model (ordinal order).
+// Eq. (2) for one depthwise layer: channel ch's expected sum runs over
+// its k*k taps only; S is indexed ch * patch + tap, mirroring the skip
+// mask's depthwise operand order.
+LayerSignificance compute_significance(const QDepthwiseConv2D& layer,
+                                       const ConvInputStats& stats);
+
+// All approximable (conv + depthwise) layers of a model (ordinal order).
 std::vector<LayerSignificance> compute_model_significance(
     const QModel& model, const std::vector<ConvInputStats>& stats);
 

@@ -42,34 +42,34 @@ ApproxConfig ApproxConfig::from_json(const Json& j) {
   return c;
 }
 
-ApproxConfig ApproxConfig::exact(int conv_count) {
+ApproxConfig ApproxConfig::exact(int approx_count) {
   ApproxConfig c;
-  c.tau.assign(static_cast<size_t>(conv_count), -1.0);
+  c.tau.assign(static_cast<size_t>(approx_count), -1.0);
   return c;
 }
 
-ApproxConfig ApproxConfig::uniform(int conv_count, double tau) {
+ApproxConfig ApproxConfig::uniform(int approx_count, double tau) {
   ApproxConfig c;
-  c.tau.assign(static_cast<size_t>(conv_count), tau);
+  c.tau.assign(static_cast<size_t>(approx_count), tau);
   return c;
 }
 
 SkipMask make_skip_mask(const QModel& model,
                         const std::vector<LayerSignificance>& significance,
                         const ApproxConfig& config) {
-  const int conv_count = model.conv_layer_count();
-  check(static_cast<int>(significance.size()) == conv_count,
-        "significance/conv count mismatch");
-  check(static_cast<int>(config.tau.size()) == conv_count,
-        "config/conv count mismatch");
+  const int approx_count = model.approx_layer_count();
+  check(static_cast<int>(significance.size()) == approx_count,
+        "significance/approximable-layer count mismatch");
+  check(static_cast<int>(config.tau.size()) == approx_count,
+        "config/approximable-layer count mismatch");
 
   SkipMask mask = SkipMask::none(model);
-  for (int ordinal = 0; ordinal < conv_count; ++ordinal) {
+  for (int ordinal = 0; ordinal < approx_count; ++ordinal) {
     const double tau = config.tau[static_cast<size_t>(ordinal)];
     if (tau < 0.0) continue;
     const LayerSignificance& sig =
         significance[static_cast<size_t>(ordinal)];
-    auto& m = mask.conv_masks[static_cast<size_t>(ordinal)];
+    auto& m = mask.masks[static_cast<size_t>(ordinal)];
     ATAMAN_ASSERT(m.size() ==
                   static_cast<size_t>(sig.out_c) * sig.patch);
     for (size_t i = 0; i < m.size(); ++i) {

@@ -1,10 +1,11 @@
 // From significance to skip masks.
 //
-// An ApproxConfig assigns each conv layer a threshold tau (tau < 0 means
-// the layer is left exact); make_skip_mask() marks every product with
-// S_i <= tau as skipped (Eq. (3)). Because S is static, skip sets are
-// nested in tau — skip(tau1) ⊆ skip(tau2) for tau1 <= tau2 — which the
-// DSE sweep and its tests rely on.
+// An ApproxConfig assigns each approximable layer (conv + depthwise, in
+// ordinal order) a threshold tau (tau < 0 means the layer is left
+// exact); make_skip_mask() marks every product with S_i <= tau as
+// skipped (Eq. (3)). Because S is static, skip sets are nested in tau —
+// skip(tau1) ⊆ skip(tau2) for tau1 <= tau2 — which the DSE sweep and
+// its tests rely on.
 #pragma once
 
 #include <string>
@@ -17,7 +18,8 @@
 namespace ataman {
 
 struct ApproxConfig {
-  // One entry per conv layer ordinal; tau < 0 -> layer stays exact.
+  // One entry per approximable-layer ordinal; tau < 0 -> layer stays
+  // exact.
   std::vector<double> tau;
 
   bool approximates_anything() const;
@@ -26,10 +28,10 @@ struct ApproxConfig {
   Json to_json() const;
   static ApproxConfig from_json(const Json& j);
 
-  // All-exact config for a model with `conv_count` conv layers.
-  static ApproxConfig exact(int conv_count);
-  // Same tau for every conv layer.
-  static ApproxConfig uniform(int conv_count, double tau);
+  // All-exact config for a model with `approx_count` approximable layers.
+  static ApproxConfig exact(int approx_count);
+  // Same tau for every approximable layer.
+  static ApproxConfig uniform(int approx_count, double tau);
 };
 
 SkipMask make_skip_mask(const QModel& model,

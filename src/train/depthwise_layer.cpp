@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include "src/common/parallel.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+DepthwiseConv2DLayer::DepthwiseConv2DLayer(Geom geom, Rng& rng)
+    : geom_(geom) {
+  check(geom_.kernel >= 1 && geom_.stride >= 1 && geom_.pad >= 0 &&
+            geom_.channels >= 1,
+        "invalid depthwise geometry");
+  check(geom_.out_h() > 0 && geom_.out_w() > 0,
+        "depthwise output collapses");
+  const size_t wn = static_cast<size_t>(geom_.weight_count());
+  weights_.resize(wn);
+  dweights_.assign(wn, 0.0f);
+  bias_.assign(static_cast<size_t>(geom_.channels), 0.0f);
+  dbias_.assign(bias_.size(), 0.0f);
+  // He initialization: fan_in = kernel^2 (one channel's taps).
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(geom_.kernel * geom_.kernel));
+  for (auto& w : weights_) w = rng.next_normal(0.0f, stddev);
+}
+
+FTensor DepthwiseConv2DLayer::forward(const FTensor& x, bool train) {
+  check(x.rank() == 4, "depthwise input must be [B,H,W,C]");
+  check(x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w &&
+            x.dim(3) == geom_.channels,
+        "depthwise input shape mismatch: got " + x.shape_str());
+  const int batch = x.dim(0);
+  const int oh = geom_.out_h(), ow = geom_.out_w(), c = geom_.channels;
+
+  FTensor y({batch, oh, ow, c});
+  if (train) cached_input_ = x;
+
+  parallel_for(0, batch, [&](int64_t b) {
+    const float* in = x.item(static_cast<int>(b));
+    float* out = y.item(static_cast<int>(b));
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float* orow = out + (static_cast<size_t>(oy) * ow + ox) * c;
+        for (int ch = 0; ch < c; ++ch)
+          orow[ch] = bias_[static_cast<size_t>(ch)];
+        int p = 0;
+        for (int ky = 0; ky < geom_.kernel; ++ky) {
+          const int iy = oy * geom_.stride - geom_.pad + ky;
+          for (int kx = 0; kx < geom_.kernel; ++kx, ++p) {
+            const int ix = ox * geom_.stride - geom_.pad + kx;
+            if (iy < 0 || iy >= geom_.in_h || ix < 0 || ix >= geom_.in_w)
+              continue;  // zero padding
+            const float* irow =
+                in + (static_cast<size_t>(iy) * geom_.in_w + ix) * c;
+            const float* wrow = weights_.data() + static_cast<size_t>(p) * c;
+            for (int ch = 0; ch < c; ++ch) orow[ch] += irow[ch] * wrow[ch];
+          }
+        }
+      }
+    }
+  });
+  return y;
+}
+
+FTensor DepthwiseConv2DLayer::backward(const FTensor& dy) {
+  const FTensor& x = cached_input_;
+  check(x.size() > 0, "depthwise backward before forward(train=true)");
+  const int batch = x.dim(0);
+  const int oh = geom_.out_h(), ow = geom_.out_w(), c = geom_.channels;
+
+  FTensor dx({batch, geom_.in_h, geom_.in_w, c});
+
+  // Per-worker gradient buffers; static image->worker mapping keeps the
+  // reduction order (and therefore the result) deterministic.
+  const int max_workers = num_threads();
+  std::vector<std::vector<float>> dw_local(
+      static_cast<size_t>(max_workers),
+      std::vector<float>(weights_.size(), 0.0f));
+  std::vector<std::vector<float>> db_local(
+      static_cast<size_t>(max_workers), std::vector<float>(bias_.size(), 0.0f));
+
+  const int workers = parallel_for_indexed(0, batch, [&](int w, int64_t b) {
+    const float* in = x.item(static_cast<int>(b));
+    const float* dyb = dy.item(static_cast<int>(b));
+    float* dxb = dx.item(static_cast<int>(b));
+    auto& dwl = dw_local[static_cast<size_t>(w)];
+    auto& dbl = db_local[static_cast<size_t>(w)];
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const float* drow = dyb + (static_cast<size_t>(oy) * ow + ox) * c;
+        for (int ch = 0; ch < c; ++ch)
+          dbl[static_cast<size_t>(ch)] += drow[ch];
+        int p = 0;
+        for (int ky = 0; ky < geom_.kernel; ++ky) {
+          const int iy = oy * geom_.stride - geom_.pad + ky;
+          for (int kx = 0; kx < geom_.kernel; ++kx, ++p) {
+            const int ix = ox * geom_.stride - geom_.pad + kx;
+            if (iy < 0 || iy >= geom_.in_h || ix < 0 || ix >= geom_.in_w)
+              continue;
+            const float* irow =
+                in + (static_cast<size_t>(iy) * geom_.in_w + ix) * c;
+            float* dxrow =
+                dxb + (static_cast<size_t>(iy) * geom_.in_w + ix) * c;
+            const float* wrow = weights_.data() + static_cast<size_t>(p) * c;
+            float* dwrow = dwl.data() + static_cast<size_t>(p) * c;
+            for (int ch = 0; ch < c; ++ch) {
+              dwrow[ch] += drow[ch] * irow[ch];
+              dxrow[ch] += drow[ch] * wrow[ch];
+            }
+          }
+        }
+      }
+    }
+  });
+
+  for (int w = 0; w < workers; ++w) {
+    const auto& dwl = dw_local[static_cast<size_t>(w)];
+    for (size_t i = 0; i < dweights_.size(); ++i) dweights_[i] += dwl[i];
+    const auto& dbl = db_local[static_cast<size_t>(w)];
+    for (size_t i = 0; i < dbias_.size(); ++i) dbias_[i] += dbl[i];
+  }
+  return dx;
+}
+
+void DepthwiseConv2DLayer::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &dweights_});
+  out.push_back({&bias_, &dbias_});
+}
+
+}  // namespace ataman

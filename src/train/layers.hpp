@@ -1,7 +1,7 @@
 // Trainable layer interface and the concrete layers used by the model zoo.
 //
-// The set matches what the paper's models need (and what the quantizer and
-// inference substrates support): Conv2D, MaxPool2D, ReLU, Dense; softmax
+// The set matches what the quantizer and inference substrates support:
+// Conv2D, DepthwiseConv2D, MaxPool2D, AvgPool2D, ReLU, Dense; softmax
 // cross-entropy lives in softmax_xent.hpp as the loss head.
 #pragma once
 
@@ -60,6 +60,45 @@ class Conv2DLayer : public Layer {
   FTensor cached_input_;
 };
 
+// Per-channel (depthwise) convolution. Weight layout matches the
+// quantized substrate: [kernel][kernel][channels], channel innermost
+// (the TFLite-Micro convention).
+class DepthwiseConv2DLayer : public Layer {
+ public:
+  struct Geom {
+    int in_h = 0, in_w = 0, channels = 0;
+    int kernel = 1, stride = 1, pad = 0;
+
+    int out_h() const { return conv_out_extent(in_h, kernel, stride, pad); }
+    int out_w() const { return conv_out_extent(in_w, kernel, stride, pad); }
+    int64_t weight_count() const {
+      return static_cast<int64_t>(kernel) * kernel * channels;
+    }
+    int64_t macs() const {
+      return static_cast<int64_t>(out_h()) * out_w() * weight_count();
+    }
+  };
+
+  DepthwiseConv2DLayer(Geom geom, Rng& rng);
+
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "depthwise2d"; }
+
+  const Geom& geom() const { return geom_; }
+  std::vector<float>& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  Geom geom_;
+  std::vector<float> weights_, bias_;
+  std::vector<float> dweights_, dbias_;
+  FTensor cached_input_;
+};
+
 class DenseLayer : public Layer {
  public:
   // Weight layout: [out_dim][in_dim] (inference layout).
@@ -99,6 +138,24 @@ class MaxPool2DLayer : public Layer {
   int kernel_, stride_;
   std::vector<int> in_shape_;
   std::vector<int32_t> argmax_;  // flat input index per output element
+};
+
+// Average pooling; requires covering geometry ((extent - kernel) evenly
+// divisible by stride) like the quantized substrate.
+class AvgPool2DLayer : public Layer {
+ public:
+  AvgPool2DLayer(int kernel, int stride);
+
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  std::string name() const override { return "avgpool2d"; }
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
+ private:
+  int kernel_, stride_;
+  std::vector<int> in_shape_;
 };
 
 class ReluLayer : public Layer {

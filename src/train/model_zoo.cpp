@@ -95,6 +95,37 @@ ModelArch micronet_arch() {
   return arch;
 }
 
+ModelArch dscnn_arch() {
+  // MLPerf-Tiny-keyword-spotting-shaped DS-CNN (MicroNets/Hello Edge
+  // lineage), scaled to the 32x32x3 synthetic dataset: a strided conv
+  // stem, then 4 depthwise-separable blocks (3x3 depthwise + 1x1
+  // pointwise conv), global average pooling and the class head. MACs:
+  //   stem   3->16 @16x16 s2 : 0.111 M
+  //   ds1 dw 16 @16x16: 0.037 M   pw 16->24: 0.098 M
+  //   ds2 dw 24 @ 8x8 s2: 0.014 M pw 24->32: 0.049 M
+  //   ds3 dw 32 @ 8x8: 0.018 M    pw 32->32: 0.066 M
+  //   ds4 dw 32 @ 8x8: 0.018 M    pw 32->32: 0.066 M
+  //   global avgpool 8x8, fc 32->10
+  //   total ≈ 0.48 M
+  ModelArch arch;
+  arch.name = "dscnn";
+  arch.topology = "1+4ds-1";
+  arch.layers = {
+      LayerSpec::conv(16, 3, 2, 1),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1),   LayerSpec::relu(),
+      LayerSpec::conv(24, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 2, 1),   LayerSpec::relu(),
+      LayerSpec::conv(32, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1),   LayerSpec::relu(),
+      LayerSpec::conv(32, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1),   LayerSpec::relu(),
+      LayerSpec::conv(32, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::avgpool(8, 8),
+      LayerSpec::dense(10),
+  };
+  return arch;
+}
+
 ZooSpec lenet_spec() {
   ZooSpec spec;
   spec.arch = lenet_arch();
@@ -120,6 +151,17 @@ ZooSpec micronet_spec() {
   spec.data.test_images = 500;
   spec.train.epochs = 6;
   spec.train.lr_decay_at = {4};
+  return spec;
+}
+
+ZooSpec dscnn_spec() {
+  ZooSpec spec;
+  spec.arch = dscnn_arch();
+  spec.data.train_images = 4000;
+  spec.data.test_images = 1000;
+  spec.train.epochs = 10;
+  spec.train.lr_decay_at = {7, 9};
+  spec.train.sgd.learning_rate = 0.015f;
   return spec;
 }
 

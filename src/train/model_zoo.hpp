@@ -22,6 +22,10 @@ ModelArch lenet_arch();
 ModelArch alexnet_arch();
 // Small 2-conv net used by tests and the quickstart example (fast).
 ModelArch micronet_arch();
+// Depthwise-separable CNN in the MLPerf-Tiny keyword-spotting shape
+// (conv stem -> 4x [3x3 depthwise + 1x1 pointwise] -> global avgpool ->
+// fc), scaled to the synthetic 32x32x3 dataset.
+ModelArch dscnn_arch();
 
 struct ZooSpec {
   ModelArch arch;
@@ -30,10 +34,12 @@ struct ZooSpec {
   uint64_t init_seed = 1234;
 };
 
-// Default zoo specs matching the paper setup.
+// Default zoo specs matching the paper setup (dscnn extends it to the
+// depthwise-separable workload class).
 ZooSpec lenet_spec();
 ZooSpec alexnet_spec();
 ZooSpec micronet_spec();
+ZooSpec dscnn_spec();
 
 struct TrainedModel {
   ModelArch arch;

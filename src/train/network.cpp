@@ -36,6 +36,23 @@ LayerSpec LayerSpec::dense(int units) {
   return s;
 }
 
+LayerSpec LayerSpec::depthwise(int kernel, int stride, int pad) {
+  LayerSpec s;
+  s.kind = Kind::kDepthwise;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::avgpool(int kernel, int stride) {
+  LayerSpec s;
+  s.kind = Kind::kAvgPool;
+  s.kernel = kernel;
+  s.stride = stride;
+  return s;
+}
+
 int ModelArch::conv_count() const {
   return static_cast<int>(std::count_if(
       layers.begin(), layers.end(),
@@ -78,10 +95,32 @@ Network::Network(const ModelArch& arch, ImageShape input, Rng& rng)
         c = g.out_c;
         break;
       }
-      case LayerSpec::Kind::kPool: {
+      case LayerSpec::Kind::kDepthwise: {
+        check(spatial, "depthwise after dense is unsupported");
+        DepthwiseConv2DLayer::Geom g;
+        g.in_h = h;
+        g.in_w = w;
+        g.channels = c;
+        g.kernel = spec.kernel;
+        g.stride = spec.stride;
+        g.pad = spec.pad;
+        layers_.push_back(std::make_unique<DepthwiseConv2DLayer>(g, rng));
+        h = g.out_h();
+        w = g.out_w();
+        break;
+      }
+      case LayerSpec::Kind::kPool:
+      case LayerSpec::Kind::kAvgPool: {
         check(spatial, "pool after dense is unsupported");
-        layers_.push_back(
-            std::make_unique<MaxPool2DLayer>(spec.kernel, spec.stride));
+        validate_pool_geometry(h, w, spec.kernel, spec.stride,
+                               "architecture pool layer");
+        if (spec.kind == LayerSpec::Kind::kPool) {
+          layers_.push_back(
+              std::make_unique<MaxPool2DLayer>(spec.kernel, spec.stride));
+        } else {
+          layers_.push_back(
+              std::make_unique<AvgPool2DLayer>(spec.kernel, spec.stride));
+        }
         h = conv_out_extent(h, spec.kernel, spec.stride, 0);
         w = conv_out_extent(w, spec.kernel, spec.stride, 0);
         check(h > 0 && w > 0, "pool collapsed the activation map");
@@ -145,6 +184,9 @@ int64_t Network::mac_count() const {
   for (const auto& layer : layers_) {
     if (const auto* conv = dynamic_cast<const Conv2DLayer*>(layer.get())) {
       total += conv->geom().macs();
+    } else if (const auto* dw =
+                   dynamic_cast<const DepthwiseConv2DLayer*>(layer.get())) {
+      total += dw->geom().macs();
     } else if (const auto* fc = dynamic_cast<const DenseLayer*>(layer.get())) {
       total += static_cast<int64_t>(fc->in_dim()) * fc->out_dim();
     }

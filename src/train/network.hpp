@@ -15,18 +15,21 @@ namespace ataman {
 // paper's "topology" notation (e.g. LeNet 3-2-2 = 3 conv, 2 pool, 2 FC)
 // maps directly onto the kinds below.
 struct LayerSpec {
-  enum class Kind { kConv, kPool, kRelu, kDense };
+  enum class Kind { kConv, kPool, kRelu, kDense, kDepthwise, kAvgPool };
   Kind kind = Kind::kConv;
   int out_c = 0;   // conv: output channels
-  int kernel = 0;  // conv/pool: window
-  int stride = 1;  // conv/pool
-  int pad = 0;     // conv
+  int kernel = 0;  // conv/depthwise/pool: window
+  int stride = 1;  // conv/depthwise/pool
+  int pad = 0;     // conv/depthwise
   int units = 0;   // dense: output width
 
   static LayerSpec conv(int out_c, int kernel, int stride, int pad);
   static LayerSpec pool(int kernel, int stride);
   static LayerSpec relu();
   static LayerSpec dense(int units);
+  // Depthwise conv keeps the incoming channel count.
+  static LayerSpec depthwise(int kernel, int stride, int pad);
+  static LayerSpec avgpool(int kernel, int stride);
 };
 
 struct ModelArch {

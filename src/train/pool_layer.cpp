@@ -69,6 +69,77 @@ FTensor MaxPool2DLayer::backward(const FTensor& dy) {
   return dx;
 }
 
+AvgPool2DLayer::AvgPool2DLayer(int kernel, int stride)
+    : kernel_(kernel), stride_(stride) {
+  check(kernel >= 1 && stride >= 1, "invalid pooling geometry");
+}
+
+FTensor AvgPool2DLayer::forward(const FTensor& x, bool train) {
+  check(x.rank() == 4, "pool input must be [B,H,W,C]");
+  const int batch = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  validate_pool_geometry(h, w, kernel_, stride_, "avgpool2d");
+  const int oh = conv_out_extent(h, kernel_, stride_, 0);
+  const int ow = conv_out_extent(w, kernel_, stride_, 0);
+
+  FTensor y({batch, oh, ow, c});
+  in_shape_ = x.shape();
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  parallel_for(0, batch, [&](int64_t b) {
+    const float* in = x.item(static_cast<int>(b));
+    float* out = y.item(static_cast<int>(b));
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          float sum = 0.0f;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              sum += in[(iy * w + ix) * c + ch];
+            }
+          }
+          out[(oy * ow + ox) * c + ch] = sum * inv;
+        }
+      }
+    }
+  });
+  (void)train;
+  return y;
+}
+
+FTensor AvgPool2DLayer::backward(const FTensor& dy) {
+  check(!in_shape_.empty(), "pool backward before forward");
+  FTensor dx{std::vector<int>(in_shape_)};
+  const int batch = dx.dim(0), h = dx.dim(1), w = dx.dim(2), c = dx.dim(3);
+  // dy may arrive flattened to rank 2 from a dense head above; recompute
+  // the output extent from the cached input shape.
+  const int oh = conv_out_extent(h, kernel_, stride_, 0);
+  const int ow = conv_out_extent(w, kernel_, stride_, 0);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  check(dy.item_size() == static_cast<int64_t>(oh) * ow * c,
+        "avgpool backward gradient size mismatch");
+  parallel_for(0, batch, [&](int64_t b) {
+    const float* dyb = dy.item(static_cast<int>(b));
+    float* dxb = dx.item(static_cast<int>(b));
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          const float g = dyb[(oy * ow + ox) * c + ch] * inv;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              dxb[(iy * w + ix) * c + ch] += g;
+            }
+          }
+        }
+      }
+    }
+  });
+  return dx;
+}
+
 FTensor ReluLayer::forward(const FTensor& x, bool train) {
   FTensor y{std::vector<int>(x.shape())};
   if (train) mask_.assign(static_cast<size_t>(x.size()), 0);

@@ -42,26 +42,31 @@ HybridPlan analyze_layer_choices(const QModel& model, const SkipMask& mask,
   HybridPlan plan;
   int ordinal = 0;
   for (const QLayer& layer : model.layers) {
-    const auto* conv = std::get_if<QConv2D>(&layer);
-    if (conv == nullptr) continue;
+    const OpDescriptor d = describe_layer(layer);
+    if (!d.skippable) continue;
+    const int64_t pairs = stats.static_pairs[static_cast<size_t>(ordinal)];
+    const int64_t singles =
+        stats.static_singles[static_cast<size_t>(ordinal)];
     LayerDeployChoice c;
-    c.packed_cycles =
-        static_cast<int64_t>(costs.layer_dispatch) +
-        packed_conv_cycles(*conv, costs);
-    c.unpacked_cycles = unpacked_conv_cycles(
-        *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
-        stats.static_singles[static_cast<size_t>(ordinal)], costs);
-    c.packed_flash = static_cast<int64_t>(conv->weights.size()) +
-                     static_cast<int64_t>(conv->bias.size()) * 4 +
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      c.packed_cycles = static_cast<int64_t>(costs.layer_dispatch) +
+                        packed_conv_cycles(*conv, costs);
+      c.unpacked_cycles = unpacked_conv_cycles(*conv, pairs, singles, costs);
+    } else {
+      const auto& dw = std::get<QDepthwiseConv2D>(layer);
+      c.packed_cycles = static_cast<int64_t>(costs.layer_dispatch) +
+                        packed_depthwise_cycles(dw, costs);
+      c.unpacked_cycles =
+          unpacked_depthwise_cycles(dw, pairs, singles, costs);
+    }
+    c.packed_flash = d.skippable_operand_count() +
+                     static_cast<int64_t>(d.channels) * 4 +
                      memory.per_layer_descriptor;
-    c.unpacked_flash =
-        memory.unpacked_bytes_per_layer +
-        memory.unpacked_bytes_per_channel * conv->geom.out_c +
-        memory.unpacked_bytes_per_pair *
-            stats.static_pairs[static_cast<size_t>(ordinal)] +
-        memory.unpacked_bytes_per_single *
-            stats.static_singles[static_cast<size_t>(ordinal)] +
-        static_cast<int64_t>(conv->bias.size()) * 4;
+    c.unpacked_flash = memory.unpacked_bytes_per_layer +
+                       memory.unpacked_bytes_per_channel * d.channels +
+                       memory.unpacked_bytes_per_pair * pairs +
+                       memory.unpacked_bytes_per_single * singles +
+                       static_cast<int64_t>(d.channels) * 4;
     c.unpack = false;  // selection decides
     plan.choices.push_back(c);
     ++ordinal;

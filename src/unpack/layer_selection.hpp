@@ -34,7 +34,7 @@ struct LayerDeployChoice {
 };
 
 struct HybridPlan {
-  // One entry per conv ordinal.
+  // One entry per approximable-layer (conv + depthwise) ordinal.
   std::vector<LayerDeployChoice> choices;
 
   std::vector<uint8_t> unpack_selection() const;
@@ -43,7 +43,7 @@ struct HybridPlan {
   int unpacked_count() const;
 };
 
-// Evaluate both deployment options per conv layer under `mask`.
+// Evaluate both deployment options per approximable layer under `mask`.
 HybridPlan analyze_layer_choices(const QModel& model, const SkipMask& mask,
                                  const CortexM33CostTable& costs = {},
                                  const MemoryCostTable& memory = {});

@@ -13,27 +13,29 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
   if (mask != nullptr) mask->validate(this->model());
   if (unpack_selection != nullptr) {
     check(static_cast<int>(unpack_selection->size()) ==
-              this->model().conv_layer_count(),
-          "unpack selection size must match conv layer count");
+              this->model().approx_layer_count(),
+          "unpack selection size must match approximable layer count");
   }
 
-  int conv_ordinal = 0;
+  int ordinal = 0;
   int out_dim = 0;
   double cycles = 0.0;
   for (const QLayer& layer : this->model().layers) {
-    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    const auto* dw = std::get_if<QDepthwiseConv2D>(&layer);
+    if (conv != nullptr || dw != nullptr) {
       const bool unpack =
           unpack_selection == nullptr ||
-          (*unpack_selection)[static_cast<size_t>(conv_ordinal)] != 0;
-      ConvExec exec;
+          (*unpack_selection)[static_cast<size_t>(ordinal)] != 0;
+      ApproxExec exec;
       exec.is_unpacked = unpack;
-      if (unpack) {
-        const uint8_t* skip = nullptr;
-        if (mask != nullptr &&
-            conv_ordinal < static_cast<int>(mask->conv_masks.size()) &&
-            !mask->conv_masks[static_cast<size_t>(conv_ordinal)].empty()) {
-          skip = mask->conv_masks[static_cast<size_t>(conv_ordinal)].data();
-        }
+      const uint8_t* skip = nullptr;
+      if (mask != nullptr &&
+          ordinal < static_cast<int>(mask->masks.size()) &&
+          !mask->masks[static_cast<size_t>(ordinal)].empty()) {
+        skip = mask->masks[static_cast<size_t>(ordinal)].data();
+      }
+      if (unpack && conv != nullptr) {
         UnpackedConv u = UnpackedConv::build(*conv, skip);
         const int64_t c = unpacked_conv_cycles(*conv, u.static_pairs(),
                                                u.static_singles(), costs_);
@@ -41,7 +43,15 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
         cycles += static_cast<double>(c);
         executed_macs_ += u.retained_macs();
         exec.unpacked = std::move(u);
-      } else {
+      } else if (unpack && dw != nullptr) {
+        UnpackedDepthwise u = UnpackedDepthwise::build(*dw, skip);
+        const int64_t c = unpacked_depthwise_cycles(
+            *dw, u.static_pairs(), u.static_singles(), costs_);
+        profile_.push_back({"depthwise(unpacked)", c, u.retained_macs()});
+        cycles += static_cast<double>(c);
+        executed_macs_ += u.retained_macs();
+        exec.unpacked_dw = std::move(u);
+      } else if (conv != nullptr) {
         // Packed layers execute exactly: static skips cannot remove work
         // from loop kernels (the paper's argument for unpacking).
         exec.packed = PackedWeights::pack(conv->weights, conv->geom.out_c,
@@ -53,13 +63,28 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
                             conv->geom.macs()});
         cycles += static_cast<double>(c);
         executed_macs_ += conv->geom.macs();
+      } else {
+        // Packed depthwise fallback: the loop kernel needs no prepacked
+        // stream (see packed_depthwise_conv2d).
+        const int64_t c = packed_depthwise_cycles(*dw, costs_);
+        cycles += costs_.layer_dispatch;
+        profile_.push_back({"depthwise(packed)",
+                            c + static_cast<int64_t>(costs_.layer_dispatch),
+                            dw->macs()});
+        cycles += static_cast<double>(c);
+        executed_macs_ += dw->macs();
       }
       convs_.push_back(std::move(exec));
-      ++conv_ordinal;
+      ++ordinal;
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       cycles += costs_.layer_dispatch;
       const int64_t c = pool_cycles(*pool, costs_);
       profile_.push_back({"pool", c, 0});
+      cycles += static_cast<double>(c);
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      cycles += costs_.layer_dispatch;
+      const int64_t c = avgpool_cycles(*pool, costs_);
+      profile_.push_back({"avgpool", c, 0});
       cycles += static_cast<double>(c);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       cycles += costs_.layer_dispatch;
@@ -81,31 +106,35 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
 
 int UnpackedEngine::unpacked_conv_count() const {
   int n = 0;
-  for (const ConvExec& e : convs_) n += e.is_unpacked ? 1 : 0;
+  for (const ApproxExec& e : convs_) n += e.is_unpacked ? 1 : 0;
   return n;
 }
 
 std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
   std::vector<int8_t> cur = quantize_input(image);
   std::vector<int8_t> next;
-  size_t conv_idx = 0, fc_idx = 0;
+  size_t approx_idx = 0, fc_idx = 0;
   for (const QLayer& layer : model().layers) {
+    next.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
-      next.assign(
-          static_cast<size_t>(conv->geom.positions()) * conv->geom.out_c, 0);
-      const ConvExec& exec = convs_[conv_idx++];
+      const ApproxExec& exec = convs_[approx_idx++];
       if (exec.is_unpacked) {
         exec.unpacked->run(cur, next);
       } else {
         packed_conv2d(*conv, *exec.packed, cur, next);
       }
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      const ApproxExec& exec = convs_[approx_idx++];
+      if (exec.is_unpacked) {
+        exec.unpacked_dw->run(cur, next);
+      } else {
+        packed_depthwise_conv2d(*dw, cur, next);
+      }
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
-      next.assign(static_cast<size_t>(pool->out_h()) * pool->out_w() *
-                      pool->channels,
-                  0);
       maxpool_ref(*pool, cur, next);
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      avgpool_ref(*pool, cur, next);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
-      next.assign(static_cast<size_t>(fc->out_dim), 0);
       packed_dense(*fc, packed_fc_[fc_idx++], cur, next);
     }
     cur.swap(next);
@@ -116,10 +145,13 @@ std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
 FlashReport UnpackedEngine::flash(const MemoryCostTable& t) const {
   std::vector<int64_t> pairs, singles;
   pairs.reserve(convs_.size());
-  for (const ConvExec& e : convs_) {
+  for (const ApproxExec& e : convs_) {
     if (e.is_unpacked) {
-      pairs.push_back(e.unpacked->static_pairs());
-      singles.push_back(e.unpacked->static_singles());
+      const bool is_dw = e.unpacked_dw.has_value();
+      pairs.push_back(is_dw ? e.unpacked_dw->static_pairs()
+                            : e.unpacked->static_pairs());
+      singles.push_back(is_dw ? e.unpacked_dw->static_singles()
+                              : e.unpacked->static_singles());
     } else {
       pairs.push_back(-1);  // memory_model: layer stays packed
       singles.push_back(0);

@@ -1,13 +1,13 @@
-// Full-model approximate engine: unpacked conv layers (with optional
-// significance skipping baked in), packed FC, reference pooling. This is
-// the "Proposed (ours)" column of Table II.
+// Full-model approximate engine: unpacked conv + depthwise layers (with
+// optional significance skipping baked in), packed FC, reference
+// pooling. This is the "Proposed (ours)" column of Table II.
 //
-// Hybrid deployments (see layer_selection.hpp) may keep individual conv
-// layers on the packed CMSIS-style kernel instead: pass an
-// `unpack_selection` vector (one flag per conv ordinal). Packed layers
-// execute exactly (skips only remove instructions from *unpacked* code),
-// keep their weights in the flash data segment, and are costed with the
-// packed kernel model.
+// Hybrid deployments (see layer_selection.hpp) may keep individual
+// approximable layers on the packed CMSIS-style kernel instead: pass an
+// `unpack_selection` vector (one flag per approximable-layer ordinal).
+// Packed layers execute exactly (skips only remove instructions from
+// *unpacked* code), keep their weights in the flash data segment, and
+// are costed with the packed kernel model.
 #pragma once
 
 #include <optional>
@@ -28,8 +28,9 @@ namespace ataman {
 class UnpackedEngine : public InferenceEngine {
  public:
   // `mask` == nullptr -> exact unpacking (no skips).
-  // `unpack_selection` == nullptr -> every conv layer is unpacked (the
-  // paper's policy); otherwise one 0/1 flag per conv ordinal.
+  // `unpack_selection` == nullptr -> every approximable layer (conv +
+  // depthwise) is unpacked (the paper's policy); otherwise one 0/1 flag
+  // per approximable-layer ordinal.
   UnpackedEngine(const QModel* model, const SkipMask* mask = nullptr,
                  CortexM33CostTable costs = {}, MemoryCostTable memory = {},
                  const std::vector<uint8_t>* unpack_selection = nullptr);
@@ -46,13 +47,13 @@ class UnpackedEngine : public InferenceEngine {
   }
 
   int64_t total_cycles() const override { return total_cycles_; }
-  // Executed (retained) conv MACs + FC MACs per inference.
+  // Executed (retained) conv/depthwise MACs + FC MACs per inference.
   int64_t executed_macs() const { return executed_macs_; }
   int64_t mac_ops() const override { return executed_macs_; }
   const std::vector<LayerProfile>& layer_profile() const override {
     return profile_;
   }
-  int unpacked_conv_count() const;
+  int unpacked_conv_count() const;  // unpacked approximable layers
 
   FlashReport flash(const MemoryCostTable& t = {}) const;
   int64_t flash_bytes() const override { return flash(memory_).total_bytes; }
@@ -65,16 +66,20 @@ class UnpackedEngine : public InferenceEngine {
                       const std::string& design_name) const;
 
  private:
-  // Per conv ordinal: exactly one of `unpacked`/`packed` is engaged.
-  struct ConvExec {
+  // Per approximable-layer ordinal: exactly one execution form is
+  // engaged — an unpacked program (conv or depthwise) or the packed
+  // fallback (PackedWeights stream for conv; the depthwise loop kernel
+  // needs no prepacked state).
+  struct ApproxExec {
     bool is_unpacked = true;
     std::optional<UnpackedConv> unpacked;
+    std::optional<UnpackedDepthwise> unpacked_dw;
     std::optional<PackedWeights> packed;
   };
 
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
-  std::vector<ConvExec> convs_;            // by conv ordinal
+  std::vector<ApproxExec> convs_;          // by approximable ordinal
   std::vector<PackedWeights> packed_fc_;   // by fc ordinal
   std::vector<LayerProfile> profile_;
   int64_t total_cycles_ = 0;

@@ -27,6 +27,41 @@ int64_t UnpackedConv::retained_macs() const {
   return static_ops * geom.positions();
 }
 
+namespace {
+
+// Offline re-pairing shared by conv and depthwise program construction:
+// collect retained operand indices, then emit one SMLAD per surviving
+// pair and an SMLABB for the odd leftover. `weight_at(i)` maps an
+// operand index into the layer's weight tensor.
+template <typename WeightAt>
+ChannelProgram build_channel_program(int32_t bias, int patch,
+                                     const uint8_t* sk, WeightAt weight_at) {
+  ChannelProgram prog;
+  prog.bias = bias;
+  std::vector<uint32_t> retained;
+  retained.reserve(static_cast<size_t>(patch));
+  for (int i = 0; i < patch; ++i) {
+    if (sk == nullptr || !sk[i]) retained.push_back(static_cast<uint32_t>(i));
+  }
+  const size_t n_pairs = retained.size() / 2;
+  prog.pairs.reserve(n_pairs);
+  for (size_t p = 0; p < n_pairs; ++p) {
+    const uint32_t ia = retained[2 * p];
+    const uint32_t ib = retained[2 * p + 1];
+    prog.pairs.push_back(
+        {pack_weight_pair(/*hi=*/weight_at(ib), /*lo=*/weight_at(ia)), ia,
+         ib});
+  }
+  if (retained.size() % 2 != 0) {
+    prog.has_single = true;
+    prog.single = {static_cast<int16_t>(weight_at(retained.back())),
+                   retained.back()};
+  }
+  return prog;
+}
+
+}  // namespace
+
 UnpackedConv UnpackedConv::build(const QConv2D& layer, const uint8_t* skip) {
   UnpackedConv u;
   u.geom = layer.geom;
@@ -39,33 +74,13 @@ UnpackedConv UnpackedConv::build(const QConv2D& layer, const uint8_t* skip) {
   const int patch = layer.geom.patch_size();
   u.channels.resize(static_cast<size_t>(layer.geom.out_c));
   for (int oc = 0; oc < layer.geom.out_c; ++oc) {
-    ChannelProgram& prog = u.channels[static_cast<size_t>(oc)];
-    prog.bias = layer.bias[static_cast<size_t>(oc)];
     const int8_t* w =
         layer.weights.data() + static_cast<size_t>(oc) * patch;
     const uint8_t* sk =
         skip != nullptr ? skip + static_cast<size_t>(oc) * patch : nullptr;
-
-    // Offline re-pairing: collect retained operand indices, then emit one
-    // SMLAD per surviving pair and an SMLABB for the odd leftover.
-    std::vector<uint32_t> retained;
-    retained.reserve(static_cast<size_t>(patch));
-    for (int i = 0; i < patch; ++i) {
-      if (sk == nullptr || !sk[i]) retained.push_back(static_cast<uint32_t>(i));
-    }
-    const size_t n_pairs = retained.size() / 2;
-    prog.pairs.reserve(n_pairs);
-    for (size_t p = 0; p < n_pairs; ++p) {
-      const uint32_t ia = retained[2 * p];
-      const uint32_t ib = retained[2 * p + 1];
-      prog.pairs.push_back(
-          {pack_weight_pair(/*hi=*/w[ib], /*lo=*/w[ia]), ia, ib});
-    }
-    if (retained.size() % 2 != 0) {
-      prog.has_single = true;
-      prog.single = {static_cast<int16_t>(w[retained.back()]),
-                     retained.back()};
-    }
+    u.channels[static_cast<size_t>(oc)] = build_channel_program(
+        layer.bias[static_cast<size_t>(oc)], patch, sk,
+        [&](uint32_t i) { return w[i]; });
   }
   return u;
 }
@@ -125,6 +140,113 @@ void UnpackedConv::run(std::span<const int8_t> in,
         const int32_t scaled =
             multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
         orow[oc] =
+            static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
+      }
+    }
+  }
+}
+
+int64_t UnpackedDepthwise::static_pairs() const {
+  int64_t total = 0;
+  for (const ChannelProgram& ch : channels)
+    total += static_cast<int64_t>(ch.pairs.size());
+  return total;
+}
+
+int64_t UnpackedDepthwise::static_singles() const {
+  int64_t total = 0;
+  for (const ChannelProgram& ch : channels) total += ch.has_single ? 1 : 0;
+  return total;
+}
+
+int64_t UnpackedDepthwise::retained_macs() const {
+  int64_t static_ops = 0;
+  for (const ChannelProgram& ch : channels) static_ops += ch.retained_ops();
+  return static_ops * positions();
+}
+
+UnpackedDepthwise UnpackedDepthwise::build(const QDepthwiseConv2D& layer,
+                                           const uint8_t* skip) {
+  UnpackedDepthwise u;
+  u.in_h = layer.in_h;
+  u.in_w = layer.in_w;
+  u.channel_count = layer.channels;
+  u.kernel = layer.kernel;
+  u.stride = layer.stride;
+  u.pad = layer.pad;
+  u.in_q = layer.in;
+  u.out_q = layer.out;
+  u.requant = layer.requant;
+  u.act_min = layer.act_min;
+  u.act_max = layer.act_max;
+
+  const int patch = layer.patch_size();
+  u.channels.resize(static_cast<size_t>(layer.channels));
+  for (int ch = 0; ch < layer.channels; ++ch) {
+    const uint8_t* sk =
+        skip != nullptr ? skip + static_cast<size_t>(ch) * patch : nullptr;
+    u.channels[static_cast<size_t>(ch)] = build_channel_program(
+        layer.bias[static_cast<size_t>(ch)], patch, sk, [&](uint32_t p) {
+          return layer.weights[dw_weight_index(ch, static_cast<int>(p),
+                                               layer.channels)];
+        });
+  }
+  return u;
+}
+
+void UnpackedDepthwise::run(std::span<const int8_t> in,
+                            std::span<int8_t> out) const {
+  const int c = channel_count;
+  check(static_cast<int64_t>(in.size()) ==
+            static_cast<int64_t>(in_h) * in_w * c,
+        "unpacked depthwise input size mismatch");
+  check(static_cast<int64_t>(out.size()) == positions() * c,
+        "unpacked depthwise output size mismatch");
+
+  const int oh = out_h(), ow = out_w();
+  const int patch = kernel * kernel;
+  const int32_t zp = in_q.zero_point;
+
+  // Shared zero-point-corrected expansion per position (col[tap][ch]);
+  // the priced instruction stream models direct loads, as for conv.
+  std::vector<int16_t> col(static_cast<size_t>(patch) * c);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      int p = 0;
+      for (int ky = 0; ky < kernel; ++ky) {
+        const int iy = oy * stride - pad + ky;
+        for (int kx = 0; kx < kernel; ++kx, ++p) {
+          const int ix = ox * stride - pad + kx;
+          const bool inside = iy >= 0 && iy < in_h && ix >= 0 && ix < in_w;
+          const int8_t* src =
+              inside ? in.data() + (static_cast<size_t>(iy) * in_w + ix) * c
+                     : nullptr;
+          int16_t* dst = col.data() + static_cast<size_t>(p) * c;
+          for (int i = 0; i < c; ++i)
+            dst[i] = static_cast<int16_t>((inside ? src[i] : zp) - zp);
+        }
+      }
+
+      int8_t* orow = out.data() + (static_cast<size_t>(oy) * ow + ox) * c;
+      for (int ch = 0; ch < c; ++ch) {
+        const ChannelProgram& prog = channels[static_cast<size_t>(ch)];
+        int32_t acc = prog.bias;
+        for (const MacPairOp& op : prog.pairs) {
+          const uint32_t apair = pack_q15_pair(
+              col[static_cast<size_t>(op.operand_b) * c + ch],
+              col[static_cast<size_t>(op.operand_a) * c + ch]);
+          acc = smlad(op.weight_const, apair, acc);
+        }
+        if (prog.has_single) {
+          acc = smlabb(
+              pack_q15_pair(0, prog.single.weight),
+              pack_q15_pair(
+                  0, col[static_cast<size_t>(prog.single.operand) * c + ch]),
+              acc);
+        }
+        const int32_t scaled =
+            multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
+        orow[ch] =
             static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
       }
     }

@@ -69,4 +69,36 @@ struct UnpackedConv {
   void run(std::span<const int8_t> in, std::span<int8_t> out) const;
 };
 
+// Unpacked depthwise convolution: one straight-line program per channel
+// over its k*k taps (operand index = (ky*k + kx) tap position — the
+// depthwise SkipMask order). Pairing works exactly as for conv: two
+// retained taps of the *same channel* feed one SMLAD whose weight
+// constant is hardwired; skipping drops taps and re-pairs survivors
+// offline.
+struct UnpackedDepthwise {
+  int in_h = 0, in_w = 0, channel_count = 0;
+  int kernel = 1, stride = 1, pad = 0;
+  QuantParams in_q, out_q;
+  QuantizedMultiplier requant;
+  int32_t act_min = -128, act_max = 127;
+  std::vector<ChannelProgram> channels;
+
+  int out_h() const { return conv_out_extent(in_h, kernel, stride, pad); }
+  int out_w() const { return conv_out_extent(in_w, kernel, stride, pad); }
+  int64_t positions() const {
+    return static_cast<int64_t>(out_h()) * out_w();
+  }
+
+  int64_t static_pairs() const;
+  int64_t static_singles() const;
+  int64_t retained_macs() const;
+
+  // `skip` is nullptr or [channels * k*k] in SkipMask depthwise order.
+  static UnpackedDepthwise build(const QDepthwiseConv2D& layer,
+                                 const uint8_t* skip = nullptr);
+
+  // Bit-exact with depthwise_conv2d_ref under the same skip mask.
+  void run(std::span<const int8_t> in, std::span<int8_t> out) const;
+};
+
 }  // namespace ataman

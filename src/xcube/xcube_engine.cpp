@@ -29,10 +29,20 @@ XCubeEngine::XCubeEngine(const QModel* model, XCubeCostTable costs)
       }
       cycles += costs_.chan_epilogue *
                 static_cast<double>(g.positions()) * g.out_c;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      // Depthwise stays on the non-SIMD path (per-channel filters cannot
+      // feed the fused dual-MAC kernel), with the fused epilogue.
+      cycles += costs_.basic_per_mac * static_cast<double>(dw->macs());
+      cycles += costs_.chan_epilogue *
+                static_cast<double>(dw->positions()) * dw->channels;
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       cycles += costs_.pool_per_output_elem_per_tap *
                 static_cast<double>(pool->out_h()) * pool->out_w() *
                 pool->channels * pool->kernel * pool->kernel;
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      cycles += costs_.pool_per_output_elem_per_tap *
+                static_cast<double>(pool->out_h()) * pool->out_w() *
+                pool->channels * (pool->kernel * pool->kernel + 2);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       cycles += costs_.fc_per_pair *
                 static_cast<double>(fc->out_dim) * (fc->in_dim / 2);

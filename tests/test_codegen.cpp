@@ -35,7 +35,7 @@ TEST(Codegen, EmitsHardwiredConstantsAndNoConvWeightArrays) {
 TEST(Codegen, SkippedOperandsDisappearFromCode) {
   const QModel m = make_tiny_qmodel(81);
   SkipMask mask = SkipMask::none(m);
-  for (auto& v : mask.conv_masks[0]) v = 1;  // skip all of conv0
+  for (auto& v : mask.masks[0]) v = 1;  // skip all of conv0
   const std::string exact = emit_model_c(m);
   const std::string approx = emit_model_c(m, &mask);
   EXPECT_LT(approx.size(), exact.size());
@@ -103,7 +103,7 @@ TEST_F(CodegenCompile, GeneratedModelMatchesEngineBitExact) {
   const QModel m = make_tiny_qmodel(83);
   SkipMask mask = SkipMask::none(m);
   Rng rng(84);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(0.3) ? 1 : 0;
 
   const std::string dir = "/tmp/ataman_codegen_compile";

@@ -72,17 +72,18 @@ TEST_F(DseFastFixture, RunFromResumesAtEveryConvBoundary) {
   const auto image = eval_->image(0);
   const std::vector<int8_t> full = ref.run(image);
 
-  // Capture each conv layer's input with a tap, then resume there.
+  // Capture each approximable layer's input with a tap, then resume
+  // there.
   std::vector<std::vector<int8_t>> conv_inputs(
-      static_cast<size_t>(model_->conv_layer_count()));
+      static_cast<size_t>(model_->approx_layer_count()));
   ref.run(image, nullptr,
-          [&](int ordinal, const QConv2D&, std::span<const int8_t> in) {
+          [&](int ordinal, const QLayer&, std::span<const int8_t> in) {
             conv_inputs[static_cast<size_t>(ordinal)].assign(in.begin(),
                                                              in.end());
           });
-  for (int k = 0; k < model_->conv_layer_count(); ++k) {
+  for (int k = 0; k < model_->approx_layer_count(); ++k) {
     const std::vector<int8_t> resumed =
-        ref.run_from(model_->conv_layer_index(k),
+        ref.run_from(model_->approx_layer_index(k),
                      conv_inputs[static_cast<size_t>(k)]);
     EXPECT_EQ(resumed, full) << "resume at conv ordinal " << k;
   }

@@ -1,7 +1,7 @@
 // Seeded-RNG differential fuzz across the four InferenceEngine backends.
 //
 // PR 2's parity suite checks crafted cases; this one generates them:
-// random small conv/pool/dense models (random geometry, random quantized
+// random small conv/depthwise/pool/avgpool/dense models (random geometry, random quantized
 // weights, chained activation params) and significance-derived tau skip
 // masks, asserting for every generated case that
 //   * all four engines match the reference logits/classifications
@@ -37,6 +37,7 @@ namespace {
 using testing::make_random_image;
 using testing::make_random_qconv;
 using testing::make_random_qdense;
+using testing::make_random_qdw;
 
 constexpr uint64_t kDefaultBaseSeed = 20260730;
 constexpr int kModels = 6;
@@ -50,9 +51,12 @@ uint64_t base_seed() {
 }
 
 // Random structurally-valid model: 1-2 conv layers (kernel 1 or 3,
-// stride 1, same-padding, so any geometry chains), optional 2x2 maxpool,
-// final dense head. Channel counts are randomized to hit both the even
-// (dual-MAC fast path) and odd (leftover single) patch parities.
+// stride 1, same-padding, so any geometry chains), each optionally
+// followed by a 3x3 same-padded depthwise conv, an optional 2x2 pool
+// (max or average, randomly), final dense head. Channel counts are
+// randomized to hit both the even (dual-MAC fast path) and odd
+// (leftover single) patch parities; depthwise layers always have an odd
+// 9-tap patch, exercising the re-paired single path.
 QModel make_random_model(uint64_t seed) {
   Rng rng(seed);
   QModel m;
@@ -66,6 +70,7 @@ QModel make_random_model(uint64_t seed) {
   QuantParams upstream = m.input;
   const int conv_count = rng.next_int(1, 2);
   const bool with_pool = rng.next_bool(0.5);
+  const bool avg_pool = rng.next_bool(0.5);
   for (int i = 0; i < conv_count; ++i) {
     ConvGeom g;
     g.in_h = h;
@@ -83,14 +88,36 @@ QModel make_random_model(uint64_t seed) {
     upstream = conv.out;
     c = g.out_c;
     m.layers.emplace_back(std::move(conv));
+    if (rng.next_bool(0.5)) {
+      QDepthwiseConv2D dw = make_random_qdw(h, w, c, /*kernel=*/3,
+                                            /*stride=*/1, /*pad=*/1,
+                                            rng.next_u64(),
+                                            /*folded_relu=*/true);
+      dw.in = upstream;
+      dw.requant = quantize_multiplier(static_cast<double>(dw.in.scale) *
+                                       dw.w_scale / dw.out.scale);
+      dw.act_min = dw.out.zero_point;
+      upstream = dw.out;
+      m.layers.emplace_back(std::move(dw));
+    }
     if (i == 0 && with_pool) {
-      QMaxPool pool;
-      pool.in_h = h;
-      pool.in_w = w;
-      pool.channels = c;
-      pool.kernel = 2;
-      pool.stride = 2;
-      m.layers.emplace_back(pool);
+      if (avg_pool) {
+        QAvgPool pool;
+        pool.in_h = h;
+        pool.in_w = w;
+        pool.channels = c;
+        pool.kernel = 2;
+        pool.stride = 2;
+        m.layers.emplace_back(pool);
+      } else {
+        QMaxPool pool;
+        pool.in_h = h;
+        pool.in_w = w;
+        pool.channels = c;
+        pool.kernel = 2;
+        pool.stride = 2;
+        m.layers.emplace_back(pool);
+      }
       h /= 2;
       w /= 2;
     }
@@ -117,11 +144,11 @@ Dataset make_calib_set(const QModel& m, int images, uint64_t seed) {
 
 // True when every operand skipped by `inner` is also skipped by `outer`.
 bool mask_subset(const SkipMask& inner, const SkipMask& outer) {
-  if (inner.conv_masks.size() != outer.conv_masks.size()) return false;
-  for (size_t l = 0; l < inner.conv_masks.size(); ++l) {
-    if (inner.conv_masks[l].size() != outer.conv_masks[l].size()) return false;
-    for (size_t i = 0; i < inner.conv_masks[l].size(); ++i) {
-      if (inner.conv_masks[l][i] != 0 && outer.conv_masks[l][i] == 0) {
+  if (inner.masks.size() != outer.masks.size()) return false;
+  for (size_t l = 0; l < inner.masks.size(); ++l) {
+    if (inner.masks[l].size() != outer.masks[l].size()) return false;
+    for (size_t i = 0; i < inner.masks[l].size(); ++i) {
+      if (inner.masks[l][i] != 0 && outer.masks[l][i] == 0) {
         return false;
       }
     }
@@ -157,12 +184,12 @@ TEST(EngineDiffFuzz, ExactParityMaskedParityAndCostMonotonicity) {
     }
 
     // Exact engines' cost models must not depend on the mask field.
-    const int conv_count = m.conv_layer_count();
+    const int approx_count = m.approx_layer_count();
     const Dataset calib = make_calib_set(m, 12, model_seed + 5);
     const auto stats = capture_activation_stats(m, calib, -1);
     const auto significance = compute_model_significance(m, stats);
     SkipMask heavy = make_skip_mask(
-        m, significance, ApproxConfig::uniform(conv_count, taus[4]));
+        m, significance, ApproxConfig::uniform(approx_count, taus[4]));
     for (const char* name : {"cmsis", "xcube"}) {
       EngineConfig masked_cfg = exact_cfg;
       masked_cfg.mask = &heavy;
@@ -180,7 +207,7 @@ TEST(EngineDiffFuzz, ExactParityMaskedParityAndCostMonotonicity) {
     for (const double tau : taus) {
       SCOPED_TRACE("tau=" + std::to_string(tau));
       const SkipMask mask = make_skip_mask(
-          m, significance, ApproxConfig::uniform(conv_count, tau));
+          m, significance, ApproxConfig::uniform(approx_count, tau));
       mask.validate(m);
 
       EngineConfig cfg = exact_cfg;

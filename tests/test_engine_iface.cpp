@@ -141,7 +141,7 @@ TEST(EngineParity, MaskedRefMatchesUnpackedThroughRegistry) {
   const QModel m = make_tiny_qmodel(413);
   SkipMask mask = SkipMask::none(m);
   Rng rng(414);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& s : layer_mask) s = rng.next_bool(0.3) ? 1 : 0;
 
   EngineConfig cfg;

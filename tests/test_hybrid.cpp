@@ -16,7 +16,7 @@ using testing::make_tiny_qmodel;
 SkipMask random_mask(const QModel& m, double density, uint64_t seed) {
   SkipMask mask = SkipMask::none(m);
   Rng rng(seed);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(density) ? 1 : 0;
   return mask;
 }
@@ -25,7 +25,7 @@ TEST(Hybrid, AnalyzeProducesOneChoicePerConv) {
   const QModel m = make_tiny_qmodel(100);
   const SkipMask mask = random_mask(m, 0.5, 101);
   const HybridPlan plan = analyze_layer_choices(m, mask);
-  EXPECT_EQ(static_cast<int>(plan.choices.size()), m.conv_layer_count());
+  EXPECT_EQ(static_cast<int>(plan.choices.size()), m.approx_layer_count());
   for (const LayerDeployChoice& c : plan.choices) {
     EXPECT_GT(c.packed_cycles, 0);
     EXPECT_GT(c.unpacked_cycles, 0);
@@ -88,8 +88,8 @@ TEST(Hybrid, EngineBitExactUnderAnySelection) {
     SkipMask effective = mask;
     for (size_t l = 0; l < selection.size(); ++l) {
       if (!selection[l])
-        std::fill(effective.conv_masks[l].begin(),
-                  effective.conv_masks[l].end(), 0);
+        std::fill(effective.masks[l].begin(),
+                  effective.masks[l].end(), 0);
     }
     RefEngine ref(&m);
     const UnpackedEngine hybrid(&m, &mask, {}, {}, &selection);

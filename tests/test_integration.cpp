@@ -59,7 +59,7 @@ DseOutcome* Pipeline::outcome_ = nullptr;
 TEST_F(Pipeline, AnalyzeProducesSignificancePerConvLayer) {
   ASSERT_TRUE(pipe_->analyzed());
   EXPECT_EQ(static_cast<int>(pipe_->significance().size()),
-            qmodel_->conv_layer_count());
+            qmodel_->approx_layer_count());
   for (const LayerSignificance& sig : pipe_->significance()) {
     EXPECT_GT(sig.out_c, 0);
     EXPECT_GT(sig.patch, 0);
@@ -162,7 +162,7 @@ TEST_F(Pipeline, GeneratedCodeReflectsSelectedConfig) {
   // The exact build has at least as many MAC instructions as the
   // approximate one.
   const std::string exact_code =
-      pipe_->generate_code(ApproxConfig::exact(qmodel_->conv_layer_count()));
+      pipe_->generate_code(ApproxConfig::exact(qmodel_->approx_layer_count()));
   const auto count_smlad = [](const std::string& s) {
     size_t n = 0, pos = 0;
     while ((pos = s.find("_smlad(0x", pos)) != std::string::npos) {

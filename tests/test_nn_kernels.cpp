@@ -184,7 +184,7 @@ TEST(RefEngine, MaskValidationRejectsWrongShape) {
   const QModel m = make_tiny_qmodel(4);
   RefEngine engine(&m);
   SkipMask bad;
-  bad.conv_masks.push_back(std::vector<uint8_t>(7, 0));  // wrong size
+  bad.masks.push_back(std::vector<uint8_t>(7, 0));  // wrong size
   const auto img = testing::make_random_image(12 * 12 * 3, 45);
   EXPECT_THROW(engine.run(img, &bad), Error);
 }
@@ -201,7 +201,7 @@ TEST(SkipMaskType, ApplySkipMaskEqualsMaskedExecution) {
   const QModel m = make_tiny_qmodel(7);
   SkipMask mask = SkipMask::none(m);
   Rng rng(8);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(0.4) ? 1 : 0;
 
   const QModel zeroed = apply_skip_mask(m, mask);
@@ -219,7 +219,7 @@ TEST(SkipMaskType, CountsAndValidation) {
   EXPECT_TRUE(mask.empty());
   EXPECT_EQ(mask.skipped_macs(m), 0);
   // Skip the first 5 operands of conv0/channel0.
-  for (int i = 0; i < 5; ++i) mask.conv_masks[0][static_cast<size_t>(i)] = 1;
+  for (int i = 0; i < 5; ++i) mask.masks[0][static_cast<size_t>(i)] = 1;
   EXPECT_FALSE(mask.empty());
   EXPECT_EQ(mask.skipped_static_operands(), 5);
   // conv0 is 12x12 output -> 144 positions.

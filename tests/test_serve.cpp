@@ -42,7 +42,7 @@ SkipMask make_random_mask(const QModel& model, double density,
                           uint64_t seed) {
   SkipMask mask = SkipMask::none(model);
   Rng rng(seed);
-  for (auto& layer : mask.conv_masks)
+  for (auto& layer : mask.masks)
     for (auto& s : layer) s = rng.next_bool(density) ? 1 : 0;
   return mask;
 }

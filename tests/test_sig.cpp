@@ -136,11 +136,11 @@ TEST(SkipPlan, NestingInTau) {
   SkipMask prev;
   for (const double tau : taus) {
     const SkipMask cur = make_skip_mask(
-        m, sig, ApproxConfig::uniform(m.conv_layer_count(), tau));
-    if (!prev.conv_masks.empty()) {
-      for (size_t l = 0; l < cur.conv_masks.size(); ++l)
-        for (size_t i = 0; i < cur.conv_masks[l].size(); ++i)
-          EXPECT_LE(prev.conv_masks[l][i], cur.conv_masks[l][i])
+        m, sig, ApproxConfig::uniform(m.approx_layer_count(), tau));
+    if (!prev.masks.empty()) {
+      for (size_t l = 0; l < cur.masks.size(); ++l)
+        for (size_t i = 0; i < cur.masks[l].size(); ++i)
+          EXPECT_LE(prev.masks[l][i], cur.masks[l][i])
               << "nesting violated at layer " << l << " operand " << i;
     }
     prev = cur;
@@ -159,7 +159,7 @@ TEST(SkipPlan, ExactConfigSkipsNothing) {
     }
   }
   const SkipMask mask =
-      make_skip_mask(m, sig, ApproxConfig::exact(m.conv_layer_count()));
+      make_skip_mask(m, sig, ApproxConfig::exact(m.approx_layer_count()));
   EXPECT_TRUE(mask.empty());
 }
 
@@ -175,8 +175,8 @@ TEST(SkipPlan, PerLayerTauTargetsOnlySelectedLayers) {
   cfg.tau[1] = 0.05;  // approximate only conv1
   const SkipMask mask = make_skip_mask(m, sig, cfg);
   int64_t skipped0 = 0, skipped1 = 0;
-  for (const uint8_t v : mask.conv_masks[0]) skipped0 += v;
-  for (const uint8_t v : mask.conv_masks[1]) skipped1 += v;
+  for (const uint8_t v : mask.masks[0]) skipped0 += v;
+  for (const uint8_t v : mask.masks[1]) skipped1 += v;
   EXPECT_EQ(skipped0, 0);
   EXPECT_GT(skipped1, 0);
 }

@@ -129,6 +129,41 @@ TEST(GradCheck, Conv2DKernel5) {
   check_param_gradient(layer, x);
 }
 
+TEST(GradCheck, DepthwiseInputAndParams) {
+  Rng init(21);
+  DepthwiseConv2DLayer::Geom g;
+  g.in_h = 6; g.in_w = 6; g.channels = 3;
+  g.kernel = 3; g.stride = 1; g.pad = 1;
+  DepthwiseConv2DLayer layer(g, init);
+  const FTensor x = random_input({2, 6, 6, 3}, 25);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, DepthwiseStride2NoPad) {
+  Rng init(22);
+  DepthwiseConv2DLayer::Geom g;
+  g.in_h = 7; g.in_w = 7; g.channels = 2;
+  g.kernel = 3; g.stride = 2; g.pad = 0;
+  DepthwiseConv2DLayer layer(g, init);
+  const FTensor x = random_input({2, 7, 7, 2}, 26);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x);
+}
+
+TEST(GradCheck, AvgPool) {
+  AvgPool2DLayer layer(2, 2);
+  const FTensor x = random_input({2, 4, 4, 3}, 27);
+  check_input_gradient(layer, x);
+}
+
+TEST(GradCheck, AvgPoolRejectsNonCoveringGeometry) {
+  AvgPool2DLayer layer(2, 2);
+  // 5x5 input: (5 - 2) % 2 != 0 — edge pixels would be silently dropped.
+  const FTensor x = random_input({1, 5, 5, 2}, 28);
+  EXPECT_THROW(layer.forward(x, /*train=*/false), Error);
+}
+
 TEST(GradCheck, Dense) {
   Rng init(4);
   DenseLayer layer(12, 5, init);

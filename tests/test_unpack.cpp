@@ -137,7 +137,7 @@ TEST(UnpackedEngine, SkippedEngineMatchesMaskedReference) {
   const QModel m = make_tiny_qmodel(13);
   SkipMask mask = SkipMask::none(m);
   Rng rng(14);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(0.35) ? 1 : 0;
 
   RefEngine ref(&m);
@@ -153,7 +153,7 @@ TEST(UnpackedEngine, SkippingReducesCyclesAndMacs) {
   UnpackedEngine exact(&m);
   SkipMask mask = SkipMask::none(m);
   Rng rng(16);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(0.5) ? 1 : 0;
   UnpackedEngine skipped(&m, &mask);
 
@@ -167,7 +167,7 @@ TEST(UnpackedEngine, FlashShrinksWithSkipping) {
   UnpackedEngine exact(&m);
   SkipMask mask = SkipMask::none(m);
   Rng rng(18);
-  for (auto& layer_mask : mask.conv_masks)
+  for (auto& layer_mask : mask.masks)
     for (auto& v : layer_mask) v = rng.next_bool(0.6) ? 1 : 0;
   UnpackedEngine skipped(&m, &mask);
   EXPECT_LT(skipped.flash().unpacked_code_bytes,

@@ -38,6 +38,33 @@ inline QConv2D make_random_qconv(const ConvGeom& geom, uint64_t seed,
   return conv;
 }
 
+inline QDepthwiseConv2D make_random_qdw(int in_h, int in_w, int channels,
+                                        int kernel, int stride, int pad,
+                                        uint64_t seed,
+                                        bool folded_relu = false) {
+  Rng rng(seed);
+  QDepthwiseConv2D dw;
+  dw.in_h = in_h;
+  dw.in_w = in_w;
+  dw.channels = channels;
+  dw.kernel = kernel;
+  dw.stride = stride;
+  dw.pad = pad;
+  dw.in = random_act_params(rng);
+  dw.out = random_act_params(rng);
+  dw.w_scale = rng.next_uniform(0.002f, 0.05f);
+  dw.weights.resize(static_cast<size_t>(dw.weight_count()));
+  for (auto& w : dw.weights)
+    w = static_cast<int8_t>(rng.next_int(-127, 127));
+  dw.bias.resize(static_cast<size_t>(channels));
+  for (auto& b : dw.bias) b = rng.next_int(-4000, 4000);
+  dw.requant = quantize_multiplier(
+      static_cast<double>(dw.in.scale) * dw.w_scale / dw.out.scale);
+  dw.act_min = folded_relu ? dw.out.zero_point : -128;
+  dw.act_max = 127;
+  return dw;
+}
+
 inline QDense make_random_qdense(int in_dim, int out_dim, uint64_t seed) {
   Rng rng(seed);
   QDense fc;
