@@ -73,6 +73,64 @@ void BM_ConvUnpacked(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvUnpacked)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
 
+// Batched GEMM rows: state.range(0) = batch size. items/s counts images,
+// so the per-image amortization of streaming each weight pair (or each
+// unpacked program) once per lane-block shows up directly as items/s
+// scaling from Arg(1) to Arg(8).
+void BM_ConvPackedCmsisBatch(benchmark::State& state) {
+  const QConv2D conv = bench_conv();
+  const int batch = static_cast<int>(state.range(0));
+  const PackedWeights packed = PackedWeights::pack(
+      conv.weights, conv.geom.out_c, conv.geom.patch_size());
+  const auto in = ataman::testing::make_random_input(
+      static_cast<int64_t>(16 * 16 * 16) * batch, 2);
+  std::vector<int8_t> out(static_cast<size_t>(conv.geom.positions()) *
+                          conv.geom.out_c * static_cast<size_t>(batch));
+  for (auto _ : state) {
+    packed_conv2d_batch(conv, packed, in, out, batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["modeled_mcu_cycles_per_image"] = static_cast<double>(
+      packed_conv_cycles(conv));
+}
+BENCHMARK(BM_ConvPackedCmsisBatch)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ConvUnpackedBatch(benchmark::State& state) {
+  // state.range(0) = batch; exact unpacking (no skips) to isolate the
+  // batch amortization axis from the skip axis of BM_ConvUnpacked.
+  const QConv2D conv = bench_conv();
+  const int batch = static_cast<int>(state.range(0));
+  const UnpackedConv u = UnpackedConv::build(conv);
+  const auto in = ataman::testing::make_random_input(
+      static_cast<int64_t>(16 * 16 * 16) * batch, 3);
+  std::vector<int8_t> out(static_cast<size_t>(conv.geom.positions()) *
+                          conv.geom.out_c * static_cast<size_t>(batch));
+  for (auto _ : state) {
+    u.run_batch(in, out, batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvUnpackedBatch)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_DenseBatch(benchmark::State& state) {
+  const QDense fc = ataman::testing::make_random_qdense(1024, 64, 4545);
+  const int batch = static_cast<int>(state.range(0));
+  const PackedWeights packed =
+      PackedWeights::pack(fc.weights, fc.out_dim, fc.in_dim);
+  const auto in = ataman::testing::make_random_input(
+      static_cast<int64_t>(fc.in_dim) * batch, 21);
+  std::vector<int8_t> out(static_cast<size_t>(fc.out_dim) *
+                          static_cast<size_t>(batch));
+  for (auto _ : state) {
+    packed_dense_batch(fc, packed, in, out, batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DenseBatch)->Arg(1)->Arg(4)->Arg(8);
+
 QDepthwiseConv2D bench_depthwise() {
   return ataman::testing::make_random_qdw(16, 16, 16, /*kernel=*/3,
                                           /*stride=*/1, /*pad=*/1, 4343);

@@ -17,7 +17,13 @@
 //
 // Every mode's logits are cross-checked bitwise against the serial-cold
 // baseline (exit 2 on any mismatch) — the determinism contract,
-// measured, not assumed. Throughput target (ISSUE 4): serve@4 >= 3x serial-cold. The
+// measured, not assumed. Serve workers execute each coalesced batch
+// through run_batch, so the serve rows measure batched kernels + engine
+// caching + concurrency; the CSV labels each row with the host's
+// hardware-thread count and whether batched kernels were engaged, so a
+// 1-core SKIP row can no longer be mistaken for a multicore result.
+// Throughput target (ISSUE 6): serve@4 >= 3x serial-warm — warm is the
+// honest baseline now that engine construction is cached everywhere. The
 // verdict needs >= 4 hardware threads: inference is pure CPU work, so a
 // 1-core container cannot exhibit thread scaling and the harness says so
 // instead of faking it (--strict turns a missed, *evaluable* target into
@@ -78,6 +84,7 @@ struct ModeResult {
   double req_per_s = 0.0;
   int64_t batches = 0;
   int64_t max_batch = 0;
+  bool batched_kernels = false;  // run_batch-amortized execution engaged
 };
 
 }  // namespace
@@ -88,8 +95,9 @@ int main(int argc, char** argv) {
       static_cast<int>(std::thread::hardware_concurrency());
   std::printf("==============================================================\n");
   std::printf("Serving throughput: serial loop vs batched async runtime\n");
-  std::printf("  model=%s  hardware threads=%d  flags: --quick --strict\n",
-              args.model.c_str(), hw_threads);
+  std::printf("  model=%s  hardware threads=%d  flags:%s%s\n",
+              args.model.c_str(), hw_threads, args.quick ? " --quick" : "",
+              args.strict ? " --strict" : "");
   std::printf("==============================================================\n");
 
   const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
@@ -202,7 +210,8 @@ int main(int argc, char** argv) {
     }
     const ServeStats stats = server.stats();
     results.push_back({"serve@" + std::to_string(workers), ms,
-                       1e3 * total / ms, stats.batches, stats.max_batch_seen});
+                       1e3 * total / ms, stats.batches, stats.max_batch_seen,
+                       /*batched_kernels=*/true});
     if (workers == 4) serve4_req_per_s = 1e3 * total / ms;
     std::printf(
         "[serve@%d] %lld batches (max fill %lld), %lld coalesced, "
@@ -217,18 +226,23 @@ int main(int argc, char** argv) {
   // --- report -------------------------------------------------------------
   const double cold_rps = results[0].req_per_s;
   const double warm_rps = results[1].req_per_s;
-  ConsoleTable table({"mode", "wall ms", "req/s", "vs cold", "vs warm"});
+  ConsoleTable table({"mode", "wall ms", "req/s", "vs cold", "vs warm",
+                      "batched"});
   CsvWriter csv(bench::results_dir() + "/serve_throughput.csv",
                 {"mode", "wall_ms", "req_per_s", "speedup_vs_cold",
-                 "speedup_vs_warm", "batches", "max_batch"});
+                 "speedup_vs_warm", "batches", "max_batch", "hw_threads",
+                 "batched_kernels"});
   for (const ModeResult& r : results) {
     table.row({r.mode, bench::fmt(r.wall_ms, 1), bench::fmt(r.req_per_s, 1),
                bench::fmt(r.req_per_s / cold_rps, 2),
-               bench::fmt(r.req_per_s / warm_rps, 2)});
+               bench::fmt(r.req_per_s / warm_rps, 2),
+               r.batched_kernels ? "yes" : "no"});
     csv.row({r.mode, CsvWriter::num(r.wall_ms), CsvWriter::num(r.req_per_s),
              CsvWriter::num(r.req_per_s / cold_rps),
              CsvWriter::num(r.req_per_s / warm_rps),
-             std::to_string(r.batches), std::to_string(r.max_batch)});
+             std::to_string(r.batches), std::to_string(r.max_batch),
+             std::to_string(hw_threads),
+             std::string(r.batched_kernels ? "1" : "0")});
   }
   std::printf("%s", table.render("throughput by execution mode").c_str());
   std::printf("[csv] %s\n", csv.path().c_str());
@@ -238,17 +252,17 @@ int main(int argc, char** argv) {
     std::printf("[verdict] serve@4 not in the worker set — no verdict\n");
     return 0;
   }
-  const double speedup = serve4_req_per_s / cold_rps;
+  const double speedup = serve4_req_per_s / warm_rps;
   if (hw_threads < 4) {
     std::printf(
-        "[verdict] SKIP: %.2fx at 4 workers vs serial-cold; the >=3x "
+        "[verdict] SKIP: %.2fx at 4 workers vs serial-warm; the >=3x "
         "target needs >=4 hardware threads (this host has %d — CPU-bound "
         "inference cannot thread-scale here)\n",
         speedup, hw_threads);
     return 0;
   }
   const bool pass = speedup >= 3.0;
-  std::printf("[verdict] %s: serve@4 is %.2fx serial-cold (target >=3x)\n",
+  std::printf("[verdict] %s: serve@4 is %.2fx serial-warm (target >=3x)\n",
               pass ? "PASS" : "FAIL", speedup);
   return pass || !args.strict ? 0 : 1;
 }

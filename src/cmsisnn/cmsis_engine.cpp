@@ -1,5 +1,7 @@
 #include "src/cmsisnn/cmsis_engine.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 #include "src/nn/qkernels_ref.hpp"
 
@@ -70,6 +72,64 @@ std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
     cur.swap(next);
   }
   return cur;
+}
+
+void CmsisEngine::run_batch(
+    std::span<const std::span<const uint8_t>> images,
+    std::vector<std::vector<int8_t>>& logits_out) const {
+  check_batch_nonempty(images);
+  const int batch = static_cast<int>(images.size());
+
+  // Contiguous batched activations: image b at cur + b * in_elems. The
+  // batched kernels fold the batch into the GEMM N dimension; pools have
+  // no weight traffic to amortize and run per image on subspans.
+  size_t cur_elems = static_cast<size_t>(
+      static_cast<int64_t>(model().in_h) * model().in_w * model().in_c);
+  std::vector<int8_t> cur(cur_elems * static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    const std::vector<int8_t> q = quantize_input(images[static_cast<size_t>(b)]);
+    std::copy(q.begin(), q.end(),
+              cur.begin() + static_cast<size_t>(b) * cur_elems);
+  }
+
+  std::vector<int8_t> next;
+  size_t packed_idx = 0;
+  for (const QLayer& layer : model().layers) {
+    const size_t out_elems =
+        static_cast<size_t>(describe_layer(layer).out_elems);
+    next.assign(out_elems * static_cast<size_t>(batch), 0);
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      packed_conv2d_batch(*conv, packed_[packed_idx++], cur, next, batch);
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      packed_depthwise_conv2d_batch(*dw, cur, next, batch);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      for (int b = 0; b < batch; ++b) {
+        maxpool_ref(*pool,
+                    std::span<const int8_t>(cur).subspan(
+                        static_cast<size_t>(b) * cur_elems, cur_elems),
+                    std::span<int8_t>(next).subspan(
+                        static_cast<size_t>(b) * out_elems, out_elems));
+      }
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      for (int b = 0; b < batch; ++b) {
+        avgpool_ref(*pool,
+                    std::span<const int8_t>(cur).subspan(
+                        static_cast<size_t>(b) * cur_elems, cur_elems),
+                    std::span<int8_t>(next).subspan(
+                        static_cast<size_t>(b) * out_elems, out_elems));
+      }
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      packed_dense_batch(*fc, packed_[packed_idx++], cur, next, batch);
+    }
+    cur.swap(next);
+    cur_elems = out_elems;
+  }
+
+  logits_out.assign(static_cast<size_t>(batch), {});
+  for (int b = 0; b < batch; ++b) {
+    const auto* base = cur.data() + static_cast<size_t>(b) * cur_elems;
+    logits_out[static_cast<size_t>(b)].assign(base, base + cur_elems);
+  }
 }
 
 int64_t CmsisEngine::flash_bytes() const {

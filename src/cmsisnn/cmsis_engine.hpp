@@ -26,6 +26,13 @@ class CmsisEngine : public InferenceEngine {
 
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
+  // Batch-amortized path: conv/fc stream each packed weight pair once per
+  // lane-block of kBatchLanes images (see packed_kernels.hpp); pools run
+  // per image (no weights to amortize). Bitwise identical to run().
+  bool supports_run_batch() const override { return true; }
+  void run_batch(std::span<const std::span<const uint8_t>> images,
+                 std::vector<std::vector<int8_t>>& logits_out) const override;
+
   // Copies the offline-packed weight streams and the precomputed profile
   // instead of re-running the packing analysis.
   std::unique_ptr<InferenceEngine> clone() const override {

@@ -161,4 +161,209 @@ void packed_dense(const QDense& layer, const PackedWeights& packed,
   }
 }
 
+namespace {
+
+// Dual-MAC dot product over a lane-block of q15 columns: every weight
+// pair constant is loaded once and multiplied into all kBatchLanes
+// accumulators before the next pair streams in. The lane loops have
+// constant trip counts (stale/padding lanes compute garbage that the
+// caller never stores — SMLAD wraparound is defined), which is what lets
+// the compiler keep the four accumulators in one vector register.
+void packed_dot_lanes(const PackedWeights& packed, int oc,
+                      const int16_t* cols, int32_t bias,
+                      int32_t acc[kBatchLanes]) {
+  for (int j = 0; j < kBatchLanes; ++j) acc[j] = bias;
+  const uint32_t* wp = packed.pair_constants.data() +
+                       static_cast<size_t>(oc) * packed.pairs_per_chan;
+  const size_t patch = static_cast<size_t>(packed.patch);
+  for (int i = 0; i < packed.pairs_per_chan; ++i) {
+    const uint32_t w = wp[i];
+    for (int j = 0; j < kBatchLanes; ++j) {
+      const int16_t* col = cols + static_cast<size_t>(j) * patch;
+      acc[j] = smlad(w, pack_q15_pair(col[2 * i + 1], col[2 * i]), acc[j]);
+    }
+  }
+  if (packed.has_single) {
+    const uint32_t wlast = pack_q15_pair(
+        0, packed.single_weights[static_cast<size_t>(oc)]);
+    for (int j = 0; j < kBatchLanes; ++j) {
+      const int16_t* col = cols + static_cast<size_t>(j) * patch;
+      acc[j] = smlabb(wlast, pack_q15_pair(0, col[packed.patch - 1]), acc[j]);
+    }
+  }
+}
+
+int32_t requant_clamp(int32_t acc, const QuantizedMultiplier& requant,
+                      int32_t out_zp, int32_t act_min, int32_t act_max) {
+  const int32_t scaled =
+      multiply_by_quantized_multiplier(acc, requant) + out_zp;
+  return std::clamp(scaled, act_min, act_max);
+}
+
+}  // namespace
+
+void packed_conv2d_batch(const QConv2D& layer, const PackedWeights& packed,
+                         std::span<const int8_t> in, std::span<int8_t> out,
+                         int batch) {
+  const ConvGeom& g = layer.geom;
+  check(packed.patch == g.patch_size() && packed.out_c == g.out_c,
+        "packed weights do not match layer");
+  check(batch >= 1, "packed_conv2d_batch: batch must be >= 1");
+  const size_t in_elems =
+      static_cast<size_t>(g.in_h) * g.in_w * g.in_c;
+  const int oh = g.out_h(), ow = g.out_w();
+  const size_t out_elems = static_cast<size_t>(oh) * ow * g.out_c;
+  check(in.size() == in_elems * static_cast<size_t>(batch),
+        "batched conv input size mismatch");
+  check(out.size() == out_elems * static_cast<size_t>(batch),
+        "batched conv output size mismatch");
+  const size_t patch = static_cast<size_t>(g.patch_size());
+
+  std::vector<int16_t> cols(static_cast<size_t>(kBatchLanes) * patch);
+  for (int b0 = 0; b0 < batch; b0 += kBatchLanes) {
+    const int bn = std::min(kBatchLanes, batch - b0);
+    // Padding lanes of a ragged tail keep whatever the zero-fill leaves;
+    // they are computed but never stored.
+    if (bn < kBatchLanes) std::fill(cols.begin(), cols.end(), int16_t{0});
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int j = 0; j < bn; ++j) {
+          im2col_patch_q15(
+              layer,
+              in.subspan(static_cast<size_t>(b0 + j) * in_elems, in_elems),
+              oy, ox, cols.data() + static_cast<size_t>(j) * patch);
+        }
+        const size_t orow_off =
+            (static_cast<size_t>(oy) * ow + ox) * g.out_c;
+        for (int oc = 0; oc < g.out_c; ++oc) {
+          int32_t acc[kBatchLanes];
+          packed_dot_lanes(packed, oc, cols.data(),
+                           layer.bias[static_cast<size_t>(oc)], acc);
+          for (int j = 0; j < bn; ++j) {
+            out[static_cast<size_t>(b0 + j) * out_elems + orow_off + oc] =
+                static_cast<int8_t>(requant_clamp(acc[j], layer.requant,
+                                                  layer.out.zero_point,
+                                                  layer.act_min,
+                                                  layer.act_max));
+          }
+        }
+      }
+    }
+  }
+}
+
+void packed_depthwise_conv2d_batch(const QDepthwiseConv2D& layer,
+                                   std::span<const int8_t> in,
+                                   std::span<int8_t> out, int batch) {
+  check(batch >= 1, "packed_depthwise_conv2d_batch: batch must be >= 1");
+  const size_t in_elems =
+      static_cast<size_t>(layer.in_h) * layer.in_w * layer.channels;
+  const int oh = layer.out_h(), ow = layer.out_w(), c = layer.channels;
+  const size_t out_elems =
+      static_cast<size_t>(layer.positions()) * layer.channels;
+  check(in.size() == in_elems * static_cast<size_t>(batch),
+        "batched depthwise input size mismatch");
+  check(out.size() == out_elems * static_cast<size_t>(batch),
+        "batched depthwise output size mismatch");
+  const int patch = layer.patch_size();
+  const int32_t zp = layer.in.zero_point;
+  const size_t lane_stride = static_cast<size_t>(patch) * c;
+
+  // Lane-major blocks of the shared per-position q15 expansion:
+  // cols[j * patch * c + tap * c + ch] for image b0 + j. Each filter
+  // weight is then loaded once per tap and multiplied into all lanes.
+  std::vector<int16_t> cols(static_cast<size_t>(kBatchLanes) * lane_stride);
+  for (int b0 = 0; b0 < batch; b0 += kBatchLanes) {
+    const int bn = std::min(kBatchLanes, batch - b0);
+    if (bn < kBatchLanes) std::fill(cols.begin(), cols.end(), int16_t{0});
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int j = 0; j < bn; ++j) {
+          const int8_t* img =
+              in.data() + static_cast<size_t>(b0 + j) * in_elems;
+          int16_t* lane = cols.data() + static_cast<size_t>(j) * lane_stride;
+          int p = 0;
+          for (int ky = 0; ky < layer.kernel; ++ky) {
+            const int iy = oy * layer.stride - layer.pad + ky;
+            for (int kx = 0; kx < layer.kernel; ++kx, ++p) {
+              const int ix = ox * layer.stride - layer.pad + kx;
+              const bool inside =
+                  iy >= 0 && iy < layer.in_h && ix >= 0 && ix < layer.in_w;
+              const int8_t* src =
+                  inside
+                      ? img + (static_cast<size_t>(iy) * layer.in_w + ix) * c
+                      : nullptr;
+              int16_t* dst = lane + static_cast<size_t>(p) * c;
+              for (int ch = 0; ch < c; ++ch)
+                dst[ch] = static_cast<int16_t>((inside ? src[ch] : zp) - zp);
+            }
+          }
+        }
+        const size_t orow_off = (static_cast<size_t>(oy) * ow + ox) * c;
+        for (int ch = 0; ch < c; ++ch) {
+          int32_t acc[kBatchLanes];
+          for (int j = 0; j < kBatchLanes; ++j)
+            acc[j] = layer.bias[static_cast<size_t>(ch)];
+          for (int t = 0; t < patch; ++t) {
+            const int32_t w = layer.weights[static_cast<size_t>(t) * c + ch];
+            const size_t tap_off = static_cast<size_t>(t) * c + ch;
+            for (int j = 0; j < kBatchLanes; ++j) {
+              acc[j] += static_cast<int32_t>(
+                            cols[static_cast<size_t>(j) * lane_stride +
+                                 tap_off]) *
+                        w;
+            }
+          }
+          for (int j = 0; j < bn; ++j) {
+            out[static_cast<size_t>(b0 + j) * out_elems + orow_off + ch] =
+                static_cast<int8_t>(requant_clamp(acc[j], layer.requant,
+                                                  layer.out.zero_point,
+                                                  layer.act_min,
+                                                  layer.act_max));
+          }
+        }
+      }
+    }
+  }
+}
+
+void packed_dense_batch(const QDense& layer, const PackedWeights& packed,
+                        std::span<const int8_t> in, std::span<int8_t> out,
+                        int batch) {
+  check(packed.patch == layer.in_dim && packed.out_c == layer.out_dim,
+        "packed weights do not match layer");
+  check(batch >= 1, "packed_dense_batch: batch must be >= 1");
+  const size_t in_elems = static_cast<size_t>(layer.in_dim);
+  const size_t out_elems = static_cast<size_t>(layer.out_dim);
+  check(in.size() == in_elems * static_cast<size_t>(batch),
+        "batched dense input size mismatch");
+  check(out.size() == out_elems * static_cast<size_t>(batch),
+        "batched dense output size mismatch");
+
+  std::vector<int16_t> cols(static_cast<size_t>(kBatchLanes) * in_elems);
+  for (int b0 = 0; b0 < batch; b0 += kBatchLanes) {
+    const int bn = std::min(kBatchLanes, batch - b0);
+    if (bn < kBatchLanes) std::fill(cols.begin(), cols.end(), int16_t{0});
+    for (int j = 0; j < bn; ++j) {
+      const int8_t* img = in.data() + static_cast<size_t>(b0 + j) * in_elems;
+      int16_t* lane = cols.data() + static_cast<size_t>(j) * in_elems;
+      for (size_t i = 0; i < in_elems; ++i) {
+        lane[i] = static_cast<int16_t>(static_cast<int32_t>(img[i]) -
+                                       layer.in.zero_point);
+      }
+    }
+    for (int oc = 0; oc < layer.out_dim; ++oc) {
+      int32_t acc[kBatchLanes];
+      packed_dot_lanes(packed, oc, cols.data(),
+                       layer.bias[static_cast<size_t>(oc)], acc);
+      for (int j = 0; j < bn; ++j) {
+        out[static_cast<size_t>(b0 + j) * out_elems + oc] =
+            static_cast<int8_t>(requant_clamp(acc[j], layer.requant,
+                                              layer.out.zero_point,
+                                              layer.act_min, layer.act_max));
+      }
+    }
+  }
+}
+
 }  // namespace ataman

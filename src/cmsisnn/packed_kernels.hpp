@@ -50,4 +50,34 @@ void packed_depthwise_conv2d(const QDepthwiseConv2D& layer,
 void packed_dense(const QDense& layer, const PackedWeights& packed,
                   std::span<const int8_t> in, std::span<int8_t> out);
 
+// ---- Batched variants -------------------------------------------------
+//
+// `in`/`out` are contiguous batches: image b lives at in + b * in_elems
+// and out + b * out_elems. Numerics are bitwise identical to running the
+// per-image kernel on each image (int32 accumulation is exact, so only
+// the operand walk order changes): the batch is folded into the GEMM N
+// dimension in lane-blocks of kBatchLanes images, each weight pair
+// constant is loaded once and multiplied into kBatchLanes independent
+// accumulators (the SMLAD dual-MAC idiom widened to SSE/NEON register
+// width), and the requantize epilogue runs per lane-block. Ragged tails
+// are handled by computing all kBatchLanes lanes over a zero-padded
+// column block and storing only the live ones, so every inner loop has a
+// constant trip count.
+
+// Images per accumulator block: four int32 accumulators span one 128-bit
+// SSE/NEON register, so the fixed-trip-count lane loops auto-vectorize.
+inline constexpr int kBatchLanes = 4;
+
+void packed_conv2d_batch(const QConv2D& layer, const PackedWeights& packed,
+                         std::span<const int8_t> in, std::span<int8_t> out,
+                         int batch);
+
+void packed_depthwise_conv2d_batch(const QDepthwiseConv2D& layer,
+                                   std::span<const int8_t> in,
+                                   std::span<int8_t> out, int batch);
+
+void packed_dense_batch(const QDense& layer, const PackedWeights& packed,
+                        std::span<const int8_t> in, std::span<int8_t> out,
+                        int batch);
+
 }  // namespace ataman

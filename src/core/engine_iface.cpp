@@ -36,6 +36,14 @@ std::vector<int8_t> InferenceEngine::run_from(
        "(check supports_run_from() before resuming at a layer boundary)");
 }
 
+void InferenceEngine::run_batch(
+    std::span<const std::span<const uint8_t>> images,
+    std::vector<std::vector<int8_t>>& logits_out) const {
+  check_batch_nonempty(images);
+  logits_out.assign(images.size(), {});
+  for (size_t i = 0; i < images.size(); ++i) logits_out[i] = run(images[i]);
+}
+
 void InferenceEngine::rebind_mask(const SkipMask* mask) {
   (void)mask;
   fail("engine '" + design_name_ + "' does not support mask rebinding " +

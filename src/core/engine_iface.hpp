@@ -65,6 +65,29 @@ class InferenceEngine {
   // Full inference; returns the final layer's int8 logits.
   virtual std::vector<int8_t> run(std::span<const uint8_t> image) const = 0;
 
+  // Whether run_batch has a real batch-amortized implementation (weights /
+  // unpacked programs streamed once per batch, wide accumulators) rather
+  // than the default per-image fallback loop. Either way run_batch is
+  // callable on every backend; this flag only reports whether batching
+  // buys throughput.
+  virtual bool supports_run_batch() const { return false; }
+
+  // Batched inference: one logits vector per input image, bitwise
+  // identical to calling run() on each image in isolation — batch size,
+  // batch composition (including duplicate images) and ragged final
+  // batches can never change a single logit. `logits_out` is resized to
+  // images.size(); previous contents are discarded. An empty batch is a
+  // hard error.
+  //
+  // The default implementation loops run() per image, so out-of-tree
+  // backends keep working unchanged. NOTE for subclassers of in-tree
+  // engines: a batch-amortized override executes kernels directly and
+  // does NOT call run() per image — an engine that intercepts execution
+  // by overriding run() must override run_batch too (tests/test_serve.cpp
+  // GateEngine is the in-tree example).
+  virtual void run_batch(std::span<const std::span<const uint8_t>> images,
+                         std::vector<std::vector<int8_t>>& logits_out) const;
+
   // Whether this backend can resume inference at a layer boundary via
   // run_from. Engines that model per-layer deployment state (packed
   // pipelines, code-generated streams) generally cannot; the reference
@@ -128,6 +151,14 @@ class InferenceEngine {
       : model_(model), design_name_(std::move(design_name)) {
     check(model != nullptr, "engine needs a model");
     check(!model->layers.empty(), "model has no layers");
+  }
+
+  // Shared run_batch entry validation: empty batches are a hard error
+  // everywhere (a silent zero-output success would hide scheduler bugs).
+  void check_batch_nonempty(
+      std::span<const std::span<const uint8_t>> images) const {
+    check(!images.empty(), "run_batch on engine '" + design_name_ +
+                               "': batch must contain at least one image");
   }
 
  private:

@@ -1,6 +1,8 @@
 #include "src/core/eval.hpp"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/parallel.hpp"
@@ -37,11 +39,39 @@ BatchAccuracy evaluate_batch(const ClassifyFn& classify, const Dataset& ds,
 
 BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
                              int limit) {
-  return evaluate_batch(
-      [&engine](std::span<const uint8_t> image) {
-        return engine.classify(image);
-      },
-      ds, limit);
+  const int n = clamp_eval_limit(limit, ds.size());
+  // Each worker chunk runs the engine's batched path in sub-batches: one
+  // run_batch call amortizes weight/program streaming across kEvalBatch
+  // images. run_batch is bitwise identical to per-image run() by
+  // contract, and the reduction below is the same index-order sum as the
+  // ClassifyFn path, so accuracy stays bitwise reproducible for any
+  // worker count and any sub-batch boundary.
+  constexpr int kEvalBatch = 16;
+  std::vector<uint8_t> hit(static_cast<size_t>(n), 0);
+  parallel_for_chunked(0, n, [&](int64_t lo, int64_t hi) {
+    std::vector<std::span<const uint8_t>> images;
+    std::vector<std::vector<int8_t>> logits;
+    for (int64_t b0 = lo; b0 < hi; b0 += kEvalBatch) {
+      const int64_t b1 = std::min<int64_t>(b0 + kEvalBatch, hi);
+      images.clear();
+      for (int64_t i = b0; i < b1; ++i)
+        images.push_back(ds.image(static_cast<int>(i)));
+      engine.run_batch(images, logits);
+      for (int64_t i = b0; i < b1; ++i) {
+        const int idx = static_cast<int>(i);
+        hit[static_cast<size_t>(i)] =
+            argmax_lowest_index(logits[static_cast<size_t>(i - b0)]) ==
+                    ds.label(idx)
+                ? 1
+                : 0;
+      }
+    }
+  });
+  BatchAccuracy acc;
+  acc.images = n;
+  for (const uint8_t h : hit) acc.correct += h;
+  acc.top1 = static_cast<double>(acc.correct) / static_cast<double>(n);
+  return acc;
 }
 
 DeployReport assemble_deploy_report(const InferenceEngine& engine,

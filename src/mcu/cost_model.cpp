@@ -126,4 +126,23 @@ int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
   return static_cast<int64_t>(std::llround(total));
 }
 
+BatchedCycleRow batched_packed_model_cycles(const QModel& model, int batch,
+                                            const CortexM33CostTable& t) {
+  check(batch >= 1, "batched_packed_model_cycles: batch must be >= 1");
+  const int64_t single = packed_model_cycles(model, t);
+  const int64_t dispatch_per_image = static_cast<int64_t>(std::llround(
+      t.layer_dispatch * static_cast<double>(model.layers.size())));
+  // Kernel work scales linearly with the batch; dispatch is paid once per
+  // (layer, batch) instead of once per (layer, image).
+  BatchedCycleRow row;
+  row.batch = batch;
+  row.amortized_dispatch =
+      dispatch_per_image * static_cast<int64_t>(batch - 1);
+  row.total_cycles =
+      single * static_cast<int64_t>(batch) - row.amortized_dispatch;
+  row.per_image_cycles = static_cast<double>(row.total_cycles) /
+                         static_cast<double>(batch);
+  return row;
+}
+
 }  // namespace ataman

@@ -78,6 +78,43 @@ std::vector<int8_t> RefEngine::run_layers(int layer_begin,
   return cur;
 }
 
+void RefEngine::run_batch(
+    std::span<const std::span<const uint8_t>> images,
+    std::vector<std::vector<int8_t>>& logits_out) const {
+  check_batch_nonempty(images);
+  const SkipMask* mask = default_mask_;
+  if (mask != nullptr) mask->validate(model());
+  const size_t batch = images.size();
+
+  // Per-image activation buffers, advanced layer-major: layer l runs over
+  // every image before layer l+1 starts. Each image's arithmetic is the
+  // untouched per-image reference kernel, so batched logits are bitwise
+  // identical to run() by construction; the batch only changes the order
+  // in which (layer, image) pairs execute, keeping each layer's weights
+  // hot across the whole batch.
+  std::vector<std::vector<int8_t>> acts(batch);
+  for (size_t b = 0; b < batch; ++b) acts[b] = quantize_input(images[b]);
+
+  std::vector<int8_t> next;
+  int approx_ordinal = 0;
+  for (const QLayer& layer : model().layers) {
+    const uint8_t* skip = nullptr;
+    if (describe_layer(layer).skippable) {
+      if (mask != nullptr &&
+          approx_ordinal < static_cast<int>(mask->masks.size()) &&
+          !mask->masks[static_cast<size_t>(approx_ordinal)].empty()) {
+        skip = mask->masks[static_cast<size_t>(approx_ordinal)].data();
+      }
+      ++approx_ordinal;
+    }
+    for (size_t b = 0; b < batch; ++b) {
+      run_layer_ref(layer, acts[b], next, skip);
+      acts[b].swap(next);
+    }
+  }
+  logits_out = std::move(acts);
+}
+
 int RefEngine::classify(std::span<const uint8_t> image,
                         const SkipMask* mask) const {
   return argmax_lowest_index(run(image, mask));
@@ -91,13 +128,11 @@ int64_t RefEngine::mac_ops() const {
 
 double evaluate_quantized_accuracy(const QModel& model, const Dataset& ds,
                                    const SkipMask* mask, int limit) {
-  const RefEngine engine(&model);
-  return evaluate_batch(
-             [&](std::span<const uint8_t> image) {
-               return engine.classify(image, mask);
-             },
-             ds, limit)
-      .top1;
+  RefEngine engine(&model);
+  engine.bind_mask(mask);
+  // Engine overload: evaluation proceeds through run_batch, so each
+  // layer's weights stream once per sub-batch instead of once per image.
+  return evaluate_batch(engine, ds, limit).top1;
 }
 
 }  // namespace ataman

@@ -52,6 +52,14 @@ class RefEngine : public InferenceEngine {
   // InferenceEngine: exact (or bound-mask) inference.
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
   int classify(std::span<const uint8_t> image) const override;
+
+  // Layer-major batched walk under the bound mask: each layer runs over
+  // the whole batch before the next one starts, so its weights stay hot
+  // across all images instead of being re-streamed per image.
+  bool supports_run_batch() const override { return true; }
+  void run_batch(std::span<const std::span<const uint8_t>> images,
+                 std::vector<std::vector<int8_t>>& logits_out) const override;
+
   int64_t total_cycles() const override { return 0; }  // not modeled
   int64_t mac_ops() const override;  // executed MACs under the bound mask
   int64_t flash_bytes() const override { return 0; }

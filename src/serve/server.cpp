@@ -93,24 +93,46 @@ void InferenceServer::worker_main(int worker_id) {
       setup_error = e.what();
     }
 
-    for (QueuedJob& job : batch) {
-      if (engine == nullptr) {
+    if (engine == nullptr) {
+      for (QueuedJob& job : batch) {
         job.state->fail_with("engine setup failed: " + setup_error,
                              /*was_cancelled=*/false);
-        continue;
       }
+    } else {
+      // One run_batch call executes the whole coalesced batch, so the
+      // engine's batch-amortized kernels engage (or the per-image
+      // fallback loop, for engines without one — same numerics either
+      // way: run_batch is bitwise equal to per-image run() by contract,
+      // which keeps the serve determinism guarantee intact for any
+      // worker count, batch size, or arrival order). A kernel error
+      // fails every request in the batch: there is no per-image retry
+      // state once execution is fused.
       const auto start = std::chrono::steady_clock::now();
+      std::vector<std::span<const uint8_t>> images;
+      images.reserve(batch.size());
+      for (const QueuedJob& job : batch) images.push_back(job.request.image);
+      std::vector<std::vector<int8_t>> logits;
+      std::string run_error;
       try {
+        engine->run_batch(images, logits);
+      } catch (const std::exception& e) {
+        run_error = e.what();
+      }
+      const auto end = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        QueuedJob& job = batch[i];
+        if (!run_error.empty()) {
+          job.state->fail_with(run_error, /*was_cancelled=*/false);
+          continue;
+        }
         InferResult r;
-        r.logits = engine->run(job.request.image);
+        r.logits = std::move(logits[i]);
         r.top1 = argmax_lowest_index(r.logits);
         r.queue_ms = ms_between(job.enqueued, start);
-        r.run_ms = ms_between(start, std::chrono::steady_clock::now());
+        r.run_ms = ms_between(start, end);  // batch wall time, per job
         r.worker = worker_id;
         r.batch_size = static_cast<int>(batch.size());
         job.state->complete(std::move(r));
-      } catch (const std::exception& e) {
-        job.state->fail_with(e.what(), /*was_cancelled=*/false);
       }
     }
 

@@ -37,6 +37,14 @@ class UnpackedEngine : public InferenceEngine {
 
   std::vector<int8_t> run(std::span<const uint8_t> image) const override;
 
+  // Batch-amortized path: unpacked channel programs and packed FC weight
+  // streams execute once per lane-block of kBatchLanes images (hybrid
+  // packed-conv fallbacks use the batched packed kernels). Bitwise
+  // identical to run().
+  bool supports_run_batch() const override { return true; }
+  void run_batch(std::span<const std::span<const uint8_t>> images,
+                 std::vector<std::vector<int8_t>>& logits_out) const override;
+
   // Copies the unpacked channel programs / packed FC streams verbatim —
   // much cheaper than re-unpacking, which is why serve pools clone a
   // shared prototype per (mask, selection) instead of reconstructing.

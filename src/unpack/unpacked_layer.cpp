@@ -4,6 +4,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/math_util.hpp"
+#include "src/cmsisnn/packed_kernels.hpp"  // kBatchLanes
 #include "src/cmsisnn/smlad.hpp"
 
 namespace ataman {
@@ -146,6 +147,92 @@ void UnpackedConv::run(std::span<const int8_t> in,
   }
 }
 
+void UnpackedConv::run_batch(std::span<const int8_t> in,
+                             std::span<int8_t> out, int batch) const {
+  check(batch >= 1, "UnpackedConv::run_batch: batch must be >= 1");
+  const size_t in_elems =
+      static_cast<size_t>(geom.in_h) * geom.in_w * geom.in_c;
+  const size_t out_elems =
+      static_cast<size_t>(geom.positions()) * geom.out_c;
+  check(in.size() == in_elems * static_cast<size_t>(batch),
+        "unpacked conv batched input size mismatch");
+  check(out.size() == out_elems * static_cast<size_t>(batch),
+        "unpacked conv batched output size mismatch");
+
+  const int oh = geom.out_h(), ow = geom.out_w();
+  const size_t patch = static_cast<size_t>(geom.patch_size());
+  const int32_t zp = in_q.zero_point;
+
+  // Lane-major column blocks (cols[j * patch + operand]): each program's
+  // hardwired weight constant is fetched once and multiplied into
+  // kBatchLanes accumulators. Lane loops run all kBatchLanes lanes at a
+  // constant trip count; ragged tails compute over the zero-filled
+  // padding lanes and discard them (SMLAD wraparound is defined).
+  std::vector<int16_t> cols(static_cast<size_t>(kBatchLanes) * patch);
+  for (int b0 = 0; b0 < batch; b0 += kBatchLanes) {
+    const int bn = std::min(kBatchLanes, batch - b0);
+    if (bn < kBatchLanes) std::fill(cols.begin(), cols.end(), int16_t{0});
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int j = 0; j < bn; ++j) {
+          const int8_t* img =
+              in.data() + static_cast<size_t>(b0 + j) * in_elems;
+          int16_t* lane = cols.data() + static_cast<size_t>(j) * patch;
+          int idx = 0;
+          for (int ky = 0; ky < geom.kernel; ++ky) {
+            const int iy = oy * geom.stride - geom.pad + ky;
+            for (int kx = 0; kx < geom.kernel; ++kx) {
+              const int ix = ox * geom.stride - geom.pad + kx;
+              const bool inside =
+                  iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
+              const int8_t* src =
+                  inside ? img + (static_cast<size_t>(iy) * geom.in_w + ix) *
+                                     geom.in_c
+                         : nullptr;
+              for (int c = 0; c < geom.in_c; ++c, ++idx)
+                lane[idx] =
+                    static_cast<int16_t>((inside ? src[c] : zp) - zp);
+            }
+          }
+        }
+        const size_t orow_off =
+            (static_cast<size_t>(oy) * ow + ox) * geom.out_c;
+        for (int oc = 0; oc < geom.out_c; ++oc) {
+          const ChannelProgram& prog = channels[static_cast<size_t>(oc)];
+          int32_t acc[kBatchLanes];
+          for (int j = 0; j < kBatchLanes; ++j) acc[j] = prog.bias;
+          for (const MacPairOp& op : prog.pairs) {
+            for (int j = 0; j < kBatchLanes; ++j) {
+              const int16_t* lane =
+                  cols.data() + static_cast<size_t>(j) * patch;
+              acc[j] = smlad(op.weight_const,
+                             pack_q15_pair(lane[op.operand_b],
+                                           lane[op.operand_a]),
+                             acc[j]);
+            }
+          }
+          if (prog.has_single) {
+            const uint32_t wlast = pack_q15_pair(0, prog.single.weight);
+            for (int j = 0; j < kBatchLanes; ++j) {
+              const int16_t* lane =
+                  cols.data() + static_cast<size_t>(j) * patch;
+              acc[j] = smlabb(
+                  wlast, pack_q15_pair(0, lane[prog.single.operand]), acc[j]);
+            }
+          }
+          for (int j = 0; j < bn; ++j) {
+            const int32_t scaled =
+                multiply_by_quantized_multiplier(acc[j], requant) +
+                out_q.zero_point;
+            out[static_cast<size_t>(b0 + j) * out_elems + orow_off + oc] =
+                static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
+          }
+        }
+      }
+    }
+  }
+}
+
 int64_t UnpackedDepthwise::static_pairs() const {
   int64_t total = 0;
   for (const ChannelProgram& ch : channels)
@@ -248,6 +335,91 @@ void UnpackedDepthwise::run(std::span<const int8_t> in,
             multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
         orow[ch] =
             static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
+      }
+    }
+  }
+}
+
+void UnpackedDepthwise::run_batch(std::span<const int8_t> in,
+                                  std::span<int8_t> out, int batch) const {
+  check(batch >= 1, "UnpackedDepthwise::run_batch: batch must be >= 1");
+  const int c = channel_count;
+  const size_t in_elems = static_cast<size_t>(in_h) * in_w * c;
+  const size_t out_elems = static_cast<size_t>(positions()) * c;
+  check(in.size() == in_elems * static_cast<size_t>(batch),
+        "unpacked depthwise batched input size mismatch");
+  check(out.size() == out_elems * static_cast<size_t>(batch),
+        "unpacked depthwise batched output size mismatch");
+
+  const int oh = out_h(), ow = out_w();
+  const int patch = kernel * kernel;
+  const int32_t zp = in_q.zero_point;
+  const size_t lane_stride = static_cast<size_t>(patch) * c;
+
+  // cols[j * patch * c + tap * c + ch]: shared per-position expansion per
+  // lane; each channel program then streams once across all lanes.
+  std::vector<int16_t> cols(static_cast<size_t>(kBatchLanes) * lane_stride);
+  for (int b0 = 0; b0 < batch; b0 += kBatchLanes) {
+    const int bn = std::min(kBatchLanes, batch - b0);
+    if (bn < kBatchLanes) std::fill(cols.begin(), cols.end(), int16_t{0});
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int j = 0; j < bn; ++j) {
+          const int8_t* img =
+              in.data() + static_cast<size_t>(b0 + j) * in_elems;
+          int16_t* lane = cols.data() + static_cast<size_t>(j) * lane_stride;
+          int p = 0;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride - pad + ky;
+            for (int kx = 0; kx < kernel; ++kx, ++p) {
+              const int ix = ox * stride - pad + kx;
+              const bool inside =
+                  iy >= 0 && iy < in_h && ix >= 0 && ix < in_w;
+              const int8_t* src =
+                  inside ? img + (static_cast<size_t>(iy) * in_w + ix) * c
+                         : nullptr;
+              int16_t* dst = lane + static_cast<size_t>(p) * c;
+              for (int i = 0; i < c; ++i)
+                dst[i] = static_cast<int16_t>((inside ? src[i] : zp) - zp);
+            }
+          }
+        }
+        const size_t orow_off = (static_cast<size_t>(oy) * ow + ox) * c;
+        for (int ch = 0; ch < c; ++ch) {
+          const ChannelProgram& prog = channels[static_cast<size_t>(ch)];
+          int32_t acc[kBatchLanes];
+          for (int j = 0; j < kBatchLanes; ++j) acc[j] = prog.bias;
+          for (const MacPairOp& op : prog.pairs) {
+            const size_t off_a =
+                static_cast<size_t>(op.operand_a) * c + ch;
+            const size_t off_b =
+                static_cast<size_t>(op.operand_b) * c + ch;
+            for (int j = 0; j < kBatchLanes; ++j) {
+              const int16_t* lane =
+                  cols.data() + static_cast<size_t>(j) * lane_stride;
+              acc[j] = smlad(op.weight_const,
+                             pack_q15_pair(lane[off_b], lane[off_a]),
+                             acc[j]);
+            }
+          }
+          if (prog.has_single) {
+            const uint32_t wlast = pack_q15_pair(0, prog.single.weight);
+            const size_t off =
+                static_cast<size_t>(prog.single.operand) * c + ch;
+            for (int j = 0; j < kBatchLanes; ++j) {
+              const int16_t* lane =
+                  cols.data() + static_cast<size_t>(j) * lane_stride;
+              acc[j] = smlabb(wlast, pack_q15_pair(0, lane[off]), acc[j]);
+            }
+          }
+          for (int j = 0; j < bn; ++j) {
+            const int32_t scaled =
+                multiply_by_quantized_multiplier(acc[j], requant) +
+                out_q.zero_point;
+            out[static_cast<size_t>(b0 + j) * out_elems + orow_off + ch] =
+                static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
+          }
+        }
       }
     }
   }

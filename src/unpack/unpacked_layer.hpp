@@ -67,6 +67,14 @@ struct UnpackedConv {
   // Execute for one input feature map. Bit-exact with conv2d_ref under
   // the same skip mask (tests assert this).
   void run(std::span<const int8_t> in, std::span<int8_t> out) const;
+
+  // Batched execution: `in`/`out` are contiguous batches (image b at
+  // b * in_elems / b * out_elems). Each channel program is streamed once
+  // per lane-block of kBatchLanes images (its hardwired weight constants
+  // multiply into one accumulator per lane) instead of once per image.
+  // Bitwise identical to per-image run().
+  void run_batch(std::span<const int8_t> in, std::span<int8_t> out,
+                 int batch) const;
 };
 
 // Unpacked depthwise convolution: one straight-line program per channel
@@ -99,6 +107,10 @@ struct UnpackedDepthwise {
 
   // Bit-exact with depthwise_conv2d_ref under the same skip mask.
   void run(std::span<const int8_t> in, std::span<int8_t> out) const;
+
+  // Batched execution over contiguous batches; see UnpackedConv::run_batch.
+  void run_batch(std::span<const int8_t> in, std::span<int8_t> out,
+                 int batch) const;
 };
 
 }  // namespace ataman

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -246,6 +247,79 @@ TEST(EngineDiffFuzz, ExactParityMaskedParityAndCostMonotonicity) {
       prev_skipped = skipped;
       prev_macs = macs;
       prev_cycles = cycles;
+    }
+  }
+}
+
+// Batch-parity dimension: for random models, random tau-derived skip
+// masks and batch sizes {1, 2, 3, 7, 16}, run_batch logits must be
+// bitwise equal to per-image run() on every backend — the engines with a
+// real batch-amortized path (supports_run_batch()) and the fallback-loop
+// engines alike. Batches draw from a small image pool, so they contain
+// duplicate images, and the non-multiple-of-kBatchLanes sizes exercise
+// ragged final lane-blocks.
+TEST(EngineDiffFuzz, BatchParityAcrossEnginesAndBatchSizes) {
+  const uint64_t base = base_seed();
+  const int batch_sizes[] = {1, 2, 3, 7, 16};
+  constexpr int kPoolImages = 5;  // < max batch -> guaranteed duplicates
+
+  for (int iter = 0; iter < kModels; ++iter) {
+    const uint64_t model_seed = base + static_cast<uint64_t>(iter) * 1000;
+    SCOPED_TRACE("model_seed=" + std::to_string(model_seed) +
+                 " (replay: ATAMAN_FUZZ_SEED=" + std::to_string(base) + ")");
+    const QModel m = make_random_model(model_seed);
+    const int64_t pixels = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+
+    std::vector<std::vector<uint8_t>> pool;
+    for (int i = 0; i < kPoolImages; ++i)
+      pool.push_back(make_random_image(pixels, model_seed + 377 + i));
+
+    const int approx_count = m.approx_layer_count();
+    const Dataset calib = make_calib_set(m, 12, model_seed + 5);
+    const auto stats = capture_activation_stats(m, calib, -1);
+    const auto significance = compute_model_significance(m, stats);
+    Rng tau_rng(model_seed + 9);
+    const SkipMask mask = make_skip_mask(
+        m, significance,
+        ApproxConfig::uniform(approx_count,
+                              tau_rng.next_uniform(0.0f, 0.15f)));
+
+    struct Cfg {
+      const char* engine;
+      const SkipMask* mask;
+    };
+    const Cfg cfgs[] = {
+        {"ref", nullptr},      {"cmsis", nullptr}, {"unpacked", nullptr},
+        {"xcube", nullptr},    {"ref", &mask},     {"unpacked", &mask},
+    };
+    for (const Cfg& c : cfgs) {
+      EngineConfig ec;
+      ec.model = &m;
+      ec.mask = c.mask;
+      const auto engine = EngineRegistry::instance().create(c.engine, ec);
+      SCOPED_TRACE(std::string(c.engine) +
+                   (c.mask != nullptr ? " (masked)" : " (exact)"));
+
+      // Empty batches are a hard error on every backend.
+      std::vector<std::vector<int8_t>> logits;
+      EXPECT_THROW(
+          engine->run_batch(std::vector<std::span<const uint8_t>>{}, logits),
+          std::exception);
+
+      Rng pick(model_seed + 19);
+      for (const int batch : batch_sizes) {
+        SCOPED_TRACE("batch=" + std::to_string(batch));
+        std::vector<std::span<const uint8_t>> images;
+        for (int i = 0; i < batch; ++i)
+          images.emplace_back(pool[static_cast<size_t>(
+              pick.next_int(0, kPoolImages - 1))]);
+        engine->run_batch(images, logits);
+        ASSERT_EQ(logits.size(), images.size());
+        for (int i = 0; i < batch; ++i) {
+          EXPECT_EQ(logits[static_cast<size_t>(i)], engine->run(images[i]))
+              << "image " << i;
+        }
+      }
     }
   }
 }

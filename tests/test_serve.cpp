@@ -272,13 +272,18 @@ class GateEngine : public RefEngine {
   }
 
   std::vector<int8_t> run(std::span<const uint8_t> image) const override {
-    {
-      std::unique_lock<std::mutex> lock(gate_->mutex);
-      gate_->entered = true;
-      gate_->cv.notify_all();
-      gate_->cv.wait(lock, [&] { return gate_->released; });
-    }
+    wait_for_release();
     return RefEngine::run(image);
+  }
+
+  // The server executes batches through run_batch, which in RefEngine
+  // does not call run() per image — an engine that intercepts execution
+  // must override both (the engine_iface.hpp contract). Gate once per
+  // batch: what matters to the tests is that the worker blocks.
+  void run_batch(std::span<const std::span<const uint8_t>> images,
+                 std::vector<std::vector<int8_t>>& logits_out) const override {
+    wait_for_release();
+    RefEngine::run_batch(images, logits_out);
   }
 
   // Out-of-tree backends must override clone() themselves or inherit a
@@ -288,6 +293,13 @@ class GateEngine : public RefEngine {
   }
 
  private:
+  void wait_for_release() const {
+    std::unique_lock<std::mutex> lock(gate_->mutex);
+    gate_->entered = true;
+    gate_->cv.notify_all();
+    gate_->cv.wait(lock, [&] { return gate_->released; });
+  }
+
   Gate* gate_;
 };
 
