@@ -18,16 +18,19 @@ struct Row {
 
 void add_rows(ConsoleTable& table, CsvWriter& csv, const std::string& network,
               const std::vector<Row>& rows) {
-  const auto emit = [&](const std::string& label, double acc, double lat,
-                        double flash_kb, double mac_m, double energy,
-                        const std::string& kind) {
-    table.row({network, label, kind, fmt(acc, 1), fmt(lat, 1),
+  const auto emit = [&](const std::string& net, const std::string& label,
+                        double acc, double lat, double flash_kb, double mac_m,
+                        double energy, const std::string& kind) {
+    table.row({net, label, kind, fmt(acc, 1), fmt(lat, 1),
                fmt(flash_kb, 0), fmt(mac_m, 1) + "M", fmt(energy, 2)});
   };
   for (const Row& r : rows) {
-    emit(r.label, r.paper.accuracy, r.paper.latency_ms, r.paper.flash_kb,
-         r.paper.mac_m, r.paper.energy_mj, "paper");
-    emit(r.label, 100 * r.report.top1_accuracy, r.report.latency_ms,
+    // Measured rows carry the report's block-notation topology alongside
+    // the network name.
+    emit(network, r.label, r.paper.accuracy, r.paper.latency_ms,
+         r.paper.flash_kb, r.paper.mac_m, r.paper.energy_mj, "paper");
+    emit(network + " (" + r.report.topology + ")", r.label,
+         100 * r.report.top1_accuracy, r.report.latency_ms,
          static_cast<double>(r.report.flash_bytes) / 1024.0,
          static_cast<double>(r.report.mac_ops) / 1e6, r.report.energy_mj,
          "measured");

@@ -2,7 +2,8 @@
 // the paper's "automated toolkit" entry point.
 //
 // Usage:
-//   ataman_cli [--model lenet|alexnet|micronet|dscnn] [--loss 0.05]
+//   ataman_cli [--model lenet|alexnet|micronet|dscnn|mobilenetv2]
+//              [--loss 0.05]
 //              [--eval-images N] [--tau-step S] [--engine NAME]
 //              [--fast-dse | --exact-sweep]
 //              [--emit out.c] [--json report.json] [--hybrid]
@@ -101,7 +102,8 @@ CliArgs parse_args(int argc, char** argv) {
         engines += n;
       }
       std::printf(
-          "usage: ataman_cli [--model lenet|alexnet|micronet|dscnn] [--loss F]\n"
+          "usage: ataman_cli [--model "
+          "lenet|alexnet|micronet|dscnn|mobilenetv2] [--loss F]\n"
           "                  [--eval-images N] [--tau-step S]\n"
           "                  [--engine %s]\n"
           "                  [--fast-dse | --exact-sweep]\n"
@@ -120,6 +122,8 @@ CliArgs parse_args(int argc, char** argv) {
 Json report_json(const DeployReport& r) {
   JsonObject o;
   o.emplace("design", r.design);
+  o.emplace("network", r.network);
+  o.emplace("topology", r.topology);
   o.emplace("accuracy", r.top1_accuracy);
   o.emplace("latency_ms", r.latency_ms);
   o.emplace("flash_bytes", static_cast<int64_t>(r.flash_bytes));
@@ -141,14 +145,17 @@ int main(int argc, char** argv) {
   check(!(args.fast_dse && args.exact_sweep),
         "--fast-dse and --exact-sweep are mutually exclusive");
   check(args.model == "lenet" || args.model == "alexnet" ||
-            args.model == "micronet" || args.model == "dscnn",
+            args.model == "micronet" || args.model == "dscnn" ||
+            args.model == "mobilenetv2",
         "unknown --model '" + args.model + "' (see --help)");
 
-  const ZooSpec spec = args.model == "lenet"     ? lenet_spec()
-                       : args.model == "alexnet" ? alexnet_spec()
-                       : args.model == "dscnn"   ? dscnn_spec()
-                                                 : micronet_spec();
-  std::printf("[cli] model=%s loss=%.3f\n", args.model.c_str(), args.loss);
+  const ZooSpec spec = args.model == "lenet"         ? lenet_spec()
+                       : args.model == "alexnet"     ? alexnet_spec()
+                       : args.model == "dscnn"       ? dscnn_spec()
+                       : args.model == "mobilenetv2" ? mobilenetv2_spec()
+                                                     : micronet_spec();
+  std::printf("[cli] model=%s (%s) loss=%.3f\n", args.model.c_str(),
+              spec.arch.topology.c_str(), args.loss);
   const QModel model = get_or_build_qmodel(spec);
   const SynthCifar data = make_synth_cifar(spec.data);
 
@@ -203,8 +210,10 @@ int main(int argc, char** argv) {
 
   for (const DeployReport* r :
        {&cmsis, &xcube, static_cast<const DeployReport*>(&ours)}) {
-    std::printf("[cli] %-14s acc %.4f  %7.2f ms  %6.0f KB  %.3f mJ\n",
-                r->design.c_str(), r->top1_accuracy, r->latency_ms,
+    std::printf("[cli] %-14s %-8s (%s)  acc %.4f  %7.2f ms  %6.0f KB  "
+                "%.3f mJ\n",
+                r->design.c_str(), r->network.c_str(), r->topology.c_str(),
+                r->top1_accuracy, r->latency_ms,
                 static_cast<double>(r->flash_bytes) / 1024.0, r->energy_mj);
   }
 

@@ -9,7 +9,10 @@ namespace ataman {
 
 CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
                          MemoryCostTable memory)
-    : InferenceEngine(model, "cmsis-nn"), costs_(costs), memory_(memory) {
+    : InferenceEngine(model, "cmsis-nn"),
+      costs_(costs),
+      memory_(memory),
+      plan_(plan_activations(*model)) {
   int out_dim = 0;
   double cycles = 0.0;
   for (const QLayer& layer : this->model().layers) {
@@ -43,6 +46,10 @@ CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
       profile_.push_back({"fc", c, fc->macs()});
       cycles += static_cast<double>(c);
       out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      const int64_t c = qadd_cycles(*add, costs_);
+      profile_.push_back({"add", c, 0});
+      cycles += static_cast<double>(c);
     }
   }
   const auto softmax_c =
@@ -53,11 +60,30 @@ CmsisEngine::CmsisEngine(const QModel* model, CortexM33CostTable costs,
 }
 
 std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
-  std::vector<int8_t> cur = quantize_input(image);
-  std::vector<int8_t> next;
+  // Slot buffers from the shared liveness plan (ping-pong on chains).
+  std::vector<std::vector<int8_t>> slots(plan_.slot_elems.size());
+  auto tensor_span = [&](int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(static_cast<size_t>(
+          plan_.slot_elems[static_cast<size_t>(info.slot)]));
+    return std::span<int8_t>(slot.data(), static_cast<size_t>(info.elems));
+  };
+  {
+    const std::vector<int8_t> in = quantize_input(image);
+    const std::span<int8_t> entry = tensor_span(0);
+    std::copy(in.begin(), in.end(), entry.begin());
+  }
+
+  const int layer_count = static_cast<int>(model().layers.size());
   size_t packed_idx = 0;
-  for (const QLayer& layer : model().layers) {
-    next.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
+  for (int l = 0; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
+    const std::span<const int8_t> cur = tensor_span(ins[0]);
+    const std::span<int8_t> next = tensor_span(l + 1);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       packed_conv2d(*conv, packed_[packed_idx++], cur, next);
     } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
@@ -68,10 +94,12 @@ std::vector<int8_t> CmsisEngine::run(std::span<const uint8_t> image) const {
       avgpool_ref(*pool, cur, next);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       packed_dense(*fc, packed_[packed_idx++], cur, next);
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      qadd_ref(*add, cur, tensor_span(ins[1]), next);
     }
-    cur.swap(next);
   }
-  return cur;
+  const std::span<const int8_t> out = tensor_span(layer_count);
+  return std::vector<int8_t>(out.begin(), out.end());
 }
 
 void CmsisEngine::run_batch(
@@ -80,24 +108,49 @@ void CmsisEngine::run_batch(
   check_batch_nonempty(images);
   const int batch = static_cast<int>(images.size());
 
-  // Contiguous batched activations: image b at cur + b * in_elems. The
-  // batched kernels fold the batch into the GEMM N dimension; pools have
-  // no weight traffic to amortize and run per image on subspans.
-  size_t cur_elems = static_cast<size_t>(
+  // Contiguous batched activations per tensor: image b of tensor t lives
+  // at slot_base + b * elems(t). Slots come from the shared liveness
+  // plan (sized slot_elems * batch); the batched kernels fold the batch
+  // into the GEMM N dimension, pools and adds run per image on subspans.
+  std::vector<std::vector<int8_t>> slots(plan_.slot_elems.size());
+  auto tensor_batch_span = [&](int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(
+          static_cast<size_t>(plan_.slot_elems[static_cast<size_t>(
+              info.slot)]) *
+          static_cast<size_t>(batch));
+    return std::span<int8_t>(
+        slot.data(),
+        static_cast<size_t>(info.elems) * static_cast<size_t>(batch));
+  };
+  const size_t in_elems = static_cast<size_t>(
       static_cast<int64_t>(model().in_h) * model().in_w * model().in_c);
-  std::vector<int8_t> cur(cur_elems * static_cast<size_t>(batch));
-  for (int b = 0; b < batch; ++b) {
-    const std::vector<int8_t> q = quantize_input(images[static_cast<size_t>(b)]);
-    std::copy(q.begin(), q.end(),
-              cur.begin() + static_cast<size_t>(b) * cur_elems);
+  {
+    const std::span<int8_t> entry = tensor_batch_span(0);
+    for (int b = 0; b < batch; ++b) {
+      const std::vector<int8_t> q =
+          quantize_input(images[static_cast<size_t>(b)]);
+      std::copy(q.begin(), q.end(),
+                entry.begin() +
+                    static_cast<std::ptrdiff_t>(static_cast<size_t>(b) *
+                                                in_elems));
+    }
   }
 
-  std::vector<int8_t> next;
+  const int layer_count = static_cast<int>(model().layers.size());
   size_t packed_idx = 0;
-  for (const QLayer& layer : model().layers) {
+  for (int l = 0; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
+    const size_t cur_elems =
+        static_cast<size_t>(model().tensor_elems(ins[0]));
     const size_t out_elems =
         static_cast<size_t>(describe_layer(layer).out_elems);
-    next.assign(out_elems * static_cast<size_t>(batch), 0);
+    const std::span<const int8_t> cur = tensor_batch_span(ins[0]);
+    const std::span<int8_t> next = tensor_batch_span(l + 1);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       packed_conv2d_batch(*conv, packed_[packed_idx++], cur, next, batch);
     } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
@@ -105,30 +158,39 @@ void CmsisEngine::run_batch(
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       for (int b = 0; b < batch; ++b) {
         maxpool_ref(*pool,
-                    std::span<const int8_t>(cur).subspan(
-                        static_cast<size_t>(b) * cur_elems, cur_elems),
-                    std::span<int8_t>(next).subspan(
-                        static_cast<size_t>(b) * out_elems, out_elems));
+                    cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                    next.subspan(static_cast<size_t>(b) * out_elems,
+                                 out_elems));
       }
     } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
       for (int b = 0; b < batch; ++b) {
         avgpool_ref(*pool,
-                    std::span<const int8_t>(cur).subspan(
-                        static_cast<size_t>(b) * cur_elems, cur_elems),
-                    std::span<int8_t>(next).subspan(
-                        static_cast<size_t>(b) * out_elems, out_elems));
+                    cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                    next.subspan(static_cast<size_t>(b) * out_elems,
+                                 out_elems));
       }
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       packed_dense_batch(*fc, packed_[packed_idx++], cur, next, batch);
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      const std::span<const int8_t> second = tensor_batch_span(ins[1]);
+      for (int b = 0; b < batch; ++b) {
+        qadd_ref(*add,
+                 cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                 second.subspan(static_cast<size_t>(b) * cur_elems,
+                                cur_elems),
+                 next.subspan(static_cast<size_t>(b) * out_elems, out_elems));
+      }
     }
-    cur.swap(next);
-    cur_elems = out_elems;
   }
 
+  const std::span<const int8_t> out = tensor_batch_span(layer_count);
+  const size_t final_elems =
+      static_cast<size_t>(model().tensor_elems(layer_count));
   logits_out.assign(static_cast<size_t>(batch), {});
   for (int b = 0; b < batch; ++b) {
-    const auto* base = cur.data() + static_cast<size_t>(b) * cur_elems;
-    logits_out[static_cast<size_t>(b)].assign(base, base + cur_elems);
+    const auto sub = out.subspan(static_cast<size_t>(b) * final_elems,
+                                 final_elems);
+    logits_out[static_cast<size_t>(b)].assign(sub.begin(), sub.end());
   }
 }
 

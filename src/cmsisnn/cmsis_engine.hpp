@@ -50,6 +50,10 @@ class CmsisEngine : public InferenceEngine {
  private:
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
+  // Shared liveness-based activation plan (src/mcu/memory_model): slot
+  // buffers replace the old ping-pong pair so DAG models (residual adds)
+  // execute with the same peak RAM the memory model reports.
+  ActivationPlan plan_;
   std::vector<PackedWeights> packed_;  // conv + fc, in layer order
   std::vector<LayerProfile> profile_;
   int64_t total_cycles_ = 0;

@@ -95,12 +95,16 @@ class InferenceEngine {
   // (src/dse/prefix_cache) builds on.
   virtual bool supports_run_from() const { return false; }
 
-  // Resume inference at a layer boundary: `activations` is the int8 input
-  // tensor of model layer `layer_begin` (as produced by the layers before
-  // it), and the call runs layers [layer_begin, layers.size()) to the
-  // final logits. `layer_begin == 0` is equivalent to run() minus input
-  // quantization; `layer_begin == layers.size()` returns `activations`
-  // unchanged. Throws unless supports_run_from().
+  // Resume inference at a layer boundary: `activations` is tensor
+  // `layer_begin` (the int8 output of layer layer_begin-1; the network
+  // input for 0), and the call runs layers [layer_begin, layers.size())
+  // to the final logits. `layer_begin == 0` is equivalent to run() minus
+  // input quantization; `layer_begin == layers.size()` returns
+  // `activations` unchanged. On DAG models `layer_begin` must be a
+  // *linear boundary* (QModel::linear_boundary — no skip edge crosses
+  // it), since a single tensor must carry the whole activation frontier;
+  // every boundary of a chain qualifies. Throws unless
+  // supports_run_from().
   virtual std::vector<int8_t> run_from(
       int layer_begin, std::span<const int8_t> activations) const;
 

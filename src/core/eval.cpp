@@ -81,6 +81,7 @@ DeployReport assemble_deploy_report(const InferenceEngine& engine,
   DeployReport r;
   r.design = engine.design_name();
   r.network = engine.model().name;
+  r.topology = engine.model().topology;
   r.top1_accuracy = acc.top1;
   r.cycles = engine.total_cycles();
   r.mac_ops = engine.mac_ops();

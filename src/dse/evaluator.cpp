@@ -128,6 +128,11 @@ DseResult ConfigEvaluator::static_metrics(const ApproxConfig& config,
       cycles += costs_.layer_dispatch +
                 static_cast<double>(dense_cycles(*fc, costs_));
       out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      // Residual adds are never unpacked or approximated: same
+      // requantize-and-add cost as the deploying engine charges.
+      cycles += costs_.layer_dispatch +
+                static_cast<double>(qadd_cycles(*add, costs_));
     }
   }
   cycles += costs_.softmax_per_logit * out_dim;

@@ -35,7 +35,29 @@ PrefixCache::PrefixCache(const QModel* model,
   approx_pos_.resize(static_cast<size_t>(approx_count_));
   for (int k = 0; k < approx_count_; ++k)
     approx_pos_[static_cast<size_t>(k)] = model_->approx_layer_index(k);
+  // Exact tail: first linear boundary behind the last approximable layer
+  // (trailing residual adds join the last stage so run_from stays valid).
+  const int layer_count = static_cast<int>(model_->layers.size());
   tail_begin_ = approx_pos_.back() + 1;
+  while (tail_begin_ < layer_count && !model_->linear_boundary(tail_begin_))
+    ++tail_begin_;
+
+  // Stage partition (header comment): ordinal k opens a new stage when
+  // the deepest linear boundary at or before its layer — the dominating
+  // boundary — falls behind ordinal k-1's layer, i.e. the model can be
+  // cut between the two with a single cached tensor. On chains every
+  // ordinal opens its own stage.
+  for (int k = 0; k < approx_count_; ++k) {
+    const int cut =
+        model_->dominating_boundary(approx_pos_[static_cast<size_t>(k)]);
+    if (k == 0) {
+      stage_begin_.push_back(cut);
+      stage_first_ordinal_.push_back(0);
+    } else if (cut > approx_pos_[static_cast<size_t>(k - 1)]) {
+      stage_begin_.push_back(cut);
+      stage_first_ordinal_.push_back(k);
+    }
+  }
 
   const int n_cfg = static_cast<int>(configs.size());
   masked_.resize(static_cast<size_t>(approx_count_));
@@ -115,23 +137,49 @@ PrefixCache::PrefixCache(const QModel* model,
   }
 }
 
-void PrefixCache::run_segment(int ordinal, int slot,
-                              const std::vector<int8_t>& in,
-                              std::vector<int8_t>& out,
-                              std::vector<int8_t>& scratch) const {
-  const int begin = approx_pos_[static_cast<size_t>(ordinal)];
-  const int end = ordinal + 1 < approx_count_
-                      ? approx_pos_[static_cast<size_t>(ordinal + 1)]
-                      : tail_begin_;
-  const QLayer& head =
-      slot < 0 ? model_->layers[static_cast<size_t>(begin)]
-               : masked_[static_cast<size_t>(ordinal)][static_cast<size_t>(slot)];
-  run_layer_ref(head, in, out, nullptr);
-  for (int l = begin + 1; l < end; ++l) {
-    run_layer_ref(model_->layers[static_cast<size_t>(l)], out, scratch,
-                  nullptr);
-    out.swap(scratch);
+void PrefixCache::run_range(int begin, int end,
+                            const std::vector<int>* slot_row,
+                            int first_ordinal,
+                            const std::vector<int8_t>& in,
+                            std::vector<int8_t>& out) const {
+  check(end > begin, "run_range needs at least one layer");
+  // DAG-local tensor walk: every tensor id a layer in [begin, end) reads
+  // lies in [begin, end] (begin is a linear boundary, layers are
+  // topologically ordered), so `in` plus end-begin local outputs cover
+  // the whole range.
+  std::vector<std::vector<int8_t>> local(static_cast<size_t>(end - begin));
+  auto tensor_of = [&](int t) -> const std::vector<int8_t>& {
+    return t == begin ? in : local[static_cast<size_t>(t - begin - 1)];
+  };
+  int ordinal = first_ordinal;
+  for (int l = begin; l < end; ++l) {
+    const QLayer* layer = &model_->layers[static_cast<size_t>(l)];
+    if (describe_layer(*layer).skippable) {
+      const int slot =
+          slot_row != nullptr ? (*slot_row)[static_cast<size_t>(ordinal)] : -1;
+      if (slot >= 0)
+        layer = &masked_[static_cast<size_t>(ordinal)]
+                        [static_cast<size_t>(slot)];
+      ++ordinal;
+    }
+    const std::vector<int> ins = model_->inputs_of(l);
+    std::vector<int8_t>& dst = local[static_cast<size_t>(l - begin)];
+    if (const auto* add = std::get_if<QAdd>(layer)) {
+      dst.assign(static_cast<size_t>(add->elems()), 0);
+      qadd_ref(*add, tensor_of(ins[0]), tensor_of(ins[1]), dst);
+    } else {
+      run_layer_ref(*layer, tensor_of(ins[0]), dst, nullptr);
+    }
   }
+  out = std::move(local.back());
+}
+
+int PrefixCache::stage_for_depth(int depth) const {
+  int s = 0;
+  while (s + 1 < static_cast<int>(stage_first_ordinal_.size()) &&
+         stage_first_ordinal_[static_cast<size_t>(s + 1)] <= depth)
+    ++s;
+  return s;
 }
 
 PrefixCacheStats PrefixCache::evaluate_ranges(
@@ -154,14 +202,14 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
   }
   if (lo_img >= hi_img) return {};
 
+  const int n_stages = static_cast<int>(stage_begin_.size());
   std::atomic<int64_t> run_total{0}, reuse_total{0};
   parallel_for_chunked(lo_img, hi_img, [&](int64_t lo, int64_t hi) {
-    // boundary[k] holds the input activations of approximable ordinal k
-    // for the current image; boundary[approx_count_] the input of the
-    // exact tail.
+    // boundary[s] holds tensor stage_begin_[s] (the single-tensor linear
+    // cut opening stage s) for the current image; boundary[n_stages] the
+    // input of the exact tail.
     std::vector<std::vector<int8_t>> boundary(
-        static_cast<size_t>(approx_count_) + 1);
-    std::vector<int8_t> scratch;
+        static_cast<size_t>(n_stages) + 1);
     int64_t run = 0, reuse = 0;
     for (int64_t img = lo; img < hi; ++img) {
       const int i = static_cast<int>(img);  // position; hits row offset
@@ -169,14 +217,13 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
       const int label = eval_->label(image_index);
       std::vector<int8_t> act =
           ref_.quantize_input(eval_->image(image_index));
-      // Layers before the first approximable layer (normally none) are
-      // shared by every config; run them once into the depth-0 boundary.
-      for (int l = 0; l < approx_pos_.front(); ++l) {
-        run_layer_ref(model_->layers[static_cast<size_t>(l)], act, scratch,
-                      nullptr);
-        act.swap(scratch);
+      // Layers before the first stage (normally none) hold no
+      // approximable layer; run them once into the depth-0 boundary.
+      if (stage_begin_.front() > 0) {
+        run_range(0, stage_begin_.front(), nullptr, 0, act, boundary[0]);
+      } else {
+        boundary[0] = std::move(act);
       }
-      boundary[0] = std::move(act);
 
       // One trie walk per image over every config whose range covers it.
       // The resume depth over a gap of skipped configs is the min of the
@@ -197,17 +244,26 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
           hit = prev_hit;  // identical config key: identical logits
           reuse += approx_count_ + 1;
         } else {
-          for (int k = depth; k < approx_count_; ++k) {
-            run_segment(k,
-                        slots_[static_cast<size_t>(c)][static_cast<size_t>(k)],
-                        boundary[static_cast<size_t>(k)],
-                        boundary[static_cast<size_t>(k) + 1], scratch);
+          // Resume from the dominating stage boundary: the deepest
+          // single-tensor cut at or below the shared ordinal depth.
+          const int s0 = stage_for_depth(depth);
+          const int resume_ordinal =
+              stage_first_ordinal_[static_cast<size_t>(s0)];
+          for (int s = s0; s < n_stages; ++s) {
+            const int end = s + 1 < n_stages
+                                ? stage_begin_[static_cast<size_t>(s + 1)]
+                                : tail_begin_;
+            run_range(stage_begin_[static_cast<size_t>(s)], end,
+                      &slots_[static_cast<size_t>(c)],
+                      stage_first_ordinal_[static_cast<size_t>(s)],
+                      boundary[static_cast<size_t>(s)],
+                      boundary[static_cast<size_t>(s) + 1]);
           }
           const std::vector<int8_t> logits = ref_.run_from(
-              tail_begin_, boundary[static_cast<size_t>(approx_count_)]);
+              tail_begin_, boundary[static_cast<size_t>(n_stages)]);
           hit = argmax_lowest_index(logits) == label ? 1 : 0;
-          reuse += depth;
-          run += (approx_count_ - depth) + 1;
+          reuse += resume_ordinal;
+          run += (approx_count_ - resume_ordinal) + 1;
         }
         hits[static_cast<size_t>(c) * n_images_ + static_cast<size_t>(i)] =
             hit;

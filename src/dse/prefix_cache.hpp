@@ -27,6 +27,18 @@
 // — never approximated) is executed through RefEngine::run_from, the
 // InferenceEngine seam's layer-boundary resume entry point.
 //
+// DAG models (residual QAdd edges): a cached boundary is a single
+// tensor, so the trie can only cut the model at *linear boundaries* —
+// layer indices no skip edge crosses (QModel::linear_boundary). The
+// approximable region is therefore partitioned into *stages*: a stage
+// starts at the deepest linear boundary at or before its first
+// approximable layer (the *dominating boundary*), and a config resumes
+// from the deepest stage start at or below its trie lcp. Ordinals that
+// share keys but sit inside a partially-shared stage are re-run, which
+// is why prefix-cache hit rates drop on residual models (docs/DSE.md).
+// On a pure chain every boundary is linear, every ordinal starts its
+// own stage, and the walk is bitwise identical to the pre-DAG cache.
+//
 // See docs/DSE.md for the sweep-level picture (adaptive early exit,
 // exact-mode escape hatch, reproduction commands).
 #pragma once
@@ -41,10 +53,12 @@
 
 namespace ataman {
 
-// Deterministic counters for one evaluate_images call. A "segment" is
-// one approximable layer plus the non-approximable layers up to the
-// next approximable one; the exact tail behind the last approximable
-// layer counts as one more segment.
+// Deterministic counters for one evaluate_images call, in approximable-
+// ordinal units: a "segment" is one approximable layer plus its share of
+// non-approximable layers; the exact tail counts as one more segment.
+// On DAG models a resume rounds down to the dominating stage boundary,
+// so ordinals inside a partially-shared stage count as run, not reused —
+// the measured hit-rate drop on residual models.
 struct PrefixCacheStats {
   int64_t segments_run = 0;     // segments actually executed
   int64_t segments_reused = 0;  // segments served from a cached prefix
@@ -103,12 +117,19 @@ class PrefixCache {
                                    std::vector<uint8_t>& hits) const;
 
  private:
-  // Execute segment `ordinal` (its approximable layer — original or the
-  // masked variant in `slot` — plus trailing non-approximable layers) on
-  // `in`, leaving the next boundary activations in `out`.
-  void run_segment(int ordinal, int slot, const std::vector<int8_t>& in,
-                   std::vector<int8_t>& out,
-                   std::vector<int8_t>& scratch) const;
+  // Execute layers [begin, end) — `begin` must be a linear boundary and
+  // `in` tensor `begin` — with a DAG-local tensor walk, substituting the
+  // masked variant slots_[.] for each approximable layer (`slot_row` ==
+  // nullptr runs everything exact; `first_ordinal` is the approximable
+  // ordinal of the first skippable layer at or after `begin`). Leaves
+  // tensor `end` in `out`.
+  void run_range(int begin, int end, const std::vector<int>* slot_row,
+                 int first_ordinal, const std::vector<int8_t>& in,
+                 std::vector<int8_t>& out) const;
+
+  // Deepest stage whose first ordinal is <= `depth` — the dominating
+  // resume point for a trie lcp of `depth` ordinals.
+  int stage_for_depth(int depth) const;
 
   const QModel* model_;
   const Dataset* eval_;
@@ -116,8 +137,18 @@ class PrefixCache {
   int stride_ = 1;  // coprime with n_images_; see image_at()
   int approx_count_ = 0;
   std::vector<int> approx_pos_;  // layer index of each approx ordinal
-  int tail_begin_ = 0;  // first layer behind the last approximable layer
-  RefEngine ref_;       // exact engine: input quantization + tail
+  // Stage partition of the approximable region (header comment): stage s
+  // covers layers [stage_begin_[s], stage_begin_[s+1]) — the last stage
+  // ends at tail_begin_ — and owns the approximable ordinals
+  // [stage_first_ordinal_[s], stage_first_ordinal_[s+1]). Every
+  // stage_begin_ is a linear boundary; on chains each ordinal is its own
+  // stage.
+  std::vector<int> stage_begin_;
+  std::vector<int> stage_first_ordinal_;
+  // First linear boundary behind the last approximable layer (== last
+  // approximable layer + 1 on chains): where the exact tail resumes.
+  int tail_begin_ = 0;
+  RefEngine ref_;  // exact engine: input quantization + tail
 
   // Per approximable ordinal: zeroed-weight variants of the layer (conv
   // or depthwise), one per distinct non-empty skip set seen in the

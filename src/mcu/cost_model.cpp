@@ -104,6 +104,11 @@ int64_t avgpool_cycles(const QAvgPool& layer, const CortexM33CostTable& t) {
                    t.avgpool_div_per_output * static_cast<double>(outputs)));
 }
 
+int64_t qadd_cycles(const QAdd& layer, const CortexM33CostTable& t) {
+  return static_cast<int64_t>(
+      std::llround(t.qadd_per_elem * static_cast<double>(layer.elems())));
+}
+
 int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
   double total = 0.0;
   int out_dim = 0;
@@ -120,6 +125,8 @@ int64_t packed_model_cycles(const QModel& model, const CortexM33CostTable& t) {
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       total += static_cast<double>(dense_cycles(*fc, t));
       out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      total += static_cast<double>(qadd_cycles(*add, t));
     }
   }
   total += t.softmax_per_logit * out_dim;

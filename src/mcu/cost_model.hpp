@@ -79,6 +79,12 @@ struct CortexM33CostTable {
   double pool_per_output_elem_per_tap = 2.0;  // load+compare per window tap
   double avgpool_div_per_output = 7.0;  // rounding divide + saturate per
                                         // output element (SDIV + fixup)
+
+  // -- residual add --
+  // Per output element: two loads, two fixed-point requants (SMMUL-class
+  // rounding multiply + shift each), add, saturate, store. Identical for
+  // every engine — QAdd has no weights to pack or unpack.
+  double qadd_per_elem = 9.0;
 };
 
 // True when the layer qualifies for the CMSIS fast (dual-SMLAD) path.
@@ -114,6 +120,10 @@ int64_t pool_cycles(const QMaxPool& layer, const CortexM33CostTable& t = {});
 
 int64_t avgpool_cycles(const QAvgPool& layer,
                        const CortexM33CostTable& t = {});
+
+// Residual add: per-element requantize-and-add (same stream on every
+// engine; never approximated, never unpacked).
+int64_t qadd_cycles(const QAdd& layer, const CortexM33CostTable& t = {});
 
 // Whole-model cycles for the packed (exact CMSIS-like) engine, including
 // per-layer dispatch and the final softmax.

@@ -18,6 +18,11 @@ struct LayerProfile {
 struct DeployReport {
   std::string design;          // e.g. "cmsis-nn", "ataman(0%)", "x-cube-ai"
   std::string network;
+  // Paper topology notation, generalized to compact block form: plain
+  // chain segments keep the "3-2-2" counts, residual blocks appear as
+  // bracketed groups (e.g. "1-[r1]-1-[r1]-1-1" for the mobilenetv2 zoo
+  // entry, [rN] = N inverted-residual blocks with a QAdd skip edge).
+  std::string topology;
   double top1_accuracy = 0.0;  // fraction in [0,1]
   int64_t cycles = 0;
   double latency_ms = 0.0;

@@ -7,7 +7,32 @@
 
 namespace ataman {
 
-RefEngine::RefEngine(const QModel* model) : InferenceEngine(model, "ref") {}
+namespace {
+
+// Span-out dispatch of one layer through its reference kernel. `in_b` is
+// the second QAdd operand (unused for every other kind).
+void run_layer_into(const QLayer& layer, std::span<const int8_t> in_a,
+                    std::span<const int8_t> in_b, std::span<int8_t> out,
+                    const uint8_t* skip) {
+  if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+    conv2d_ref(*conv, in_a, out, skip);
+  } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+    depthwise_conv2d_ref(*dw, in_a, out, skip);
+  } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+    maxpool_ref(*pool, in_a, out);
+  } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+    avgpool_ref(*pool, in_a, out);
+  } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+    dense_ref(*fc, in_a, out);
+  } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+    qadd_ref(*add, in_a, in_b, out);
+  }
+}
+
+}  // namespace
+
+RefEngine::RefEngine(const QModel* model)
+    : InferenceEngine(model, "ref"), plan_(plan_activations(*model)) {}
 
 std::vector<int8_t> RefEngine::run(std::span<const uint8_t> image) const {
   return run(image, default_mask_);
@@ -44,16 +69,33 @@ std::vector<int8_t> RefEngine::run_layers(int layer_begin,
   const int layer_count = static_cast<int>(model().layers.size());
   check(layer_begin >= 0 && layer_begin <= layer_count,
         "run_from layer index out of range");
+  check(model().linear_boundary(layer_begin),
+        "run_from must resume at a linear boundary of the DAG (layer " +
+            std::to_string(layer_begin) + " is crossed by a skip edge)");
   if (mask != nullptr) mask->validate(model());
-  if (layer_begin < layer_count) {
-    const QLayer& entry = model().layers[static_cast<size_t>(layer_begin)];
-    check(static_cast<int64_t>(act.size()) ==
-              describe_layer(entry).in_elems,
-          "run_from activation size mismatch at layer " +
-              std::to_string(layer_begin));
+  check(static_cast<int64_t>(act.size()) ==
+            model().tensor_elems(layer_begin),
+        "run_from activation size mismatch at layer " +
+            std::to_string(layer_begin));
+
+  // Slot-backed tensor storage from the shared liveness plan: tensor t
+  // occupies its assigned slot during [def, last_use], and the plan
+  // guarantees a step's output slot never aliases a live input. On a
+  // chain this is exactly the historical two-buffer ping-pong.
+  std::vector<std::vector<int8_t>> slots(plan_.slot_elems.size());
+  auto tensor_span = [&](int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(static_cast<size_t>(
+          plan_.slot_elems[static_cast<size_t>(info.slot)]));
+    return std::span<int8_t>(slot.data(), static_cast<size_t>(info.elems));
+  };
+  {
+    const std::span<int8_t> entry = tensor_span(layer_begin);
+    std::copy(act.begin(), act.end(), entry.begin());
   }
-  std::vector<int8_t> cur = std::move(act);
-  std::vector<int8_t> next;
 
   int approx_ordinal = 0;
   for (int l = 0; l < layer_begin; ++l) {
@@ -62,9 +104,14 @@ std::vector<int8_t> RefEngine::run_layers(int layer_begin,
   }
   for (int l = layer_begin; l < layer_count; ++l) {
     const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
+    const std::span<const int8_t> in_a = tensor_span(ins[0]);
+    const std::span<const int8_t> in_b =
+        ins.size() > 1 ? std::span<const int8_t>(tensor_span(ins[1]))
+                       : std::span<const int8_t>();
     const uint8_t* skip = nullptr;
     if (describe_layer(layer).skippable) {
-      if (tap) tap(approx_ordinal, layer, cur);
+      if (tap) tap(approx_ordinal, layer, in_a);
       if (mask != nullptr &&
           approx_ordinal < static_cast<int>(mask->masks.size()) &&
           !mask->masks[static_cast<size_t>(approx_ordinal)].empty()) {
@@ -72,10 +119,10 @@ std::vector<int8_t> RefEngine::run_layers(int layer_begin,
       }
       ++approx_ordinal;
     }
-    run_layer_ref(layer, cur, next, skip);
-    cur.swap(next);
+    run_layer_into(layer, in_a, in_b, tensor_span(l + 1), skip);
   }
-  return cur;
+  const std::span<const int8_t> out = tensor_span(layer_count);
+  return std::vector<int8_t>(out.begin(), out.end());
 }
 
 void RefEngine::run_batch(
@@ -92,12 +139,31 @@ void RefEngine::run_batch(
   // identical to run() by construction; the batch only changes the order
   // in which (layer, image) pairs execute, keeping each layer's weights
   // hot across the whole batch.
-  std::vector<std::vector<int8_t>> acts(batch);
-  for (size_t b = 0; b < batch; ++b) acts[b] = quantize_input(images[b]);
+  // Per-image slot sets from the shared liveness plan (layer-major, so
+  // every image's DAG state advances in lock step).
+  const size_t slot_count = plan_.slot_elems.size();
+  std::vector<std::vector<std::vector<int8_t>>> slots(batch);
+  auto tensor_span = [&](size_t b, int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[b][static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(static_cast<size_t>(
+          plan_.slot_elems[static_cast<size_t>(info.slot)]));
+    return std::span<int8_t>(slot.data(), static_cast<size_t>(info.elems));
+  };
+  for (size_t b = 0; b < batch; ++b) {
+    slots[b].resize(slot_count);
+    const std::vector<int8_t> in = quantize_input(images[b]);
+    const std::span<int8_t> entry = tensor_span(b, 0);
+    std::copy(in.begin(), in.end(), entry.begin());
+  }
 
-  std::vector<int8_t> next;
   int approx_ordinal = 0;
-  for (const QLayer& layer : model().layers) {
+  const int layer_count = static_cast<int>(model().layers.size());
+  for (int l = 0; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
     const uint8_t* skip = nullptr;
     if (describe_layer(layer).skippable) {
       if (mask != nullptr &&
@@ -108,11 +174,18 @@ void RefEngine::run_batch(
       ++approx_ordinal;
     }
     for (size_t b = 0; b < batch; ++b) {
-      run_layer_ref(layer, acts[b], next, skip);
-      acts[b].swap(next);
+      const std::span<const int8_t> in_a = tensor_span(b, ins[0]);
+      const std::span<const int8_t> in_b =
+          ins.size() > 1 ? std::span<const int8_t>(tensor_span(b, ins[1]))
+                         : std::span<const int8_t>();
+      run_layer_into(layer, in_a, in_b, tensor_span(b, l + 1), skip);
     }
   }
-  logits_out = std::move(acts);
+  logits_out.assign(batch, {});
+  for (size_t b = 0; b < batch; ++b) {
+    const std::span<const int8_t> out = tensor_span(b, layer_count);
+    logits_out[b].assign(out.begin(), out.end());
+  }
 }
 
 int RefEngine::classify(std::span<const uint8_t> image,

@@ -18,6 +18,7 @@
 
 #include "src/core/engine_iface.hpp"
 #include "src/data/dataset.hpp"
+#include "src/mcu/memory_model.hpp"
 #include "src/nn/skip_mask.hpp"
 #include "src/quant/qtypes.hpp"
 
@@ -87,12 +88,18 @@ class RefEngine : public InferenceEngine {
   int classify(std::span<const uint8_t> image, const SkipMask* mask) const;
 
  private:
-  // Shared layer walker: takes the working buffer by value so run() can
-  // hand over the freshly quantized input without a copy.
+  // Shared DAG walker: executes layers [layer_begin, end) in topological
+  // (stored) order over slot buffers from the liveness plan. `act` is
+  // tensor `layer_begin`, so layer_begin must be a linear boundary
+  // (QModel::linear_boundary) — trivially true everywhere on chains.
   std::vector<int8_t> run_layers(int layer_begin, std::vector<int8_t> act,
                                  const SkipMask* mask,
                                  const ConvTap& tap) const;
 
+  // Liveness-based activation-buffer plan (src/mcu/memory_model),
+  // computed once per model: slot assignment degenerates to the old
+  // ping-pong pair on chains.
+  ActivationPlan plan_;
   const SkipMask* default_mask_ = nullptr;
 };
 

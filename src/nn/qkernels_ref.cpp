@@ -202,8 +202,30 @@ void dense_ref(const QDense& layer, std::span<const int8_t> in,
   }
 }
 
+void qadd_ref(const QAdd& layer, std::span<const int8_t> in_a,
+              std::span<const int8_t> in_b, std::span<int8_t> out) {
+  const int64_t n = layer.elems();
+  check(static_cast<int64_t>(in_a.size()) == n &&
+            static_cast<int64_t>(in_b.size()) == n &&
+            static_cast<int64_t>(out.size()) == n,
+        "qadd tensor size mismatch");
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t a = static_cast<int32_t>(in_a[static_cast<size_t>(i)]) -
+                      layer.in_a.zero_point;
+    const int32_t b = static_cast<int32_t>(in_b[static_cast<size_t>(i)]) -
+                      layer.in_b.zero_point;
+    const int32_t sum = multiply_by_quantized_multiplier(a, layer.requant_a) +
+                        multiply_by_quantized_multiplier(b, layer.requant_b) +
+                        layer.out.zero_point;
+    out[static_cast<size_t>(i)] = static_cast<int8_t>(
+        std::clamp(sum, layer.act_min, layer.act_max));
+  }
+}
+
 void run_layer_ref(const QLayer& layer, std::span<const int8_t> in,
                    std::vector<int8_t>& out, const uint8_t* skip) {
+  check(!std::holds_alternative<QAdd>(layer),
+        "QAdd reads two tensors — dispatch through run_layer_ref_multi");
   out.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
   if (const auto* conv = std::get_if<QConv2D>(&layer)) {
     conv2d_ref(*conv, in, out, skip);
@@ -216,6 +238,19 @@ void run_layer_ref(const QLayer& layer, std::span<const int8_t> in,
   } else if (const auto* fc = std::get_if<QDense>(&layer)) {
     dense_ref(*fc, in, out);
   }
+}
+
+void run_layer_ref_multi(const QLayer& layer,
+                         const std::vector<std::span<const int8_t>>& inputs,
+                         std::vector<int8_t>& out, const uint8_t* skip) {
+  check(!inputs.empty(), "layer needs at least one input tensor");
+  if (const auto* add = std::get_if<QAdd>(&layer)) {
+    check(inputs.size() == 2, "QAdd reads exactly two tensors");
+    out.assign(static_cast<size_t>(add->elems()), 0);
+    qadd_ref(*add, inputs[0], inputs[1], out);
+    return;
+  }
+  run_layer_ref(layer, inputs[0], out, skip);
 }
 
 }  // namespace ataman

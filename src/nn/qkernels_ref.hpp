@@ -34,6 +34,12 @@ void avgpool_ref(const QAvgPool& layer, std::span<const int8_t> in,
 void dense_ref(const QDense& layer, std::span<const int8_t> in,
                std::span<int8_t> out);
 
+// Residual add: each input requantized to the output scale with its own
+// fixed-point multiplier, then integer add + zero point + clamp. Both
+// inputs and the output have identical shape.
+void qadd_ref(const QAdd& layer, std::span<const int8_t> in_a,
+              std::span<const int8_t> in_b, std::span<int8_t> out);
+
 // Single-channel accumulator for one conv output position — shared by the
 // reference kernel and the significance brute-force tests.
 int32_t conv_accumulate_ref(const QConv2D& layer, std::span<const int8_t> in,
@@ -50,5 +56,13 @@ int32_t depthwise_accumulate_ref(const QDepthwiseConv2D& layer,
 // executor (RefEngine, the DSE prefix cache, engine constructors) shares.
 void run_layer_ref(const QLayer& layer, std::span<const int8_t> in,
                    std::vector<int8_t>& out, const uint8_t* skip = nullptr);
+
+// DAG-aware dispatch: same contract but takes the full operand list in
+// QModel::inputs_of order (QAdd reads two tensors; every other layer
+// uses inputs[0]). run_layer_ref is the single-input shorthand.
+void run_layer_ref_multi(const QLayer& layer,
+                         const std::vector<std::span<const int8_t>>& inputs,
+                         std::vector<int8_t>& out,
+                         const uint8_t* skip = nullptr);
 
 }  // namespace ataman

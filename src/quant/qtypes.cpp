@@ -60,6 +60,12 @@ OpDescriptor describe_layer(const QLayer& layer) {
     d.macs = fc->macs();
     d.positions = 1;
     d.out_dim = fc->out_dim;
+  } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+    d.kind = OpKind::kAdd;
+    // in_elems is the size of *each* input tensor (both are equal-shape).
+    d.in_elems = add->elems();
+    d.out_elems = add->elems();
+    d.positions = static_cast<int64_t>(add->h) * add->w;
   }
   return d;
 }
@@ -71,8 +77,68 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kDense: return "dense";
     case OpKind::kDepthwise: return "depthwise";
     case OpKind::kAvgPool: return "avgpool";
+    case OpKind::kAdd: return "add";
   }
   return "?";
+}
+
+std::vector<int> QModel::inputs_of(int layer) const {
+  check(layer >= 0 && layer < static_cast<int>(layers.size()),
+        "inputs_of: layer index out of range");
+  if (layer_inputs.empty()) return {layer};  // pure chain
+  return layer_inputs[static_cast<size_t>(layer)];
+}
+
+bool QModel::is_chain() const {
+  if (layer_inputs.empty()) return true;
+  for (size_t l = 0; l < layer_inputs.size(); ++l) {
+    if (layer_inputs[l].size() != 1 ||
+        layer_inputs[l][0] != static_cast<int>(l))
+      return false;
+  }
+  return true;
+}
+
+bool QModel::linear_boundary(int layer) const {
+  check(layer >= 0 && layer <= static_cast<int>(layers.size()),
+        "linear_boundary: layer index out of range");
+  if (layer_inputs.empty()) return true;  // every chain cut is linear
+  for (int j = layer; j < static_cast<int>(layers.size()); ++j) {
+    for (int t : inputs_of(j))
+      if (t < layer) return false;
+  }
+  return true;
+}
+
+int QModel::dominating_boundary(int layer) const {
+  for (int l = layer; l > 0; --l)
+    if (linear_boundary(l)) return l;
+  return 0;
+}
+
+void QModel::validate_dag() const {
+  if (layer_inputs.empty()) return;  // chain default — always valid
+  check(layer_inputs.size() == layers.size(),
+        "layer_inputs must have one entry per layer");
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const OpDescriptor d = describe_layer(layers[l]);
+    const std::vector<int>& ins = layer_inputs[l];
+    const size_t arity = d.kind == OpKind::kAdd ? 2 : 1;
+    check(ins.size() == arity, "layer has wrong input arity for its kind");
+    for (int t : ins) {
+      check(t >= 0 && t <= static_cast<int>(l),
+            "layer input must be an already-produced tensor id");
+      check(tensor_elems(t) == d.in_elems,
+            "layer input tensor shape mismatch");
+    }
+  }
+}
+
+int64_t QModel::tensor_elems(int tensor) const {
+  check(tensor >= 0 && tensor <= static_cast<int>(layers.size()),
+        "tensor id out of range");
+  if (tensor == 0) return static_cast<int64_t>(in_h) * in_w * in_c;
+  return describe_layer(layers[static_cast<size_t>(tensor - 1)]).out_elems;
 }
 
 int64_t QModel::mac_count() const {

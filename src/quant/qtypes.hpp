@@ -116,8 +116,26 @@ struct QAvgPool {
   int out_w() const { return conv_out_extent(in_w, kernel, stride, 0); }
 };
 
-using QLayer =
-    std::variant<QConv2D, QMaxPool, QDense, QDepthwiseConv2D, QAvgPool>;
+// Two-input residual add (the MobileNetV2 / MicroNets block join).
+// Both inputs have identical shape; each is requantized to the output
+// scale independently before the integer add:
+//   out = clamp(mbqm(qa - za, requant_a) + mbqm(qb - zb, requant_b) + zo)
+// where requant_x encodes in_x.scale / out.scale (quantize_multiplier
+// handles ratios above 1). No weights, no MACs — a pure activation op,
+// and the first operator whose layer reads a tensor other than its
+// chain predecessor (see QModel::layer_inputs).
+struct QAdd {
+  int h = 0, w = 0, channels = 0;
+  QuantParams in_a, in_b, out;
+  QuantizedMultiplier requant_a, requant_b;
+  int32_t act_min = -128;
+  int32_t act_max = 127;
+
+  int64_t elems() const { return static_cast<int64_t>(h) * w * channels; }
+};
+
+using QLayer = std::variant<QConv2D, QMaxPool, QDense, QDepthwiseConv2D,
+                            QAvgPool, QAdd>;
 
 // ---------------------------------------------------------------------------
 // Per-operator descriptor — the one contract every layer-generic consumer
@@ -127,7 +145,7 @@ using QLayer =
 // docs/ARCHITECTURE.md "Operator contract".
 // ---------------------------------------------------------------------------
 
-enum class OpKind { kConv, kMaxPool, kDense, kDepthwise, kAvgPool };
+enum class OpKind { kConv, kMaxPool, kDense, kDepthwise, kAvgPool, kAdd };
 
 struct OpDescriptor {
   OpKind kind = OpKind::kConv;
@@ -152,10 +170,39 @@ const char* op_kind_name(OpKind kind);
 
 struct QModel {
   std::string name;      // architecture name ("lenet", ...)
-  std::string topology;  // paper notation ("3-2-2")
+  // Block notation: chains keep the paper form ("3-2-2"); residual
+  // bodies are bracketed ("3-[r2]-2" = two inverted-residual blocks
+  // between the stem and the head). Printed by DeployReport, benches
+  // and ataman_cli.
+  std::string topology;
   int in_h = 0, in_w = 0, in_c = 0;
   QuantParams input;     // quantization of the u8/255 input
   std::vector<QLayer> layers;
+
+  // DAG edges. Tensor ids: tensor 0 is the network input, tensor l+1 is
+  // the output of layer l. layer_inputs[l] lists the tensor ids layer l
+  // reads, in operand order (QAdd: {a, b}; everything else: one entry).
+  // Empty (the pre-DAG serialized default) means the pure chain — every
+  // layer l reads {l}. Layers are stored in topological order, so every
+  // input id of layer l is <= l.
+  std::vector<std::vector<int>> layer_inputs;
+
+  // Input tensor ids of layer l (resolves the empty-chain default).
+  std::vector<int> inputs_of(int layer) const;
+  // True when every layer reads exactly its chain predecessor.
+  bool is_chain() const;
+  // True iff the cut before layer l is *linear*: every layer j >= l
+  // reads only tensors with id >= l, so tensor l alone carries the
+  // whole frontier and run_from(l, ...) is well defined. Boundary 0 is
+  // always linear.
+  bool linear_boundary(int layer) const;
+  // Deepest linear boundary <= layer — the *dominating* boundary the
+  // DSE prefix cache resumes from (docs/DSE.md).
+  int dominating_boundary(int layer) const;
+  // Structural validation of layer_inputs (arity, topological order,
+  // shape agreement); fails on malformed DAGs. Called by engines and
+  // the loader.
+  void validate_dag() const;
 
   int64_t mac_count() const;          // conv + depthwise + dense MACs
   // MACs of the approximable (conv + depthwise) layers — the Fig. 2
@@ -169,6 +216,10 @@ struct QModel {
   // Index of the n-th approximable layer inside `layers`.
   int approx_layer_index(int n) const;
   int64_t weight_bytes() const;       // int8 weights + int32 biases
+
+  // Size in int8 elements of tensor id t (0 = network input, t > 0 =
+  // output of layer t-1).
+  int64_t tensor_elems(int tensor) const;
 
   // Largest activation tensor sizes, for the RAM model: returns the two
   // biggest inter-layer buffers (bytes) in descending order.

@@ -42,10 +42,25 @@ QModel quantize_model(Network& net, const Dataset& calib,
 
   // --- Pass 1: float forward over the calibration subset, observing the
   // output range of every conv/dense layer (post-ReLU when ReLU follows,
-  // since ReLU is folded into the layer's output clamp).
+  // since ReLU is folded into the layer's output clamp). The walk mirrors
+  // Network::forward's DAG dispatch: residual add layers read the chain
+  // predecessor plus a cached skip-edge tensor.
   const auto& layers = net.layers();
+  const auto& specs = net.arch().layers;
+  check(specs.size() == layers.size(),
+        "architecture spec / layer list length mismatch");
   std::vector<RangeObserver> observers(layers.size(),
                                        RangeObserver(config.clip_quantile));
+  // Float spec indices read by some later add's skip edge.
+  std::vector<uint8_t> tapped(layers.size(), 0);
+  bool input_tapped = false;
+  for (const LayerSpec& s : specs) {
+    if (s.kind != LayerSpec::Kind::kAdd) continue;
+    if (s.from < 0)
+      input_tapped = true;
+    else
+      tapped[static_cast<size_t>(s.from)] = 1;
+  }
 
   std::vector<int> indices(static_cast<size_t>(n_calib));
   std::iota(indices.begin(), indices.end(), 0);
@@ -53,15 +68,24 @@ QModel quantize_model(Network& net, const Dataset& calib,
   for (size_t lo = 0; lo < indices.size(); lo += kBatch) {
     const size_t hi = std::min(indices.size(), lo + kBatch);
     FTensor cur = to_float_batch(calib, indices, lo, hi);
+    const FTensor input = input_tapped ? cur : FTensor();
+    std::vector<FTensor> taps(layers.size());
     for (size_t li = 0; li < layers.size(); ++li) {
       Layer* layer = layers[li].get();
-      if (dynamic_cast<DenseLayer*>(layer) != nullptr && cur.rank() != 2) {
-        FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
-        std::copy(cur.data(), cur.data() + cur.size(), flat.data());
-        cur = std::move(flat);
+      if (auto* add = dynamic_cast<AddLayer*>(layer)) {
+        const int from = specs[li].from;
+        cur = add->forward2(
+            cur, from < 0 ? input : taps[static_cast<size_t>(from)]);
+      } else {
+        if (dynamic_cast<DenseLayer*>(layer) != nullptr && cur.rank() != 2) {
+          FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
+          std::copy(cur.data(), cur.data() + cur.size(), flat.data());
+          cur = std::move(flat);
+        }
+        cur = layer->forward(cur, /*train=*/false);
       }
-      cur = layer->forward(cur, /*train=*/false);
       observers[li].observe(cur.data(), cur.size());
+      if (tapped[li]) taps[li] = cur;
     }
   }
 
@@ -79,8 +103,18 @@ QModel quantize_model(Network& net, const Dataset& calib,
   QuantParams act = qm.input;
   // Running activation extent (valid while the net is still spatial).
   int h = qm.in_h, w = qm.in_w, c = qm.in_c;
+  // Per-float-spec output tensor id in the emitted QModel (tensor 0 =
+  // network input, tensor l+1 = output of emitted layer l) and its
+  // quantization params; folded ReLU specs share their producer's
+  // tensor. Resolves residual skip edges to emitted tensor ids.
+  std::vector<int> spec_tensor(layers.size(), 0);
+  std::vector<QuantParams> spec_params(layers.size(), qm.input);
+  std::vector<std::vector<int>> layer_inputs;
+  bool has_add = false;
   for (size_t li = 0; li < layers.size(); ++li) {
     Layer* layer = layers[li].get();
+    // Tensor id feeding this layer: the current top of the chain.
+    const int top = static_cast<int>(qm.layers.size());
     const bool relu_next =
         li + 1 < layers.size() &&
         dynamic_cast<ReluLayer*>(layers[li + 1].get()) != nullptr;
@@ -165,8 +199,42 @@ QModel quantize_model(Network& net, const Dataset& calib,
       h = q.out_h();
       w = q.out_w();
       qm.layers.emplace_back(q);
+    } else if (dynamic_cast<AddLayer*>(layer) != nullptr) {
+      // Residual merge: requantize both operands to the common output
+      // scale (out = clamp(rq_a(a - za) + rq_b(b - zb) + zo)).
+      const int from = specs[li].from;
+      const int b_tensor =
+          from < 0 ? 0 : spec_tensor[static_cast<size_t>(from)];
+      const QuantParams b_params =
+          from < 0 ? qm.input : spec_params[static_cast<size_t>(from)];
+      QAdd q;
+      q.h = h;
+      q.w = w;
+      q.channels = c;
+      q.in_a = act;
+      q.in_b = b_params;
+      q.out = out_obs.to_affine_params();
+      q.requant_a = quantize_multiplier(static_cast<double>(q.in_a.scale) /
+                                        q.out.scale);
+      q.requant_b = quantize_multiplier(static_cast<double>(q.in_b.scale) /
+                                        q.out.scale);
+      q.act_min = relu_next ? q.out.zero_point : -128;
+      q.act_max = 127;
+      act = q.out;
+      layer_inputs.push_back({top, b_tensor});
+      has_add = true;
+      qm.layers.emplace_back(std::move(q));
     }
     // ReLU layers are folded; nothing is emitted for them.
+    // Chain row for whatever layer this spec emitted (the QAdd branch
+    // already pushed its two-input row).
+    if (layer_inputs.size() < qm.layers.size()) layer_inputs.push_back({top});
+    spec_tensor[li] = static_cast<int>(qm.layers.size());
+    spec_params[li] = act;
+  }
+  if (has_add) {
+    qm.layer_inputs = std::move(layer_inputs);
+    qm.validate_dag();
   }
   return qm;
 }
@@ -250,7 +318,32 @@ void save_qmodel(const QModel& m, const std::string& path) {
       w.i32(pool->channels);
       w.i32(pool->kernel);
       w.i32(pool->stride);
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      w.u32(5);
+      w.i32(add->h);
+      w.i32(add->w);
+      w.i32(add->channels);
+      w.f32(add->in_a.scale);
+      w.i32(add->in_a.zero_point);
+      w.f32(add->in_b.scale);
+      w.i32(add->in_b.zero_point);
+      w.f32(add->out.scale);
+      w.i32(add->out.zero_point);
+      w.i32(add->requant_a.mult);
+      w.i32(add->requant_a.shift);
+      w.i32(add->requant_b.mult);
+      w.i32(add->requant_b.shift);
+      w.i32(add->act_min);
+      w.i32(add->act_max);
     }
+  }
+  // DAG trailer: per-layer input tensor ids (row count 0 = pure chain).
+  // Readers that predate the trailer never reach it on chain files they
+  // understand; the loader treats a missing trailer as a chain.
+  w.u32(static_cast<uint32_t>(m.layer_inputs.size()));
+  for (const std::vector<int>& row : m.layer_inputs) {
+    w.u32(static_cast<uint32_t>(row.size()));
+    for (const int t : row) w.i32(t);
   }
   w.close();
 }
@@ -341,9 +434,38 @@ QModel load_qmodel(const std::string& path) {
       pool.kernel = r.i32();
       pool.stride = r.i32();
       m.layers.emplace_back(pool);
+    } else if (kind == 5) {
+      QAdd add;
+      add.h = r.i32();
+      add.w = r.i32();
+      add.channels = r.i32();
+      add.in_a.scale = r.f32();
+      add.in_a.zero_point = r.i32();
+      add.in_b.scale = r.f32();
+      add.in_b.zero_point = r.i32();
+      add.out.scale = r.f32();
+      add.out.zero_point = r.i32();
+      add.requant_a.mult = r.i32();
+      add.requant_a.shift = r.i32();
+      add.requant_b.mult = r.i32();
+      add.requant_b.shift = r.i32();
+      add.act_min = r.i32();
+      add.act_max = r.i32();
+      m.layers.emplace_back(add);
     } else {
       fail("unknown layer kind in " + path);
     }
+  }
+  // DAG trailer (absent in pre-DAG artifacts: those are pure chains).
+  if (!r.at_end()) {
+    const uint32_t rows = r.u32();
+    m.layer_inputs.resize(rows);
+    for (uint32_t i = 0; i < rows; ++i) {
+      const uint32_t len = r.u32();
+      m.layer_inputs[i].resize(len);
+      for (uint32_t k = 0; k < len; ++k) m.layer_inputs[i][k] = r.i32();
+    }
+    if (!m.layer_inputs.empty()) m.validate_dag();
   }
   return m;
 }

@@ -1,0 +1,29 @@
+#include "src/common/error.hpp"
+#include "src/train/layers.hpp"
+
+namespace ataman {
+
+FTensor AddLayer::forward(const FTensor& x, bool /*train*/) {
+  (void)x;
+  check(false, "AddLayer reads two tensors — Network dispatches forward2");
+  return FTensor();
+}
+
+FTensor AddLayer::forward2(const FTensor& a, const FTensor& b) {
+  check(a.rank() == b.rank(), "add operand ranks differ");
+  for (int d = 0; d < a.rank(); ++d)
+    check(a.dim(d) == b.dim(d), "add operand shapes differ");
+  FTensor out = a;
+  float* o = out.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] += bp[i];
+  return out;
+}
+
+FTensor AddLayer::backward(const FTensor& dy) {
+  // d(a + b)/da = I; the Network accumulates the same dy into the skip
+  // edge's producer (see Network::backward).
+  return dy;
+}
+
+}  // namespace ataman

@@ -158,6 +158,21 @@ class AvgPool2DLayer : public Layer {
   std::vector<int> in_shape_;
 };
 
+// Two-input residual merge: out = a + b (elementwise, shapes must
+// match). The Network dispatches it through forward2 with the chain
+// predecessor as `a` and the skip-edge tensor as `b`; the single-input
+// forward() entry point is unreachable by construction. backward()
+// returns the gradient w.r.t. `a` (identity); the Network routes the
+// identical gradient to `b`'s producer itself (an add passes its output
+// gradient to both inputs unchanged).
+class AddLayer : public Layer {
+ public:
+  FTensor forward(const FTensor& x, bool train) override;
+  FTensor backward(const FTensor& dy) override;
+  FTensor forward2(const FTensor& a, const FTensor& b);
+  std::string name() const override { return "add"; }
+};
+
 class ReluLayer : public Layer {
  public:
   FTensor forward(const FTensor& x, bool train) override;

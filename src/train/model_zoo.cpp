@@ -21,7 +21,7 @@ std::string spec_fingerprint(const ZooSpec& spec) {
   os << spec.arch.name << '|' << spec.arch.topology << '|';
   for (const LayerSpec& l : spec.arch.layers) {
     os << static_cast<int>(l.kind) << ',' << l.out_c << ',' << l.kernel << ','
-       << l.stride << ',' << l.pad << ',' << l.units << ';';
+       << l.stride << ',' << l.pad << ',' << l.units << ',' << l.from << ';';
   }
   os << '|' << spec.data.train_images << ',' << spec.data.test_images << ','
      << spec.data.seed << ',' << spec.data.noise_sigma << ','
@@ -126,6 +126,48 @@ ModelArch dscnn_arch() {
   return arch;
 }
 
+ModelArch mobilenetv2_arch() {
+  // MobileNetV2-style inverted-residual net scaled to 32x32x3: a strided
+  // conv stem, three inverted bottlenecks (1x1 expand + relu, 3x3
+  // depthwise + relu, linear 1x1 project; residual add when the block
+  // keeps shape), a 1x1 head conv, global average pooling and the class
+  // head. Blocks 1 and 3 carry residual QAdd edges; block 2 strides and
+  // changes width, so it has none. MACs:
+  //   stem    3->16 @16x16 s2 : 0.111 M
+  //   ir1 exp 16->32: 0.131 M  dw 32 @16x16: 0.074 M  proj 32->16: 0.131 M
+  //   ir2 exp 16->48: 0.197 M  dw 48 s2    : 0.028 M  proj 48->24: 0.074 M
+  //   ir3 exp 24->48: 0.074 M  dw 48 @ 8x8 : 0.028 M  proj 48->24: 0.074 M
+  //   head 24->48 @8x8: 0.074 M, global avgpool 8x8, fc 48->10
+  //   total ≈ 1.0 M
+  ModelArch arch;
+  arch.name = "mobilenetv2";
+  arch.topology = "1-[r1]-1-[r1]-1-1";
+  arch.layers = {
+      // stem: spec 0..1; tapped output at spec 1 (16x16x16)
+      LayerSpec::conv(16, 3, 2, 1),  LayerSpec::relu(),
+      // inverted residual 1 (stride 1, shape kept): spec 2..7
+      LayerSpec::conv(32, 1, 1, 0),  LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1), LayerSpec::relu(),
+      LayerSpec::conv(16, 1, 1, 0),  // linear bottleneck
+      LayerSpec::add(1),
+      // inverted residual 2 (stride 2, width change -> no residual):
+      // spec 8..12
+      LayerSpec::conv(48, 1, 1, 0),  LayerSpec::relu(),
+      LayerSpec::depthwise(3, 2, 1), LayerSpec::relu(),
+      LayerSpec::conv(24, 1, 1, 0),  // linear bottleneck
+      // inverted residual 3 (stride 1, shape kept): spec 13..18
+      LayerSpec::conv(48, 1, 1, 0),  LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1), LayerSpec::relu(),
+      LayerSpec::conv(24, 1, 1, 0),  // linear bottleneck
+      LayerSpec::add(12),
+      // head: spec 19..22
+      LayerSpec::conv(48, 1, 1, 0),  LayerSpec::relu(),
+      LayerSpec::avgpool(8, 8),
+      LayerSpec::dense(10),
+  };
+  return arch;
+}
+
 ZooSpec lenet_spec() {
   ZooSpec spec;
   spec.arch = lenet_arch();
@@ -157,6 +199,17 @@ ZooSpec micronet_spec() {
 ZooSpec dscnn_spec() {
   ZooSpec spec;
   spec.arch = dscnn_arch();
+  spec.data.train_images = 4000;
+  spec.data.test_images = 1000;
+  spec.train.epochs = 10;
+  spec.train.lr_decay_at = {7, 9};
+  spec.train.sgd.learning_rate = 0.015f;
+  return spec;
+}
+
+ZooSpec mobilenetv2_spec() {
+  ZooSpec spec;
+  spec.arch = mobilenetv2_arch();
   spec.data.train_images = 4000;
   spec.data.test_images = 1000;
   spec.train.epochs = 10;

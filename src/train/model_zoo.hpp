@@ -26,6 +26,11 @@ ModelArch micronet_arch();
 // (conv stem -> 4x [3x3 depthwise + 1x1 pointwise] -> global avgpool ->
 // fc), scaled to the synthetic 32x32x3 dataset.
 ModelArch dscnn_arch();
+// MobileNetV2-style inverted-residual net (conv stem -> 3 inverted
+// bottlenecks, two of them with residual add skip edges -> 1x1 head conv
+// -> global avgpool -> fc), scaled to the synthetic 32x32x3 dataset. The
+// zoo's DAG workload: exercises QAdd and the liveness buffer planner.
+ModelArch mobilenetv2_arch();
 
 struct ZooSpec {
   ModelArch arch;
@@ -40,6 +45,7 @@ ZooSpec lenet_spec();
 ZooSpec alexnet_spec();
 ZooSpec micronet_spec();
 ZooSpec dscnn_spec();
+ZooSpec mobilenetv2_spec();
 
 struct TrainedModel {
   ModelArch arch;

@@ -1,6 +1,7 @@
 #include "src/train/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 namespace ataman {
@@ -53,6 +54,13 @@ LayerSpec LayerSpec::avgpool(int kernel, int stride) {
   return s;
 }
 
+LayerSpec LayerSpec::add(int from) {
+  LayerSpec s;
+  s.kind = Kind::kAdd;
+  s.from = from;
+  return s;
+}
+
 int ModelArch::conv_count() const {
   return static_cast<int>(std::count_if(
       layers.begin(), layers.end(),
@@ -76,8 +84,12 @@ Network::Network(const ModelArch& arch, ImageShape input, Rng& rng)
   int h = input.height, w = input.width, c = input.channels;
   bool spatial = true;  // false once a dense layer flattened the activations
   int features = 0;
+  // Per-spec output shape, for validating residual skip edges.
+  std::vector<std::array<int, 3>> shapes;
+  tapped_.assign(arch.layers.size(), 0);
 
-  for (const LayerSpec& spec : arch.layers) {
+  for (size_t i = 0; i < arch.layers.size(); ++i) {
+    const LayerSpec& spec = arch.layers[i];
     switch (spec.kind) {
       case LayerSpec::Kind::kConv: {
         check(spatial, "conv after dense is unsupported");
@@ -136,29 +148,83 @@ Network::Network(const ModelArch& arch, ImageShape input, Rng& rng)
         features = spec.units;
         break;
       }
+      case LayerSpec::Kind::kAdd: {
+        check(spatial, "add after dense is unsupported");
+        check(spec.from >= -1 && spec.from < static_cast<int>(i),
+              "add skip edge must reference an earlier layer (or -1)");
+        const std::array<int, 3> operand =
+            spec.from < 0
+                ? std::array<int, 3>{input.height, input.width, input.channels}
+                : shapes[static_cast<size_t>(spec.from)];
+        check(operand == std::array<int, 3>{h, w, c},
+              "add operand shapes differ (skip edge vs chain predecessor)");
+        if (spec.from >= 0) tapped_[static_cast<size_t>(spec.from)] = 1;
+        layers_.push_back(std::make_unique<AddLayer>());
+        break;
+      }
     }
+    shapes.push_back({h, w, c});
   }
   check(!layers_.empty(), "architecture has no layers");
 }
 
 FTensor Network::forward(const FTensor& x, bool train) {
   FTensor cur = x;
-  for (auto& layer : layers_) {
-    // Dense layers accept the flattened view of NHWC activations.
-    if (dynamic_cast<DenseLayer*>(layer.get()) != nullptr && cur.rank() != 2) {
-      FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
-      std::copy(cur.data(), cur.data() + cur.size(), flat.data());
-      cur = std::move(flat);
+  // Outputs read by residual skip edges, cached per producing layer
+  // (tapped_); everything else flows through `cur` as a pure chain.
+  std::vector<FTensor> taps(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Layer* layer = layers_[i].get();
+    if (auto* add = dynamic_cast<AddLayer*>(layer)) {
+      const int from = arch_.layers[i].from;
+      cur = add->forward2(cur,
+                          from < 0 ? x : taps[static_cast<size_t>(from)]);
+    } else {
+      // Dense layers accept the flattened view of NHWC activations.
+      if (dynamic_cast<DenseLayer*>(layer) != nullptr && cur.rank() != 2) {
+        FTensor flat({cur.dim(0), static_cast<int>(cur.item_size())});
+        std::copy(cur.data(), cur.data() + cur.size(), flat.data());
+        cur = std::move(flat);
+      }
+      cur = layer->forward(cur, train);
     }
-    cur = layer->forward(cur, train);
+    if (i < tapped_.size() && tapped_[i]) taps[i] = cur;
   }
   return cur;
 }
 
 void Network::backward(const FTensor& dloss) {
   FTensor cur = dloss;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    cur = (*it)->backward(cur);
+  // pending[i]: extra gradient w.r.t. the output of layer i contributed
+  // by residual skip edges (an add passes its output gradient to both
+  // inputs unchanged). Gradients into the network input are discarded.
+  std::vector<FTensor> pending(layers_.size());
+  for (int i = static_cast<int>(layers_.size()) - 1; i >= 0; --i) {
+    FTensor& extra = pending[static_cast<size_t>(i)];
+    if (extra.size() > 0) {
+      check(extra.size() == cur.size(),
+            "skip-edge gradient shape mismatch in backward");
+      float* c = cur.data();
+      const float* e = extra.data();
+      for (int64_t k = 0; k < cur.size(); ++k) c[k] += e[k];
+      extra = FTensor();
+    }
+    if (dynamic_cast<AddLayer*>(layers_[static_cast<size_t>(i)].get()) !=
+        nullptr) {
+      const int from = arch_.layers[static_cast<size_t>(i)].from;
+      if (from >= 0) {
+        FTensor& slot = pending[static_cast<size_t>(from)];
+        if (slot.size() == 0) {
+          slot = cur;
+        } else {
+          float* s = slot.data();
+          const float* c = cur.data();
+          for (int64_t k = 0; k < slot.size(); ++k) s[k] += c[k];
+        }
+      }
+    }
+    cur = layers_[static_cast<size_t>(i)]->backward(cur);
+  }
 }
 
 void Network::zero_grad() {

@@ -15,13 +15,18 @@ namespace ataman {
 // paper's "topology" notation (e.g. LeNet 3-2-2 = 3 conv, 2 pool, 2 FC)
 // maps directly onto the kinds below.
 struct LayerSpec {
-  enum class Kind { kConv, kPool, kRelu, kDense, kDepthwise, kAvgPool };
+  enum class Kind { kConv, kPool, kRelu, kDense, kDepthwise, kAvgPool, kAdd };
   Kind kind = Kind::kConv;
   int out_c = 0;   // conv: output channels
   int kernel = 0;  // conv/depthwise/pool: window
   int stride = 1;  // conv/depthwise/pool
   int pad = 0;     // conv/depthwise
   int units = 0;   // dense: output width
+  // add: absolute spec index of the layer producing the second operand
+  // (-1 = the network input). The first operand is always the chain
+  // predecessor, so an architecture stays a flat list with explicit
+  // residual skip edges.
+  int from = -1;
 
   static LayerSpec conv(int out_c, int kernel, int stride, int pad);
   static LayerSpec pool(int kernel, int stride);
@@ -30,6 +35,9 @@ struct LayerSpec {
   // Depthwise conv keeps the incoming channel count.
   static LayerSpec depthwise(int kernel, int stride, int pad);
   static LayerSpec avgpool(int kernel, int stride);
+  // Residual merge with the output of spec index `from` (must precede
+  // this layer and match its shape; -1 = the network input).
+  static LayerSpec add(int from);
 };
 
 struct ModelArch {
@@ -70,6 +78,9 @@ class Network {
   ModelArch arch_;
   ImageShape input_;
   std::vector<std::unique_ptr<Layer>> layers_;
+  // tapped_[i] != 0 iff some later add layer reads the output of layer i
+  // through a skip edge; forward() caches exactly those tensors.
+  std::vector<uint8_t> tapped_;
 };
 
 // Convert dataset images [lo, hi) to a float batch normalized to [0, 1]

@@ -11,7 +11,10 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
                                CortexM33CostTable costs,
                                MemoryCostTable memory,
                                const std::vector<uint8_t>* unpack_selection)
-    : InferenceEngine(model, "ataman"), costs_(costs), memory_(memory) {
+    : InferenceEngine(model, "ataman"),
+      costs_(costs),
+      memory_(memory),
+      plan_(plan_activations(*model)) {
   if (mask != nullptr) mask->validate(this->model());
   if (unpack_selection != nullptr) {
     check(static_cast<int>(unpack_selection->size()) ==
@@ -97,6 +100,13 @@ UnpackedEngine::UnpackedEngine(const QModel* model, const SkipMask* mask,
       cycles += static_cast<double>(c);
       executed_macs_ += fc->macs();
       out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      // Residual adds run the same requantize-and-add stream on every
+      // engine: nothing to unpack, never approximated.
+      cycles += costs_.layer_dispatch;
+      const int64_t c = qadd_cycles(*add, costs_);
+      profile_.push_back({"add", c, 0});
+      cycles += static_cast<double>(c);
     }
   }
   cycles += costs_.softmax_per_logit * out_dim;
@@ -113,11 +123,30 @@ int UnpackedEngine::unpacked_conv_count() const {
 }
 
 std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
-  std::vector<int8_t> cur = quantize_input(image);
-  std::vector<int8_t> next;
+  // Slot buffers from the shared liveness plan (ping-pong on chains).
+  std::vector<std::vector<int8_t>> slots(plan_.slot_elems.size());
+  auto tensor_span = [&](int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(static_cast<size_t>(
+          plan_.slot_elems[static_cast<size_t>(info.slot)]));
+    return std::span<int8_t>(slot.data(), static_cast<size_t>(info.elems));
+  };
+  {
+    const std::vector<int8_t> in = quantize_input(image);
+    const std::span<int8_t> entry = tensor_span(0);
+    std::copy(in.begin(), in.end(), entry.begin());
+  }
+
+  const int layer_count = static_cast<int>(model().layers.size());
   size_t approx_idx = 0, fc_idx = 0;
-  for (const QLayer& layer : model().layers) {
-    next.assign(static_cast<size_t>(describe_layer(layer).out_elems), 0);
+  for (int l = 0; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
+    const std::span<const int8_t> cur = tensor_span(ins[0]);
+    const std::span<int8_t> next = tensor_span(l + 1);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       const ApproxExec& exec = convs_[approx_idx++];
       if (exec.is_unpacked) {
@@ -138,10 +167,12 @@ std::vector<int8_t> UnpackedEngine::run(std::span<const uint8_t> image) const {
       avgpool_ref(*pool, cur, next);
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       packed_dense(*fc, packed_fc_[fc_idx++], cur, next);
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      qadd_ref(*add, cur, tensor_span(ins[1]), next);
     }
-    cur.swap(next);
   }
-  return cur;
+  const std::span<const int8_t> out = tensor_span(layer_count);
+  return std::vector<int8_t>(out.begin(), out.end());
 }
 
 void UnpackedEngine::run_batch(
@@ -150,22 +181,47 @@ void UnpackedEngine::run_batch(
   check_batch_nonempty(images);
   const int batch = static_cast<int>(images.size());
 
-  size_t cur_elems = static_cast<size_t>(
+  // Contiguous batched activations per tensor over liveness-plan slots
+  // (image b of tensor t at slot_base + b * elems(t)); see CmsisEngine.
+  std::vector<std::vector<int8_t>> slots(plan_.slot_elems.size());
+  auto tensor_batch_span = [&](int t) -> std::span<int8_t> {
+    const ActivationPlan::Tensor& info =
+        plan_.tensors[static_cast<size_t>(t)];
+    std::vector<int8_t>& slot = slots[static_cast<size_t>(info.slot)];
+    if (slot.empty())
+      slot.resize(
+          static_cast<size_t>(plan_.slot_elems[static_cast<size_t>(
+              info.slot)]) *
+          static_cast<size_t>(batch));
+    return std::span<int8_t>(
+        slot.data(),
+        static_cast<size_t>(info.elems) * static_cast<size_t>(batch));
+  };
+  const size_t in_elems = static_cast<size_t>(
       static_cast<int64_t>(model().in_h) * model().in_w * model().in_c);
-  std::vector<int8_t> cur(cur_elems * static_cast<size_t>(batch));
-  for (int b = 0; b < batch; ++b) {
-    const std::vector<int8_t> q =
-        quantize_input(images[static_cast<size_t>(b)]);
-    std::copy(q.begin(), q.end(),
-              cur.begin() + static_cast<size_t>(b) * cur_elems);
+  {
+    const std::span<int8_t> entry = tensor_batch_span(0);
+    for (int b = 0; b < batch; ++b) {
+      const std::vector<int8_t> q =
+          quantize_input(images[static_cast<size_t>(b)]);
+      std::copy(q.begin(), q.end(),
+                entry.begin() +
+                    static_cast<std::ptrdiff_t>(static_cast<size_t>(b) *
+                                                in_elems));
+    }
   }
 
-  std::vector<int8_t> next;
+  const int layer_count = static_cast<int>(model().layers.size());
   size_t approx_idx = 0, fc_idx = 0;
-  for (const QLayer& layer : model().layers) {
+  for (int l = 0; l < layer_count; ++l) {
+    const QLayer& layer = model().layers[static_cast<size_t>(l)];
+    const std::vector<int> ins = model().inputs_of(l);
+    const size_t cur_elems =
+        static_cast<size_t>(model().tensor_elems(ins[0]));
     const size_t out_elems =
         static_cast<size_t>(describe_layer(layer).out_elems);
-    next.assign(out_elems * static_cast<size_t>(batch), 0);
+    const std::span<const int8_t> cur = tensor_batch_span(ins[0]);
+    const std::span<int8_t> next = tensor_batch_span(l + 1);
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       const ApproxExec& exec = convs_[approx_idx++];
       if (exec.is_unpacked) {
@@ -183,30 +239,39 @@ void UnpackedEngine::run_batch(
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       for (int b = 0; b < batch; ++b) {
         maxpool_ref(*pool,
-                    std::span<const int8_t>(cur).subspan(
-                        static_cast<size_t>(b) * cur_elems, cur_elems),
-                    std::span<int8_t>(next).subspan(
-                        static_cast<size_t>(b) * out_elems, out_elems));
+                    cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                    next.subspan(static_cast<size_t>(b) * out_elems,
+                                 out_elems));
       }
     } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
       for (int b = 0; b < batch; ++b) {
         avgpool_ref(*pool,
-                    std::span<const int8_t>(cur).subspan(
-                        static_cast<size_t>(b) * cur_elems, cur_elems),
-                    std::span<int8_t>(next).subspan(
-                        static_cast<size_t>(b) * out_elems, out_elems));
+                    cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                    next.subspan(static_cast<size_t>(b) * out_elems,
+                                 out_elems));
       }
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       packed_dense_batch(*fc, packed_fc_[fc_idx++], cur, next, batch);
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      const std::span<const int8_t> second = tensor_batch_span(ins[1]);
+      for (int b = 0; b < batch; ++b) {
+        qadd_ref(*add,
+                 cur.subspan(static_cast<size_t>(b) * cur_elems, cur_elems),
+                 second.subspan(static_cast<size_t>(b) * cur_elems,
+                                cur_elems),
+                 next.subspan(static_cast<size_t>(b) * out_elems, out_elems));
+      }
     }
-    cur.swap(next);
-    cur_elems = out_elems;
   }
 
+  const std::span<const int8_t> out = tensor_batch_span(layer_count);
+  const size_t final_elems =
+      static_cast<size_t>(model().tensor_elems(layer_count));
   logits_out.assign(static_cast<size_t>(batch), {});
   for (int b = 0; b < batch; ++b) {
-    const auto* base = cur.data() + static_cast<size_t>(b) * cur_elems;
-    logits_out[static_cast<size_t>(b)].assign(base, base + cur_elems);
+    const auto sub = out.subspan(static_cast<size_t>(b) * final_elems,
+                                 final_elems);
+    logits_out[static_cast<size_t>(b)].assign(sub.begin(), sub.end());
   }
 }
 

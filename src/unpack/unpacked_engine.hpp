@@ -87,6 +87,10 @@ class UnpackedEngine : public InferenceEngine {
 
   CortexM33CostTable costs_;
   MemoryCostTable memory_;
+  // Shared liveness-based activation plan (src/mcu/memory_model): slot
+  // buffers replace ping-pong so DAG (residual) models execute with the
+  // peak RAM the memory model reports.
+  ActivationPlan plan_;
   std::vector<ApproxExec> convs_;          // by approximable ordinal
   std::vector<PackedWeights> packed_fc_;   // by fc ordinal
   std::vector<LayerProfile> profile_;

@@ -48,6 +48,8 @@ XCubeEngine::XCubeEngine(const QModel* model, XCubeCostTable costs)
                 static_cast<double>(fc->out_dim) * (fc->in_dim / 2);
       cycles += costs_.fc_out_epilogue * static_cast<double>(fc->out_dim);
       out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      cycles += costs_.qadd_per_elem * static_cast<double>(add->elems());
     }
   }
   cycles += costs_.softmax_per_logit * out_dim;

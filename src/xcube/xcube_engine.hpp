@@ -29,6 +29,7 @@ struct XCubeCostTable {
   double fc_per_pair = 2.6;
   double fc_out_epilogue = 20.0;
   double pool_per_output_elem_per_tap = 1.6;
+  double qadd_per_elem = 7.5;   // fused requantize-and-add, per element
   double layer_dispatch = 300.0;
   double softmax_per_logit = 25.0;
 

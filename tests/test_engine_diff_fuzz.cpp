@@ -2,8 +2,10 @@
 //
 // PR 2's parity suite checks crafted cases; this one generates them:
 // random small conv/depthwise/pool/avgpool/dense models (random geometry, random quantized
-// weights, chained activation params) and significance-derived tau skip
-// masks, asserting for every generated case that
+// weights, chained activation params) — optionally with residual QAdd
+// skip edges that nest or overlap at random (DAG models) — and
+// significance-derived tau skip masks, asserting for every generated
+// case that
 //   * all four engines match the reference logits/classifications
 //     bit-exactly on exact configs,
 //   * the masked reference oracle and the unpacked approximate engine
@@ -54,7 +56,10 @@ uint64_t base_seed() {
 // Random structurally-valid model: 1-2 conv layers (kernel 1 or 3,
 // stride 1, same-padding, so any geometry chains), each optionally
 // followed by a 3x3 same-padded depthwise conv, an optional 2x2 pool
-// (max or average, randomly), final dense head. Channel counts are
+// (max or average, randomly), then 0-2 residual blocks (shape-preserving
+// conv [+ depthwise] closed by a QAdd whose skip edge targets a random
+// earlier same-shape tensor — successive blocks can nest inside or
+// overlap each other's edges), final dense head. Channel counts are
 // randomized to hit both the even (dual-MAC fast path) and odd
 // (leftover single) patch parities; depthwise layers always have an odd
 // 9-tap patch, exercising the re-paired single path.
@@ -65,10 +70,15 @@ QModel make_random_model(uint64_t seed) {
   m.in_h = m.in_w = 2 * rng.next_int(3, 6);  // 6..12, even for pooling
   m.in_c = rng.next_int(1, 4);
   m.input = {1.0f / 255.0f, -128};
-  m.topology = "fuzz";
 
   int h = m.in_h, w = m.in_w, c = m.in_c;
   QuantParams upstream = m.input;
+  // Per-layer input rows (tensor ids), installed only if an add appears.
+  std::vector<std::vector<int>> rows;
+  const auto push = [&](QLayer layer) {
+    rows.push_back({static_cast<int>(m.layers.size())});
+    m.layers.emplace_back(std::move(layer));
+  };
   const int conv_count = rng.next_int(1, 2);
   const bool with_pool = rng.next_bool(0.5);
   const bool avg_pool = rng.next_bool(0.5);
@@ -88,7 +98,7 @@ QModel make_random_model(uint64_t seed) {
     conv.act_min = conv.out.zero_point;
     upstream = conv.out;
     c = g.out_c;
-    m.layers.emplace_back(std::move(conv));
+    push(std::move(conv));
     if (rng.next_bool(0.5)) {
       QDepthwiseConv2D dw = make_random_qdw(h, w, c, /*kernel=*/3,
                                             /*stride=*/1, /*pad=*/1,
@@ -99,7 +109,7 @@ QModel make_random_model(uint64_t seed) {
                                        dw.w_scale / dw.out.scale);
       dw.act_min = dw.out.zero_point;
       upstream = dw.out;
-      m.layers.emplace_back(std::move(dw));
+      push(std::move(dw));
     }
     if (i == 0 && with_pool) {
       if (avg_pool) {
@@ -109,7 +119,7 @@ QModel make_random_model(uint64_t seed) {
         pool.channels = c;
         pool.kernel = 2;
         pool.stride = 2;
-        m.layers.emplace_back(pool);
+        push(pool);
       } else {
         QMaxPool pool;
         pool.in_h = h;
@@ -117,18 +127,73 @@ QModel make_random_model(uint64_t seed) {
         pool.channels = c;
         pool.kernel = 2;
         pool.stride = 2;
-        m.layers.emplace_back(pool);
+        push(pool);
       }
       h /= 2;
       w /= 2;
     }
   }
+
+  // Residual tail: shape-preserving blocks closed by QAdd skip edges.
+  // Anchors are earlier same-shape tensors; sampling them uniformly makes
+  // successive edges nest or overlap at random.
+  const int res_blocks = rng.next_int(0, 2);
+  bool has_add = false;
+  std::vector<std::pair<int, QuantParams>> anchors;
+  anchors.emplace_back(static_cast<int>(m.layers.size()), upstream);
+  for (int b = 0; b < res_blocks; ++b) {
+    ConvGeom g;
+    g.in_h = h;
+    g.in_w = w;
+    g.in_c = c;
+    g.out_c = c;  // keep shape so the add operands line up
+    g.kernel = rng.next_bool(0.5) ? 3 : 1;
+    g.stride = 1;
+    g.pad = g.kernel / 2;
+    QConv2D conv = make_random_qconv(g, rng.next_u64(), /*folded_relu=*/true);
+    conv.in = upstream;
+    conv.requant = quantize_multiplier(static_cast<double>(conv.in.scale) *
+                                       conv.w_scale / conv.out.scale);
+    conv.act_min = conv.out.zero_point;
+    upstream = conv.out;
+    push(std::move(conv));
+    if (rng.next_bool(0.5)) {
+      QDepthwiseConv2D dw = make_random_qdw(h, w, c, /*kernel=*/3,
+                                            /*stride=*/1, /*pad=*/1,
+                                            rng.next_u64(),
+                                            /*folded_relu=*/true);
+      dw.in = upstream;
+      dw.requant = quantize_multiplier(static_cast<double>(dw.in.scale) *
+                                       dw.w_scale / dw.out.scale);
+      dw.act_min = dw.out.zero_point;
+      upstream = dw.out;
+      push(std::move(dw));
+    }
+    const auto& anchor = anchors[static_cast<size_t>(
+        rng.next_int(0, static_cast<int>(anchors.size()) - 1))];
+    Rng arng(rng.next_u64());
+    QAdd add = testing::make_qadd(h, w, c, upstream, anchor.second,
+                                  testing::random_act_params(arng));
+    const int top = static_cast<int>(m.layers.size());
+    rows.push_back({top, anchor.first});
+    m.layers.emplace_back(std::move(add));
+    upstream = std::get<QAdd>(m.layers.back()).out;
+    anchors.emplace_back(static_cast<int>(m.layers.size()), upstream);
+    has_add = true;
+  }
+  m.topology =
+      has_add ? "fuzz-[r" + std::to_string(res_blocks) + "]" : "fuzz";
+
   QDense fc = make_random_qdense(h * w * c, rng.next_int(2, 10),
                                  rng.next_u64());
   fc.in = upstream;
   fc.requant = quantize_multiplier(static_cast<double>(fc.in.scale) *
                                    fc.w_scale / fc.out.scale);
-  m.layers.emplace_back(std::move(fc));
+  push(std::move(fc));
+  if (has_add) {
+    m.layer_inputs = std::move(rows);
+    m.validate_dag();
+  }
   return m;
 }
 

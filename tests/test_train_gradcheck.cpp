@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "src/train/layers.hpp"
+#include "src/train/network.hpp"
 #include "src/train/softmax_xent.hpp"
 
 namespace ataman {
@@ -180,6 +181,76 @@ TEST(GradCheck, MaxPool) {
   for (int64_t i = 0; i < x.size(); ++i)
     x[i] = static_cast<float>(i % 97) * 0.13f + rng.next_float() * 0.01f;
   check_input_gradient(layer, x, 3e-2);
+}
+
+TEST(GradCheck, AddLayerForwardAndBackward) {
+  AddLayer layer;
+  const FTensor a = random_input({2, 3, 3, 2}, 12);
+  const FTensor b = random_input({2, 3, 3, 2}, 13);
+  const FTensor y = layer.forward2(a, b);
+  ASSERT_EQ(y.size(), a.size());
+  for (int64_t i = 0; i < y.size(); ++i)
+    EXPECT_FLOAT_EQ(y[i], a[i] + b[i]) << i;
+
+  // d(a+b)/da == d(a+b)/db == identity: backward passes dy through
+  // unchanged (the Network routes the same dy into the skip operand).
+  const FTensor g = probe_grad(y, 7);
+  const FTensor dx = layer.backward(g);
+  ASSERT_EQ(dx.size(), g.size());
+  for (int64_t i = 0; i < dx.size(); ++i) EXPECT_FLOAT_EQ(dx[i], g[i]) << i;
+
+  // Single-input forward() is a wiring error: the Network must dispatch
+  // two-operand forward2.
+  EXPECT_THROW(layer.forward(a, /*train=*/false), Error);
+
+  // Mismatched operand shapes are rejected.
+  const FTensor wrong = random_input({2, 3, 3, 1}, 14);
+  EXPECT_THROW(layer.forward2(a, wrong), Error);
+}
+
+// Numeric gradcheck of the full DAG backward wiring: a residual network
+// whose adds tap both an intermediate layer and the network input, so
+// skip-edge gradients must accumulate into the chain gradient.
+TEST(GradCheck, ResidualNetworkDagBackward) {
+  ModelArch arch;
+  arch.name = "gradcheck-residual";
+  arch.topology = "1-[r1]-1";
+  arch.layers = {LayerSpec::conv(3, 3, 1, 1), LayerSpec::relu(),
+                 LayerSpec::conv(3, 3, 1, 1), LayerSpec::add(1),
+                 LayerSpec::add(-1),          LayerSpec::dense(5)};
+  Rng init(31);
+  Network net(arch, ImageShape{6, 6, 3}, init);
+
+  FTensor x = random_input({2, 6, 6, 3}, 32);
+  const uint64_t seed = 99;
+  net.zero_grad();
+  const FTensor y = net.forward(x, /*train=*/true);
+  net.backward(probe_grad(y, seed));
+
+  const auto net_loss = [&](const FTensor& input) {
+    const FTensor out = net.forward(input, /*train=*/false);
+    Rng probe(seed);
+    return probe_loss(out, probe);
+  };
+  Rng pick(33);
+  const double eps = 1e-3;
+  for (const ParamRef& p : net.params()) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const size_t i = static_cast<size_t>(pick.next_below(p.value->size()));
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + static_cast<float>(eps);
+      const double up = net_loss(x);
+      (*p.value)[i] = orig - static_cast<float>(eps);
+      const double down = net_loss(x);
+      (*p.value)[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      // Slightly looser tolerance than the single-layer checks: the
+      // ReLU kink sits inside the differentiated path here.
+      EXPECT_NEAR((*p.grad)[i], numeric,
+                  3e-2 * std::max(1.0, std::abs(numeric)))
+          << "param index " << i;
+    }
+  }
 }
 
 TEST(GradCheck, Relu) {

@@ -83,6 +83,28 @@ inline QDense make_random_qdense(int in_dim, int out_dim, uint64_t seed) {
   return fc;
 }
 
+// Residual requantize-and-add layer over two tensors with params `a` and
+// `b`, producing `out` (random output params come from the caller so
+// quantization chains stay explicit).
+inline QAdd make_qadd(int h, int w, int channels, const QuantParams& a,
+                      const QuantParams& b, const QuantParams& out,
+                      bool folded_relu = false) {
+  QAdd q;
+  q.h = h;
+  q.w = w;
+  q.channels = channels;
+  q.in_a = a;
+  q.in_b = b;
+  q.out = out;
+  q.requant_a =
+      quantize_multiplier(static_cast<double>(a.scale) / out.scale);
+  q.requant_b =
+      quantize_multiplier(static_cast<double>(b.scale) / out.scale);
+  q.act_min = folded_relu ? q.out.zero_point : -128;
+  q.act_max = 127;
+  return q;
+}
+
 inline std::vector<int8_t> make_random_input(int64_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<int8_t> v(static_cast<size_t>(n));
@@ -149,6 +171,67 @@ inline QModel make_tiny_qmodel(uint64_t seed) {
   m.layers.emplace_back(p1);
   m.layers.emplace_back(std::move(c2));
   m.layers.emplace_back(std::move(fc));
+  return m;
+}
+
+// A small residual (DAG) model: conv -> conv -> add(skip from conv1) ->
+// conv -> add(skip from the first add) -> fc, all shape-preserving, with
+// chained quantization params and explicit layer_inputs. The two nested
+// skip edges make the liveness planner keep three tensors live at the
+// adds, so DAG peak RAM < sum-of-tensors but > the chain ping-pong pair.
+// in: 8x8x4 u8 image.
+inline QModel make_residual_qmodel(uint64_t seed) {
+  QModel m;
+  m.name = "residual-test";
+  m.topology = "1-[r2]-1";
+  m.in_h = 8;
+  m.in_w = 8;
+  m.in_c = 4;
+  m.input = {1.0f / 255.0f, -128};
+
+  ConvGeom g;
+  g.in_h = 8; g.in_w = 8; g.in_c = 4;
+  g.out_c = 4; g.kernel = 3; g.stride = 1; g.pad = 1;
+
+  QConv2D c1 = make_random_qconv(g, seed * 61 + 1, /*folded_relu=*/true);
+  c1.in = m.input;
+  c1.requant = quantize_multiplier(
+      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  c1.act_min = c1.out.zero_point;
+
+  QConv2D c2 = make_random_qconv(g, seed * 61 + 2, /*folded_relu=*/true);
+  c2.in = c1.out;
+  c2.requant = quantize_multiplier(
+      static_cast<double>(c2.in.scale) * c2.w_scale / c2.out.scale);
+  c2.act_min = c2.out.zero_point;
+
+  Rng rng(seed * 61 + 3);
+  // add1 reads tensor 2 (c2 out) and tensor 1 (c1 out).
+  QAdd a1 = make_qadd(8, 8, 4, c2.out, c1.out, random_act_params(rng));
+
+  QConv2D c3 = make_random_qconv(g, seed * 61 + 4, /*folded_relu=*/true);
+  c3.in = a1.out;
+  c3.requant = quantize_multiplier(
+      static_cast<double>(c3.in.scale) * c3.w_scale / c3.out.scale);
+  c3.act_min = c3.out.zero_point;
+
+  // add2 reads tensor 4 (c3 out) and tensor 3 (add1 out) — nested with
+  // the first skip edge.
+  QAdd a2 = make_qadd(8, 8, 4, c3.out, a1.out, random_act_params(rng));
+
+  QDense fc = make_random_qdense(8 * 8 * 4, 10, seed * 61 + 5);
+  fc.in = a2.out;
+  fc.requant = quantize_multiplier(
+      static_cast<double>(fc.in.scale) * fc.w_scale / fc.out.scale);
+
+  m.layers.emplace_back(std::move(c1));   // layer 0 -> tensor 1
+  m.layers.emplace_back(std::move(c2));   // layer 1 -> tensor 2
+  m.layers.emplace_back(std::move(a1));   // layer 2 -> tensor 3
+  m.layers.emplace_back(std::move(c3));   // layer 3 -> tensor 4
+  m.layers.emplace_back(std::move(a2));   // layer 4 -> tensor 5
+  m.layers.emplace_back(std::move(fc));   // layer 5 -> tensor 6
+  m.layer_inputs = {{0}, {1}, {2, 1}, {3}, {4, 3}, {5}};
+  m.validate_dag();
   return m;
 }
 
