@@ -1,0 +1,119 @@
+// Shared pieces of the traffic-replay harness, extracted so the unit
+// tests (tests/test_percentiles.cpp) can pin their semantics without
+// running the full replay.
+//
+// Percentiles use the nearest-rank definition: the p-th percentile of N
+// samples is the ceil(p/100 * N)-th smallest (1-indexed). It needs no
+// interpolation, is exact on small sample counts, and matches what SLO
+// dashboards typically report. An empty sample set reports 0.0 rather
+// than throwing — replay classes that received no traffic render as
+// zero rows, not crashes.
+//
+// Trace generation is fully deterministic: one seeded Rng drives both
+// the workload-class choice and the Poisson-style arrival process
+// (exponential inter-arrival gaps via inverse-CDF sampling), so the
+// same seed always produces the same trace regardless of host, thread
+// count, or replay speed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ataman::bench {
+
+// Nearest-rank percentile of `values` at rank q in [0, 100].
+// Takes a copy: sorting the caller's sample buffer in place would make
+// later percentile calls on the same data order-dependent.
+inline double percentile(std::vector<double> values, double q) {
+  check(q >= 0.0 && q <= 100.0, "percentile rank must be in [0, 100]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  size_t rank = static_cast<size_t>(std::ceil(q / 100.0 * n));
+  if (rank < 1) rank = 1;  // p0 still reports the smallest sample
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+// The latency digest every replay row reports.
+struct LatencySummary {
+  int count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline LatencySummary summarize_latency(const std::vector<double>& samples) {
+  LatencySummary s;
+  s.count = static_cast<int>(samples.size());
+  s.p50 = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  s.p99 = percentile(samples, 99.0);
+  for (const double v : samples) s.max = std::max(s.max, v);
+  return s;
+}
+
+// One replayed request in the mixed multi-model trace.
+struct TraceEvent {
+  int model_class = 0;    // index into the replay's workload list
+  int image_index = 0;    // index into that workload's test split
+  double arrival_ms = 0;  // offset from replay start (non-decreasing)
+};
+
+// Deterministic mixed trace: uniformly random workload class per event,
+// exponential inter-arrival gaps with the given mean (inverse-CDF:
+// gap = -mean * ln(1 - u), u in [0, 1) so the log argument never hits
+// zero). Same seed -> same trace, bit for bit.
+inline std::vector<TraceEvent> make_trace(uint64_t seed, int count,
+                                          int num_classes,
+                                          int images_per_class,
+                                          double mean_gap_ms) {
+  check(count >= 0, "make_trace: negative event count");
+  check(num_classes >= 1, "make_trace: needs at least one workload class");
+  check(images_per_class >= 1, "make_trace: needs at least one image");
+  check(mean_gap_ms >= 0.0, "make_trace: negative mean arrival gap");
+  Rng rng(seed);
+  std::vector<TraceEvent> trace;
+  trace.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    TraceEvent e;
+    e.model_class = rng.next_int(0, num_classes - 1);
+    e.image_index = rng.next_int(0, images_per_class - 1);
+    t += -mean_gap_ms * std::log(1.0 - rng.next_double());
+    e.arrival_ms = t;
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+// Per-class sample buckets (insertion via operator[], ordered iteration
+// for stable report rendering).
+class ClassBuckets {
+ public:
+  void add(const std::string& cls, double value) {
+    buckets_[cls].push_back(value);
+  }
+
+  const std::vector<double>& samples(const std::string& cls) const {
+    static const std::vector<double> kEmpty;
+    const auto it = buckets_.find(cls);
+    return it == buckets_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, std::vector<double>>& all() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> buckets_;
+};
+
+}  // namespace ataman::bench

@@ -2,7 +2,8 @@
 // the paper's "automated toolkit" entry point.
 //
 // Usage:
-//   ataman_cli [--model lenet|alexnet|micronet|dscnn|mobilenetv2]
+//   ataman_cli [--model lenet|alexnet|micronet|dscnn|mobilenetv2|vww|
+//               ae_anomaly]
 //              [--loss 0.05]
 //              [--eval-images N] [--tau-step S] [--engine NAME]
 //              [--fast-dse | --exact-sweep]
@@ -32,6 +33,7 @@
 #include "src/common/stopwatch.hpp"
 #include "src/core/ataman.hpp"
 #include "src/core/engine_iface.hpp"
+#include "src/core/eval.hpp"
 #include "src/serve/server.hpp"
 #include "src/unpack/layer_selection.hpp"
 
@@ -103,7 +105,8 @@ CliArgs parse_args(int argc, char** argv) {
       }
       std::printf(
           "usage: ataman_cli [--model "
-          "lenet|alexnet|micronet|dscnn|mobilenetv2] [--loss F]\n"
+          "lenet|alexnet|micronet|dscnn|mobilenetv2|vww|ae_anomaly]\n"
+          "                  [--loss F]\n"
           "                  [--eval-images N] [--tau-step S]\n"
           "                  [--engine %s]\n"
           "                  [--fast-dse | --exact-sweep]\n"
@@ -146,13 +149,16 @@ int main(int argc, char** argv) {
         "--fast-dse and --exact-sweep are mutually exclusive");
   check(args.model == "lenet" || args.model == "alexnet" ||
             args.model == "micronet" || args.model == "dscnn" ||
-            args.model == "mobilenetv2",
+            args.model == "mobilenetv2" || args.model == "vww" ||
+            args.model == "ae_anomaly",
         "unknown --model '" + args.model + "' (see --help)");
 
   const ZooSpec spec = args.model == "lenet"         ? lenet_spec()
                        : args.model == "alexnet"     ? alexnet_spec()
                        : args.model == "dscnn"       ? dscnn_spec()
                        : args.model == "mobilenetv2" ? mobilenetv2_spec()
+                       : args.model == "vww"         ? vww_spec()
+                       : args.model == "ae_anomaly"  ? ae_anomaly_spec()
                                                      : micronet_spec();
   std::printf("[cli] model=%s (%s) loss=%.3f\n", args.model.c_str(),
               spec.arch.topology.c_str(), args.loss);
@@ -215,6 +221,20 @@ int main(int argc, char** argv) {
                 r->design.c_str(), r->network.c_str(), r->topology.c_str(),
                 r->top1_accuracy, r->latency_ms,
                 static_cast<double>(r->flash_bytes) / 1024.0, r->energy_mj);
+  }
+
+  ScoredAccuracy scored;
+  if (model.head == TaskHead::kScore) {
+    // Threshold-free quality of the scored head: the accuracy column
+    // above is thresholded, AUC ranks the raw reconstruction scores.
+    EngineConfig ref_cfg;
+    ref_cfg.model = &model;
+    const auto ref = EngineRegistry::instance().create("ref", ref_cfg);
+    scored = evaluate_scored(*ref, data.test, args.eval_images);
+    std::printf("[cli] scored head: threshold %.6f, AUC %.4f over %d "
+                "images\n",
+                static_cast<double>(model.score_threshold), scored.auc,
+                scored.images);
   }
 
   if (args.serve) {
@@ -307,6 +327,11 @@ int main(int argc, char** argv) {
     root.emplace("sweep_images_evaluated",
                  static_cast<int64_t>(outcome.images_evaluated));
     root.emplace("sweep_early_exits", outcome.early_exits);
+    if (model.head == TaskHead::kScore) {
+      root.emplace("score_threshold",
+                   static_cast<double>(model.score_threshold));
+      root.emplace("score_auc", scored.auc);
+    }
     JsonArray reports;
     reports.push_back(report_json(cmsis));
     reports.push_back(report_json(xcube));

@@ -1,0 +1,57 @@
+// Shared scalar metrics. Header-only so both the float training substrate
+// (MSE autoencoder test metric) and the quantized evaluator (scored-head
+// reporting) use the exact same AUC definition.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+// Rank-based ROC AUC: the probability that a positive (label 1) scores
+// higher than a negative (label 0), with ties credited 0.5 (average-rank
+// Mann-Whitney U). Degenerate inputs — empty, or only one class present —
+// return 0.5, the chance level. Deterministic for any input order.
+inline double rank_auc(std::span<const double> scores,
+                       std::span<const int> labels) {
+  check(scores.size() == labels.size(), "rank_auc: size mismatch");
+  const size_t n = scores.size();
+  size_t positives = 0;
+  for (int l : labels) {
+    check(l == 0 || l == 1, "rank_auc: labels must be binary");
+    positives += static_cast<size_t>(l);
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Sum of (average, 1-based) ranks over the positives. The tie group
+  // starts at i + 1 so the scan always advances — with j starting at i,
+  // a NaN score (NaN == NaN is false) would pin j == i and loop forever.
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j));  // ranks i+1..j
+    for (size_t k = i; k < j; ++k)
+      if (labels[order[k]] == 1) positive_rank_sum += avg_rank;
+    i = j;
+  }
+  const double p = static_cast<double>(positives);
+  const double q = static_cast<double>(negatives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * q);
+}
+
+}  // namespace ataman

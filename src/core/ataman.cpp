@@ -1,11 +1,14 @@
 #include "src/core/ataman.hpp"
 
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <sstream>
 
 #include "src/common/serialize.hpp"
 #include "src/core/engine_iface.hpp"
+#include "src/core/eval.hpp"
+#include "src/nn/engine.hpp"
 
 namespace ataman {
 
@@ -14,8 +17,9 @@ AtamanPipeline::AtamanPipeline(const QModel* model, const Dataset* calib,
     : model_(model), calib_(calib), eval_(eval), options_(options) {
   check(model != nullptr && calib != nullptr && eval != nullptr,
         "pipeline needs model, calibration and eval datasets");
-  check(model->approx_layer_count() > 0,
-        "the approximation targets conv/depthwise layers; model has none");
+  // Models with zero approximable layers (e.g. the dense autoencoder) are
+  // allowed: the DSE degenerates to evaluating the single exact config,
+  // and every deploy/serve/codegen path works unchanged.
 }
 
 void AtamanPipeline::analyze() {
@@ -23,6 +27,7 @@ void AtamanPipeline::analyze() {
   stats_ = capture_activation_stats(*model_, *calib_,
                                     options_.calibration_images);
   significance_ = compute_model_significance(*model_, stats_);
+  analyzed_ = true;
 }
 
 const std::vector<LayerSignificance>& AtamanPipeline::significance() const {
@@ -109,6 +114,8 @@ QModel get_or_build_qmodel(const ZooSpec& spec, const std::string& cache_dir) {
   std::ostringstream key;
   key << spec.arch.name << "_q8_" << spec.data.seed << "_"
       << spec.data.train_images << "_" << spec.train.epochs << "_"
+      << static_cast<int>(spec.data.task) << "_"
+      << static_cast<int>(spec.train.loss) << "_"
       << std::hash<std::string>{}(spec.arch.topology);
   const std::string path = cache_dir + "/" + key.str() + ".qm";
   if (file_exists(path)) return load_qmodel(path);
@@ -116,8 +123,34 @@ QModel get_or_build_qmodel(const ZooSpec& spec, const std::string& cache_dir) {
   TrainedModel trained = get_or_train(spec, cache_dir);
   const SynthCifar data = make_synth_cifar(spec.data);
   QModel qm = quantize_model(trained.net, data.train);
+  if (spec.train.loss == TrainLoss::kMseReconstruction) {
+    // Reconstruction-trained models quantize to a scored head; the
+    // anomaly threshold is part of the artifact, calibrated once against
+    // the all-normal training split.
+    qm.head = TaskHead::kScore;
+    qm.score_threshold = calibrate_score_threshold(qm, data.train);
+  }
   save_qmodel(qm, path);
   return qm;
+}
+
+float calibrate_score_threshold(const QModel& model, const Dataset& normals,
+                                int limit) {
+  check(model.head == TaskHead::kScore,
+        "threshold calibration needs a scored head");
+  const int n = clamp_eval_limit(limit, normals.size());
+  const RefEngine engine(&model);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double s = engine.score(normals.image(i));
+    sum += s;
+    sum_sq += s * s;
+  }
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  // mean + 2 sigma of the normal-score distribution: ~2.3% false-positive
+  // rate under a Gaussian fit, far below the corrupted-score band.
+  return static_cast<float>(mean + 2.0 * std::sqrt(var));
 }
 
 }  // namespace ataman

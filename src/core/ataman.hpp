@@ -43,7 +43,7 @@ class AtamanPipeline {
   // Steps 2+3: capture E[a_i] on the calibration subset and compute the
   // per-channel significance of every conv product. Idempotent.
   void analyze();
-  bool analyzed() const { return !significance_.empty(); }
+  bool analyzed() const { return analyzed_; }
   const std::vector<LayerSignificance>& significance() const;
   const std::vector<ConvInputStats>& activation_stats() const;
 
@@ -90,7 +90,16 @@ class AtamanPipeline {
   PipelineOptions options_;
   std::vector<ConvInputStats> stats_;
   std::vector<LayerSignificance> significance_;
+  // Explicit flag: a model with zero approximable layers (e.g. the dense
+  // autoencoder) analyzes to legitimately empty stats/significance.
+  bool analyzed_ = false;
 };
+
+// Calibrate the anomaly threshold of a scored model: mean + 2*stddev of
+// the reference-engine reconstruction scores over up to `limit` images of
+// `normals` (the all-normal training split). Deterministic.
+float calibrate_score_threshold(const QModel& model, const Dataset& normals,
+                                int limit = 256);
 
 // Train (or load from cache) the float model for `spec`, quantize it with
 // PTQ (calibrated on the training split) and cache the result. The

@@ -24,8 +24,38 @@ std::vector<int8_t> InferenceEngine::quantize_input(
   return q;
 }
 
+double reconstruction_score(const QModel& model,
+                            std::span<const int8_t> q_input,
+                            std::span<const int8_t> reconstruction) {
+  const auto* head = std::get_if<QDense>(&model.layers.back());
+  check(head != nullptr,
+        "reconstruction_score: final layer must be fully connected");
+  check(reconstruction.size() == q_input.size() &&
+            static_cast<int64_t>(q_input.size()) ==
+                static_cast<int64_t>(model.in_h) * model.in_w * model.in_c,
+        "reconstruction_score: reconstruction width != input element count");
+  const QuantParams out = head->out;
+  const QuantParams in = model.input;
+  double sum = 0.0;
+  for (size_t i = 0; i < q_input.size(); ++i) {
+    const double diff = static_cast<double>(out.dequantize(reconstruction[i])) -
+                        static_cast<double>(in.dequantize(q_input[i]));
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(q_input.size());
+}
+
 int InferenceEngine::classify(std::span<const uint8_t> image) const {
+  if (model().head == TaskHead::kScore)
+    return scored_class(model(), score(image));
   return argmax_lowest_index(run(image));
+}
+
+double InferenceEngine::score(std::span<const uint8_t> image) const {
+  check(model().head == TaskHead::kScore,
+        "score() on engine '" + design_name_ +
+            "': model '" + model().name + "' has an argmax head");
+  return reconstruction_score(model(), quantize_input(image), run(image));
 }
 
 std::vector<int8_t> InferenceEngine::run_from(

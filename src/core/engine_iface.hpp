@@ -48,6 +48,26 @@ inline int argmax_lowest_index(std::span<const int8_t> logits) {
   return best;
 }
 
+// Scored-head (TaskHead::kScore) reduction: mean squared error between
+// the dequantized int8 reconstruction (the model's final QDense output)
+// and the dequantized int8 input tensor, accumulated in double. The
+// int8 tensors are bit-exact across backends, and IEEE double addition
+// over a fixed order is deterministic, so the *score* is bit-exact
+// across backends too — the scored analogue of the logits-parity
+// contract. The model's final layer must be a QDense whose out_dim
+// equals the input element count.
+double reconstruction_score(const QModel& model,
+                            std::span<const int8_t> q_input,
+                            std::span<const int8_t> reconstruction);
+
+// Class decision of a scored head: strictly above threshold = anomalous
+// (class 1). Every consumer — engines, evaluator, prefix cache, serve
+// workers, generated C — must use this one comparison for "bit-exact
+// classification parity" to hold at the decision boundary.
+inline int scored_class(const QModel& model, double score) {
+  return score > model.score_threshold ? 1 : 0;
+}
+
 class InferenceEngine {
  public:
   virtual ~InferenceEngine() = default;
@@ -109,7 +129,14 @@ class InferenceEngine {
       int layer_begin, std::span<const int8_t> activations) const;
 
   // Top-1 class; ties broken lowest-index-wins (argmax_lowest_index).
+  // On scored models (TaskHead::kScore) the decision is instead
+  // scored_class(reconstruction_score(...)): 1 = anomalous.
   virtual int classify(std::span<const uint8_t> image) const;
+
+  // Scalar anomaly score of a scored model: run() + reconstruction_score.
+  // Bit-exact across backends (see reconstruction_score). Throws on
+  // TaskHead::kClassify models, whose head has no scalar reduction.
+  virtual double score(std::span<const uint8_t> image) const;
 
   // Cheap duplicate for per-worker engine pools (src/serve): copies the
   // engine's derived state (packed weight streams, unpacked channel

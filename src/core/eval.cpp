@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/parallel.hpp"
 
 namespace ataman {
@@ -59,11 +60,18 @@ BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
       engine.run_batch(images, logits);
       for (int64_t i = b0; i < b1; ++i) {
         const int idx = static_cast<int>(i);
-        hit[static_cast<size_t>(i)] =
-            argmax_lowest_index(logits[static_cast<size_t>(i - b0)]) ==
-                    ds.label(idx)
-                ? 1
-                : 0;
+        const std::vector<int8_t>& out = logits[static_cast<size_t>(i - b0)];
+        // Scored heads reduce the reconstruction to a thresholded binary
+        // decision instead of argmax; both paths fill the same per-image
+        // hit slot, so the deterministic reduction below is shared.
+        const int pred =
+            engine.model().head == TaskHead::kScore
+                ? scored_class(engine.model(),
+                               reconstruction_score(
+                                   engine.model(),
+                                   engine.quantize_input(ds.image(idx)), out))
+                : argmax_lowest_index(out);
+        hit[static_cast<size_t>(i)] = pred == ds.label(idx) ? 1 : 0;
       }
     }
   });
@@ -71,6 +79,34 @@ BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
   acc.images = n;
   for (const uint8_t h : hit) acc.correct += h;
   acc.top1 = static_cast<double>(acc.correct) / static_cast<double>(n);
+  return acc;
+}
+
+ScoredAccuracy evaluate_scored(const InferenceEngine& engine,
+                               const Dataset& ds, int limit) {
+  check(engine.model().head == TaskHead::kScore,
+        "evaluate_scored on argmax-head model '" + engine.model().name + "'");
+  const int n = clamp_eval_limit(limit, ds.size());
+  // Disjoint per-image score slots, same determinism argument as the hit
+  // vectors above; rank_auc itself is order-independent.
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  std::vector<int> labels(static_cast<size_t>(n), 0);
+  parallel_for_chunked(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int idx = static_cast<int>(i);
+      scores[static_cast<size_t>(i)] = engine.score(ds.image(idx));
+      labels[static_cast<size_t>(i)] = ds.label(idx);
+    }
+  });
+  ScoredAccuracy acc;
+  acc.images = n;
+  for (int i = 0; i < n; ++i) {
+    if (scored_class(engine.model(), scores[static_cast<size_t>(i)]) ==
+        labels[static_cast<size_t>(i)])
+      ++acc.correct;
+  }
+  acc.top1 = static_cast<double>(acc.correct) / static_cast<double>(n);
+  acc.auc = rank_auc(scores, labels);
   return acc;
 }
 

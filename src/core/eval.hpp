@@ -42,9 +42,25 @@ using ClassifyFn = std::function<int(std::span<const uint8_t>)>;
 BatchAccuracy evaluate_batch(const ClassifyFn& classify, const Dataset& ds,
                              int limit = -1);
 
-// Convenience overload for any InferenceEngine.
+// Convenience overload for any InferenceEngine. On scored models
+// (TaskHead::kScore) the per-image decision is the thresholded
+// reconstruction score instead of argmax; the hit reduction is shared,
+// so `top1` then reads as binary (normal/anomalous) accuracy.
 BatchAccuracy evaluate_batch(const InferenceEngine& engine, const Dataset& ds,
                              int limit = -1);
+
+// Scored-model evaluation with the threshold-free metric alongside the
+// thresholded accuracy: `auc` is the rank AUC (ties credited 0.5) of the
+// per-image reconstruction scores against the dataset's 0/1 labels.
+// Throws on argmax-head models.
+struct ScoredAccuracy {
+  int images = 0;
+  int correct = 0;   // scored_class(score) == label count
+  double top1 = 0.0;  // thresholded binary accuracy
+  double auc = 0.5;
+};
+ScoredAccuracy evaluate_scored(const InferenceEngine& engine,
+                               const Dataset& ds, int limit = -1);
 
 // One Table II row: measured accuracy plus the engine's modeled cost
 // columns, finalized against `board`. This is the single DeployReport

@@ -87,12 +87,37 @@ void render_image(const SynthCifarSpec& spec, Rng& rng, int label,
   }
 }
 
+// Anomaly corruption: invert a deterministic patch and add extra noise on
+// top of a normal render. Strong enough that a reconstruction-error head
+// separates the two populations, weak enough that raw pixel statistics
+// (mean/stddev) stay in-distribution.
+void corrupt_image(Rng& rng, float noise_sigma,
+                   std::array<uint8_t, kSize * kSize * kChannels>& img) {
+  const int patch = 12;
+  const int px = rng.next_int(0, kSize - patch);
+  const int py = rng.next_int(0, kSize - patch);
+  for (int y = py; y < py + patch; ++y) {
+    for (int x = px; x < px + patch; ++x) {
+      for (int c = 0; c < kChannels; ++c) {
+        const size_t idx = static_cast<size_t>((y * kSize + x) * kChannels + c);
+        float value = 255.0f - static_cast<float>(img[idx]) +
+                      rng.next_normal(0.0f, 0.5f * noise_sigma);
+        img[idx] = static_cast<uint8_t>(
+            std::lround(std::clamp(value, 0.0f, 255.0f)));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Dataset make_synth_cifar_split(const SynthCifarSpec& spec, int count,
-                               uint64_t split_salt) {
+                               uint64_t split_salt, float anomaly_fraction) {
   check(count >= 0, "split size must be non-negative");
-  Dataset ds(ImageShape{kSize, kSize, kChannels}, kClasses);
+  check(anomaly_fraction >= 0.0f && anomaly_fraction <= 1.0f,
+        "anomaly fraction must be in [0, 1]");
+  const int num_classes = spec.task == SynthTask::kClassify10 ? kClasses : 2;
+  Dataset ds(ImageShape{kSize, kSize, kChannels}, num_classes);
 
   // Render in parallel into a flat buffer, then append sequentially so the
   // dataset layout is identical for any thread count.
@@ -102,12 +127,36 @@ Dataset make_synth_cifar_split(const SynthCifarSpec& spec, int count,
   const Rng base(spec.seed ^ split_salt);
   parallel_for(0, count, [&](int64_t i) {
     Rng rng = base.fork(static_cast<uint64_t>(i));
-    // Balanced classes by construction; label noise reassigns a small
-    // fraction to a random class to cap achievable accuracy realistically.
-    int label = static_cast<int>(i) % kClasses;
-    if (rng.next_bool(spec.label_noise)) label = rng.next_int(0, kClasses - 1);
+    // All tasks render the full 10-family substrate; they differ only in
+    // how the stored label is derived from the rendered family.
+    const int family = static_cast<int>(i) % kClasses;
+    int label = family;
+    switch (spec.task) {
+      case SynthTask::kClassify10:
+        // Label noise reassigns a small fraction to a random class to cap
+        // achievable accuracy realistically.
+        if (rng.next_bool(spec.label_noise))
+          label = rng.next_int(0, kClasses - 1);
+        render_image(spec, rng, label, images[static_cast<size_t>(i)]);
+        break;
+      case SynthTask::kVww:
+        // Family parity as the person/no-person bit; noise flips it.
+        label = family % 2;
+        if (rng.next_bool(spec.label_noise)) label = 1 - label;
+        render_image(spec, rng, family, images[static_cast<size_t>(i)]);
+        break;
+      case SynthTask::kAnomaly: {
+        // No label noise: the label IS the corruption bit, and flipping it
+        // would poison both the all-normal train split and test AUC.
+        render_image(spec, rng, family, images[static_cast<size_t>(i)]);
+        const bool anomalous = rng.next_bool(anomaly_fraction);
+        if (anomalous)
+          corrupt_image(rng, spec.noise_sigma, images[static_cast<size_t>(i)]);
+        label = anomalous ? 1 : 0;
+        break;
+      }
+    }
     labels[static_cast<size_t>(i)] = static_cast<uint8_t>(label);
-    render_image(spec, rng, label, images[static_cast<size_t>(i)]);
   });
   for (int i = 0; i < count; ++i)
     ds.add(images[static_cast<size_t>(i)], labels[static_cast<size_t>(i)]);
@@ -119,9 +168,14 @@ Dataset make_synth_cifar_split(const SynthCifarSpec& spec, int count,
 }
 
 SynthCifar make_synth_cifar(const SynthCifarSpec& spec) {
+  // Anomaly training data is all-normal (the autoencoder never sees an
+  // anomaly); the test split is half corrupted for threshold/AUC scoring.
+  const float test_anomaly_fraction =
+      spec.task == SynthTask::kAnomaly ? 0.5f : 0.0f;
   SynthCifar out;
   out.train = make_synth_cifar_split(spec, spec.train_images, /*salt=*/1);
-  out.test = make_synth_cifar_split(spec, spec.test_images, /*salt=*/2);
+  out.test = make_synth_cifar_split(spec, spec.test_images, /*salt=*/2,
+                                    test_anomaly_fraction);
   return out;
 }
 

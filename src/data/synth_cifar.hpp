@@ -19,10 +19,24 @@
 
 namespace ataman {
 
+// Which labelled task the generator renders. All three share the same
+// 32x32x3 pattern substrate; they differ only in how labels are derived:
+//   kClassify10  10-way pattern-family classification (the default).
+//   kVww         person/no-person stand-in: the 10 families collapse to a
+//                binary label (family parity), mirroring the MLPerf-Tiny
+//                visual-wakeword task shape (2 logits, argmax head).
+//   kAnomaly     anomaly detection: label 0 = clean render, label 1 = a
+//                corrupted render (inverted patch + extra noise). Training
+//                data is all-normal — autoencoders must learn "normal"
+//                without seeing anomalies, as in the MLPerf-Tiny ToyADMOS
+//                setup — while the test split mixes both for AUC scoring.
+enum class SynthTask { kClassify10 = 0, kVww = 1, kAnomaly = 2 };
+
 struct SynthCifarSpec {
   int train_images = 8000;
   int test_images = 2000;
   uint64_t seed = 42;
+  SynthTask task = SynthTask::kClassify10;
 
   // Difficulty knobs. Defaults were calibrated (see docs/DESIGN.md) so the
   // Table I models land near the paper's ~71% Top-1 band after int8 PTQ.
@@ -43,8 +57,12 @@ struct SynthCifar {
 SynthCifar make_synth_cifar(const SynthCifarSpec& spec);
 
 // Generate a single split with `count` images (used by tests).
+// `anomaly_fraction` only matters for SynthTask::kAnomaly: that fraction
+// of images is corrupted and labelled 1. make_synth_cifar passes 0.0 for
+// the train split (all-normal) and 0.5 for the test split.
 Dataset make_synth_cifar_split(const SynthCifarSpec& spec, int count,
-                               uint64_t split_salt);
+                               uint64_t split_salt,
+                               float anomaly_fraction = 0.0f);
 
 // CIFAR-10-style class names for the 10 synthetic families.
 const char* synth_cifar_class_name(int label);

@@ -74,8 +74,12 @@ std::vector<ApproxConfig> per_layer_grid(int approx_count,
 
 std::vector<ApproxConfig> generate_configs(int approx_count,
                                            const DseOptions& options) {
-  check(approx_count >= 1, "model has no approximable layers");
+  check(approx_count >= 0, "negative approximable-layer count");
   check(approx_count <= 24, "subset enumeration limited to 24 approximable layers");
+  // Zero approximable layers: the design space is the single exact
+  // config (an empty tau vector), so the DSE degenerates to one
+  // baseline evaluation instead of failing.
+  if (approx_count == 0) return {ApproxConfig::exact(0)};
   std::vector<ApproxConfig> configs =
       options.mode == DseMode::kUniformTauBySubset
           ? uniform_by_subset(approx_count, options)

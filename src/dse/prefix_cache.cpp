@@ -217,6 +217,12 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
       const int label = eval_->label(image_index);
       std::vector<int8_t> act =
           ref_.quantize_input(eval_->image(image_index));
+      // Scored heads compare the reconstruction against the quantized
+      // input at the tail, so keep a copy before `act` is consumed by
+      // the boundary buffers below.
+      const bool scored = ref_.model().head == TaskHead::kScore;
+      std::vector<int8_t> q_input;
+      if (scored) q_input = act;
       // Layers before the first stage (normally none) hold no
       // approximable layer; run them once into the depth-0 boundary.
       if (stage_begin_.front() > 0) {
@@ -261,7 +267,12 @@ PrefixCacheStats PrefixCache::evaluate_ranges(
           }
           const std::vector<int8_t> logits = ref_.run_from(
               tail_begin_, boundary[static_cast<size_t>(n_stages)]);
-          hit = argmax_lowest_index(logits) == label ? 1 : 0;
+          const int pred =
+              scored ? scored_class(ref_.model(),
+                                    reconstruction_score(ref_.model(),
+                                                         q_input, logits))
+                     : argmax_lowest_index(logits);
+          hit = pred == label ? 1 : 0;
           reuse += resume_ordinal;
           run += (approx_count_ - resume_ordinal) + 1;
         }

@@ -72,7 +72,12 @@ struct CortexM33CostTable {
   // per-channel tap loop — the dual-MAC trick needs two weights against
   // one accumulator, which a per-channel filter cannot feed from
   // consecutive memory. Priced per MAC like the basic conv path, with a
-  // slightly cheaper constant (no im2col, better locality).
+  // slightly cheaper constant (no im2col, better locality). Calibrated
+  // against bench/kernel_micro (BM_DepthwisePackedCmsis vs
+  // BM_DepthwiseUnpacked/0): at these rates packed depthwise prices
+  // ~1.5x the unpacked zero-skip program on the 16x16x24 3x3 layer,
+  // matching the scalar-loop vs paired-straight-line instruction shape;
+  // pinned by tests/test_mcu.cpp so re-pricing is a deliberate act.
   double packed_depthwise_per_mac = 5.2;
 
   // -- pooling --

@@ -190,6 +190,11 @@ void RefEngine::run_batch(
 
 int RefEngine::classify(std::span<const uint8_t> image,
                         const SkipMask* mask) const {
+  if (model().head == TaskHead::kScore) {
+    return scored_class(model(),
+                        reconstruction_score(model(), quantize_input(image),
+                                             run(image, mask)));
+  }
   return argmax_lowest_index(run(image, mask));
 }
 

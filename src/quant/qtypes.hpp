@@ -168,6 +168,16 @@ struct OpDescriptor {
 OpDescriptor describe_layer(const QLayer& layer);
 const char* op_kind_name(OpKind kind);
 
+// What the model's output head means. kClassify heads pick
+// argmax(logits) (ties -> lowest index); kScore heads reconstruct the
+// input (autoencoder) and reduce to a scalar anomaly score — the mean
+// squared error between the dequantized reconstruction and the
+// dequantized quantized input — compared against `score_threshold`
+// (score > threshold => anomalous, class 1). Engines, the evaluator,
+// the serve runtime and the C emitter all branch on this one enum; see
+// docs/ARCHITECTURE.md "Scored heads".
+enum class TaskHead { kClassify = 0, kScore = 1 };
+
 struct QModel {
   std::string name;      // architecture name ("lenet", ...)
   // Block notation: chains keep the paper form ("3-2-2"); residual
@@ -178,6 +188,13 @@ struct QModel {
   int in_h = 0, in_w = 0, in_c = 0;
   QuantParams input;     // quantization of the u8/255 input
   std::vector<QLayer> layers;
+
+  // Output-head contract (serialized as an append-only trailer; older
+  // artifacts load as kClassify). The threshold is calibrated against
+  // reconstruction scores of normal training images at quantization
+  // time for kScore models and is meaningless for kClassify.
+  TaskHead head = TaskHead::kClassify;
+  float score_threshold = 0.0f;
 
   // DAG edges. Tensor ids: tensor 0 is the network input, tensor l+1 is
   // the output of layer l. layer_inputs[l] lists the tensor ids layer l

@@ -345,6 +345,10 @@ void save_qmodel(const QModel& m, const std::string& path) {
     w.u32(static_cast<uint32_t>(row.size()));
     for (const int t : row) w.i32(t);
   }
+  // Head trailer (appended after the DAG trailer, same compatibility
+  // scheme): absent means the pre-scored default, an argmax head.
+  w.u32(static_cast<uint32_t>(m.head));
+  w.f32(m.score_threshold);
   w.close();
 }
 
@@ -466,6 +470,12 @@ QModel load_qmodel(const std::string& path) {
       for (uint32_t k = 0; k < len; ++k) m.layer_inputs[i][k] = r.i32();
     }
     if (!m.layer_inputs.empty()) m.validate_dag();
+  }
+  if (!r.at_end()) {
+    const uint32_t head = r.u32();
+    check(head <= 1, "bad head tag in " + path);
+    m.head = static_cast<TaskHead>(head);
+    m.score_threshold = r.f32();
   }
   return m;
 }

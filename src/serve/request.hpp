@@ -39,8 +39,12 @@ struct InferRequest {
 };
 
 struct InferResult {
-  std::vector<int8_t> logits;  // final-layer int8 logits
-  int top1 = -1;               // argmax_lowest_index(logits)
+  std::vector<int8_t> logits;  // final-layer int8 logits (scored heads:
+                               // the int8 reconstruction)
+  int top1 = -1;               // argmax_lowest_index(logits); scored
+                               // heads: scored_class(score) (1=anomalous)
+  double score = 0.0;          // scored heads only: reconstruction MSE,
+                               // bitwise deterministic like the logits
   double queue_ms = 0.0;       // submit -> execution start
   double run_ms = 0.0;         // execution start -> logits
   int worker = -1;             // executing worker id (diagnostic)

@@ -127,7 +127,14 @@ void InferenceServer::worker_main(int worker_id) {
         }
         InferResult r;
         r.logits = std::move(logits[i]);
-        r.top1 = argmax_lowest_index(r.logits);
+        if (engine->model().head == TaskHead::kScore) {
+          r.score = reconstruction_score(
+              engine->model(), engine->quantize_input(job.request.image),
+              r.logits);
+          r.top1 = scored_class(engine->model(), r.score);
+        } else {
+          r.top1 = argmax_lowest_index(r.logits);
+        }
         r.queue_ms = ms_between(job.enqueued, start);
         r.run_ms = ms_between(start, end);  // batch wall time, per job
         r.worker = worker_id;

@@ -74,7 +74,9 @@ std::vector<ConvInputStats> capture_activation_stats(const QModel& model,
   const int n = limit < 0 ? calib.size() : std::min(limit, calib.size());
   check(n > 0, "calibration subset is empty");
   const int approx_count = model.approx_layer_count();
-  check(approx_count > 0, "model has no approximable layers");
+  // Nothing to capture on models with no approximable layers (dense-only
+  // autoencoders): the legitimate answer is an empty stats vector.
+  if (approx_count == 0) return {};
 
   RefEngine engine(&model);
 

@@ -26,11 +26,11 @@ std::string spec_fingerprint(const ZooSpec& spec) {
   os << '|' << spec.data.train_images << ',' << spec.data.test_images << ','
      << spec.data.seed << ',' << spec.data.noise_sigma << ','
      << spec.data.palette_jitter << ',' << spec.data.distractor_alpha << ','
-     << spec.data.label_noise;
+     << spec.data.label_noise << ',' << static_cast<int>(spec.data.task);
   os << '|' << spec.train.epochs << ',' << spec.train.batch_size << ','
      << spec.train.sgd.learning_rate << ',' << spec.train.sgd.momentum << ','
      << spec.train.sgd.weight_decay << ',' << spec.train.seed << ','
-     << spec.train.lr_decay;
+     << spec.train.lr_decay << ',' << static_cast<int>(spec.train.loss);
   for (const int e : spec.train.lr_decay_at) os << ',' << e;
   os << '|' << spec.init_seed;
   return os.str();
@@ -168,6 +168,56 @@ ModelArch mobilenetv2_arch() {
   return arch;
 }
 
+ModelArch vww_arch() {
+  // Visual-wakeword model in the MobileNet-class shape MLPerf-Tiny uses
+  // for person detection, scaled to the 32x32x3 substrate: a strided conv
+  // stem, 3 depthwise-separable blocks, global average pooling and a
+  // 2-logit head. MACs:
+  //   stem   3->16 @16x16 s2 : 0.111 M
+  //   ds1 dw 16 @16x16: 0.037 M   pw 16->24: 0.098 M
+  //   ds2 dw 24 @ 8x8 s2: 0.014 M pw 24->32: 0.049 M
+  //   ds3 dw 32 @ 8x8: 0.018 M    pw 32->32: 0.066 M
+  //   global avgpool 8x8, fc 32->2
+  //   total ≈ 0.39 M
+  ModelArch arch;
+  arch.name = "vww";
+  arch.topology = "1+3ds-1";
+  arch.layers = {
+      LayerSpec::conv(16, 3, 2, 1),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1),   LayerSpec::relu(),
+      LayerSpec::conv(24, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 2, 1),   LayerSpec::relu(),
+      LayerSpec::conv(32, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::depthwise(3, 1, 1),   LayerSpec::relu(),
+      LayerSpec::conv(32, 1, 1, 0),    LayerSpec::relu(),
+      LayerSpec::avgpool(8, 8),
+      LayerSpec::dense(2),
+  };
+  return arch;
+}
+
+ModelArch ae_anomaly_arch() {
+  // Dense bottleneck autoencoder in the MLPerf-Tiny anomaly-detection
+  // lineage (ToyADMOS / DCASE): 3072 -> 64 -> 3072, fully connected and
+  // deliberately ReLU-free. With plain SGD and no batch norm, deep ReLU
+  // autoencoders on this all-positive input domain collapse into dead
+  // hidden layers (the constant-predictor minimum), which leaves
+  // zero-width activation ranges that int8 quantization cannot price.
+  // The linear bottleneck (PCA-style) trains stably and keeps every
+  // quantized tensor's range alive. The zoo's first scored (non-argmax)
+  // head: the "logits" are the int8 reconstruction, reduced to a
+  // mean-squared-error anomaly score by the engines.
+  // MACs: 3072*64 + 64*3072 ≈ 0.39 M
+  ModelArch arch;
+  arch.name = "ae_anomaly";
+  arch.topology = "d64-d3072";
+  arch.layers = {
+      LayerSpec::dense(64),    // linear encoder (no relu: see above)
+      LayerSpec::dense(3072),  // linear reconstruction
+  };
+  return arch;
+}
+
 ZooSpec lenet_spec() {
   ZooSpec spec;
   spec.arch = lenet_arch();
@@ -215,6 +265,38 @@ ZooSpec mobilenetv2_spec() {
   spec.train.epochs = 10;
   spec.train.lr_decay_at = {7, 9};
   spec.train.sgd.learning_rate = 0.015f;
+  return spec;
+}
+
+ZooSpec vww_spec() {
+  ZooSpec spec;
+  spec.arch = vww_arch();
+  spec.data.task = SynthTask::kVww;
+  spec.data.train_images = 3000;
+  spec.data.test_images = 800;
+  spec.train.epochs = 8;
+  spec.train.lr_decay_at = {6};
+  spec.train.sgd.learning_rate = 0.015f;
+  return spec;
+}
+
+ZooSpec ae_anomaly_spec() {
+  ZooSpec spec;
+  spec.arch = ae_anomaly_arch();
+  spec.data.task = SynthTask::kAnomaly;
+  spec.data.train_images = 3000;
+  spec.data.test_images = 800;
+  spec.train.loss = TrainLoss::kMseReconstruction;
+  // Linear-stack SGD converges slowly (the composite decoder*encoder map
+  // is ill-conditioned), so the autoencoder gets more epochs than the
+  // conv nets; each one is ~1 s. lr 0.05 is the stable knee: the
+  // per-element MSE gradient carries a /3072 reconstruction-width factor
+  // (wanting a larger step than the conv nets' 0.015), but the 3072-wide
+  // decoder amplifies steps back — 0.1 and up diverge to inf.
+  spec.train.epochs = 20;
+  spec.train.lr_decay_at = {16};
+  spec.train.sgd.learning_rate = 0.05f;
+  spec.train.sgd.weight_decay = 1e-5f;
   return spec;
 }
 

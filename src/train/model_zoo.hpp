@@ -31,6 +31,16 @@ ModelArch dscnn_arch();
 // -> global avgpool -> fc), scaled to the synthetic 32x32x3 dataset. The
 // zoo's DAG workload: exercises QAdd and the liveness buffer planner.
 ModelArch mobilenetv2_arch();
+// Visual-wakeword (person/no-person) model: dscnn-style depthwise
+// backbone with a 2-logit head, trained on the binary SynthTask::kVww
+// relabeling of the synthetic substrate (MLPerf-Tiny VWW shape).
+ModelArch vww_arch();
+// Dense bottleneck autoencoder for anomaly detection (MLPerf-Tiny
+// ToyADMOS lineage): 3072 -> 64 -> 3072, linear (see the .cpp for why
+// it is ReLU-free), trained with MSE reconstruction loss on all-normal
+// data. Quantizes to the zoo's first scored (non-argmax) head — see
+// TaskHead::kScore.
+ModelArch ae_anomaly_arch();
 
 struct ZooSpec {
   ModelArch arch;
@@ -46,11 +56,15 @@ ZooSpec alexnet_spec();
 ZooSpec micronet_spec();
 ZooSpec dscnn_spec();
 ZooSpec mobilenetv2_spec();
+ZooSpec vww_spec();
+ZooSpec ae_anomaly_spec();
 
 struct TrainedModel {
   ModelArch arch;
   Network net;
-  double test_accuracy = 0.0;   // float Top-1 on the SynthCIFAR test split
+  // Float test metric: Top-1 on the test split, except for MSE-trained
+  // autoencoders where it is the reconstruction-error rank AUC.
+  double test_accuracy = 0.0;
   double train_accuracy = 0.0;
 };
 

@@ -4,10 +4,73 @@
 #include <cstdio>
 #include <numeric>
 
+#include "src/common/metrics.hpp"
 #include "src/common/stopwatch.hpp"
 #include "src/train/softmax_xent.hpp"
 
 namespace ataman {
+
+namespace {
+
+// MSE reconstruction loss: the target is the network's own normalized
+// input, flattened. loss = mean over the batch of the per-image mean
+// squared error; dlogits = dL/dy = 2(y - x) / (batch * dims), matching
+// the /batch convention of softmax_cross_entropy. `correct` is
+// meaningless for a reconstruction objective and stays 0.
+LossResult mse_reconstruction(const FTensor& logits, const FTensor& x) {
+  const int batch = logits.dim(0);
+  check(batch > 0 && x.dim(0) == batch, "mse: batch mismatch");
+  const int64_t dims = logits.item_size();
+  check(dims == x.item_size(), "mse: reconstruction width != input size");
+
+  LossResult r;
+  r.dlogits = FTensor(logits.shape());
+  const float* y = logits.data();
+  const float* t = x.data();
+  float* dy = r.dlogits.data();
+  const double inv = 1.0 / (static_cast<double>(batch) * dims);
+  double loss = 0.0;
+  for (int64_t i = 0; i < static_cast<int64_t>(batch) * dims; ++i) {
+    const double diff = static_cast<double>(y[i]) - t[i];
+    loss += diff * diff;
+    dy[i] = static_cast<float>(2.0 * diff * inv);
+  }
+  r.loss = loss * inv;
+  r.correct = 0;
+  return r;
+}
+
+// Float-domain anomaly AUC: per-image reconstruction MSE as the score,
+// ranked against the dataset's 0/1 labels.
+double evaluate_reconstruction_auc(Network& net, const Dataset& ds,
+                                   int batch_size = 64) {
+  std::vector<int> indices(static_cast<size_t>(ds.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<double> scores(static_cast<size_t>(ds.size()));
+  std::vector<int> labels(static_cast<size_t>(ds.size()));
+  for (size_t lo = 0; lo < indices.size();
+       lo += static_cast<size_t>(batch_size)) {
+    const size_t hi =
+        std::min(indices.size(), lo + static_cast<size_t>(batch_size));
+    FTensor x = to_float_batch(ds, indices, lo, hi);
+    const FTensor y = net.forward(x, /*train=*/false);
+    const int64_t dims = y.item_size();
+    for (size_t i = lo; i < hi; ++i) {
+      const float* yi = y.item(static_cast<int>(i - lo));
+      const float* xi = x.item(static_cast<int>(i - lo));
+      double mse = 0.0;
+      for (int64_t d = 0; d < dims; ++d) {
+        const double diff = static_cast<double>(yi[d]) - xi[d];
+        mse += diff * diff;
+      }
+      scores[i] = mse / static_cast<double>(dims);
+      labels[i] = ds.label(indices[i]);
+    }
+  }
+  return rank_auc(scores, labels);
+}
+
+}  // namespace
 
 TrainResult train_network(Network& net, const Dataset& train,
                           const Dataset& test, const TrainConfig& config) {
@@ -41,7 +104,9 @@ TrainResult train_network(Network& net, const Dataset& train,
         labels[i - lo] = train.label(order[i]);
 
       FTensor logits = net.forward(x, /*train=*/true);
-      LossResult loss = softmax_cross_entropy(logits, labels);
+      LossResult loss = config.loss == TrainLoss::kMseReconstruction
+                            ? mse_reconstruction(logits, x)
+                            : softmax_cross_entropy(logits, labels);
 
       net.zero_grad();
       net.backward(loss.dlogits);
@@ -67,8 +132,13 @@ TrainResult train_network(Network& net, const Dataset& train,
   }
 
   result.final_train_accuracy = result.epochs.back().train_accuracy;
-  result.test_accuracy =
-      test.size() > 0 ? evaluate_accuracy(net, test) : 0.0;
+  if (test.size() == 0) {
+    result.test_accuracy = 0.0;
+  } else if (config.loss == TrainLoss::kMseReconstruction) {
+    result.test_accuracy = evaluate_reconstruction_auc(net, test);
+  } else {
+    result.test_accuracy = evaluate_accuracy(net, test);
+  }
   return result;
 }
 

@@ -11,6 +11,13 @@
 
 namespace ataman {
 
+// Training objective. kSoftmaxXent is the classification default;
+// kMseReconstruction trains an autoencoder against its own (normalized)
+// input — labels are ignored during training, and the reported
+// test_accuracy becomes the reconstruction-error rank AUC over the test
+// split's 0/1 anomaly labels instead of Top-1.
+enum class TrainLoss { kSoftmaxXent = 0, kMseReconstruction = 1 };
+
 struct TrainConfig {
   int epochs = 12;
   int batch_size = 64;
@@ -20,6 +27,7 @@ struct TrainConfig {
   float lr_decay = 0.2f;
   uint64_t seed = 7;
   bool verbose = true;
+  TrainLoss loss = TrainLoss::kSoftmaxXent;
 };
 
 struct EpochStats {

@@ -8,8 +8,11 @@
 #include <fstream>
 #include <numeric>
 
+#include <limits>
+
 #include "src/common/csv.hpp"
 #include "src/common/math_util.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/serialize.hpp"
 #include "src/common/table.hpp"
@@ -224,6 +227,32 @@ TEST(MathUtil, ConvOutExtent) {
 TEST(MathUtil, NarrowChecksRange) {
   EXPECT_EQ(narrow<int16_t>(1000), 1000);
   EXPECT_THROW(narrow<int8_t>(1000), Error);
+}
+
+TEST(RankAuc, SeparatedClassesScoreOneAndChanceOnDegenerate) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(rank_auc(scores, labels), 1.0);
+  // Single-class and empty inputs sit at chance.
+  EXPECT_DOUBLE_EQ(rank_auc(scores, std::vector<int>{0, 0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(rank_auc({}, {}), 0.5);
+}
+
+TEST(RankAuc, TiesCreditHalf) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<int> labels = {0, 1};
+  EXPECT_DOUBLE_EQ(rank_auc(scores, labels), 0.5);
+}
+
+// Regression: NaN scores (a diverged float training run) must not hang.
+// The tie-group scan used to pin on NaN != NaN and loop forever.
+TEST(RankAuc, NanScoresTerminate) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {nan, 0.5, nan, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const double auc = rank_auc(scores, labels);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
 }
 
 TEST(ErrorHandling, CheckThrowsWithContext) {

@@ -105,7 +105,17 @@ TEST(ConfigSpace, RejectsBadGrid) {
   DseOptions o;
   o.tau_step = 0.0;
   EXPECT_THROW(generate_configs(2, o), Error);
-  EXPECT_THROW(generate_configs(0, DseOptions{}), Error);
+  EXPECT_THROW(generate_configs(-1, DseOptions{}), Error);
+}
+
+TEST(ConfigSpace, ZeroApproxLayersDegeneratesToExact) {
+  // Models with no approximable layers (e.g. dense-only autoencoders)
+  // still sweep: the space is the single exact config.
+  const std::vector<ApproxConfig> configs =
+      generate_configs(0, DseOptions{});
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_FALSE(configs[0].approximates_anything());
+  EXPECT_TRUE(configs[0].tau.empty());
 }
 
 // --- evaluator + runner on a tiny random model --------------------------

@@ -197,6 +197,46 @@ QModel make_random_model(uint64_t seed) {
   return m;
 }
 
+// Random autoencoder-shaped model: dense-only (no approximable layers),
+// 1-3 hidden bottleneck layers of random width, final dense layer
+// reconstructing the input (out_dim == pixels), scored head with a
+// random threshold. Exercises the reconstruction_score path the
+// ae_anomaly workload uses, across random geometries.
+QModel make_random_scored_model(uint64_t seed) {
+  Rng rng(seed);
+  QModel m;
+  m.name = "fuzz-scored-" + std::to_string(seed);
+  m.topology = "fuzz-ae";
+  m.in_h = rng.next_int(3, 6);
+  m.in_w = rng.next_int(3, 6);
+  m.in_c = rng.next_int(1, 3);
+  m.input = {1.0f / 255.0f, -128};
+  m.head = TaskHead::kScore;
+  m.score_threshold = rng.next_uniform(0.001f, 0.1f);
+
+  const int pixels = m.in_h * m.in_w * m.in_c;
+  int dim = pixels;
+  QuantParams upstream = m.input;
+  const int hidden = rng.next_int(1, 3);
+  for (int i = 0; i < hidden; ++i) {
+    const int out_dim = rng.next_int(4, 24);
+    QDense fc = make_random_qdense(dim, out_dim, rng.next_u64());
+    fc.in = upstream;
+    fc.requant = quantize_multiplier(static_cast<double>(fc.in.scale) *
+                                     fc.w_scale / fc.out.scale);
+    fc.act_min = fc.out.zero_point;  // folded relu
+    upstream = fc.out;
+    dim = out_dim;
+    m.layers.emplace_back(std::move(fc));
+  }
+  QDense dec = make_random_qdense(dim, pixels, rng.next_u64());
+  dec.in = upstream;
+  dec.requant = quantize_multiplier(static_cast<double>(dec.in.scale) *
+                                    dec.w_scale / dec.out.scale);
+  m.layers.emplace_back(std::move(dec));
+  return m;
+}
+
 Dataset make_calib_set(const QModel& m, int images, uint64_t seed) {
   Dataset ds(ImageShape{m.in_h, m.in_w, m.in_c}, 10);
   Rng rng(seed);
@@ -383,6 +423,65 @@ TEST(EngineDiffFuzz, BatchParityAcrossEnginesAndBatchSizes) {
         for (int i = 0; i < batch; ++i) {
           EXPECT_EQ(logits[static_cast<size_t>(i)], engine->run(images[i]))
               << "image " << i;
+        }
+      }
+    }
+  }
+}
+
+// Scored-head dimension: random dense-only autoencoder models. All four
+// backends must agree bitwise on the reconstruction tensor, exactly on
+// the double-valued MSE score (identical int8 tensors, fixed summation
+// order), and on the thresholded classification; run_batch must match
+// per-image runs; and score() must track reconstruction_score on the
+// engine's own outputs.
+TEST(EngineDiffFuzz, ScoredDenseModelsParityAcrossEngines) {
+  const uint64_t base = base_seed();
+  const int batch_sizes[] = {1, 3, 7};
+
+  for (int iter = 0; iter < kModels; ++iter) {
+    const uint64_t model_seed =
+        base + 500 + static_cast<uint64_t>(iter) * 1000;
+    SCOPED_TRACE("model_seed=" + std::to_string(model_seed) +
+                 " (replay: ATAMAN_FUZZ_SEED=" + std::to_string(base) + ")");
+    const QModel m = make_random_scored_model(model_seed);
+    ASSERT_EQ(m.approx_layer_count(), 0);
+    const int64_t pixels = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+    const RefEngine oracle(&m);
+    EngineConfig cfg;
+    cfg.model = &m;
+
+    for (const char* name : {"ref", "cmsis", "unpacked", "xcube"}) {
+      const auto engine = EngineRegistry::instance().create(name, cfg);
+      SCOPED_TRACE(name);
+      for (int i = 0; i < kParityImages; ++i) {
+        const auto img = make_random_image(pixels, model_seed + 577 + i);
+        const auto recon = engine->run(img);
+        EXPECT_EQ(recon, oracle.run(img)) << "image " << i;
+        const double s = engine->score(img);
+        EXPECT_EQ(s, oracle.score(img)) << "image " << i;
+        EXPECT_EQ(s, reconstruction_score(m, engine->quantize_input(img),
+                                          recon))
+            << "image " << i;
+        EXPECT_EQ(engine->classify(img), scored_class(m, s))
+            << "image " << i;
+      }
+
+      std::vector<std::vector<uint8_t>> pool;
+      for (int i = 0; i < 4; ++i)
+        pool.push_back(make_random_image(pixels, model_seed + 677 + i));
+      Rng pick(model_seed + 29);
+      for (const int batch : batch_sizes) {
+        std::vector<std::span<const uint8_t>> images;
+        for (int i = 0; i < batch; ++i)
+          images.emplace_back(
+              pool[static_cast<size_t>(pick.next_int(0, 3))]);
+        std::vector<std::vector<int8_t>> logits;
+        engine->run_batch(images, logits);
+        ASSERT_EQ(logits.size(), images.size());
+        for (int i = 0; i < batch; ++i) {
+          EXPECT_EQ(logits[static_cast<size_t>(i)], engine->run(images[i]))
+              << "batch " << batch << " image " << i;
         }
       }
     }

@@ -13,6 +13,7 @@ namespace {
 
 using testing::make_random_qconv;
 using testing::make_random_qdense;
+using testing::make_random_qdw;
 using testing::make_tiny_qmodel;
 
 TEST(Board, Stm32U575Spec) {
@@ -103,6 +104,40 @@ TEST(CostModel, DenseAndPoolCycles) {
   pool.stride = 1;
   const int64_t c3 = pool_cycles(pool);
   EXPECT_GT(c3, c2);  // more taps, more outputs
+}
+
+TEST(CostModel, DepthwiseConstantsPinnedToKernelMicroCalibration) {
+  // Calibrated against bench/kernel_micro (BM_DepthwisePackedCmsis vs
+  // BM_DepthwiseUnpacked/0, modeled_mcu_cycles counters): for the
+  // 16x16x24 3x3 depthwise layer, packed prices 314.6k modeled cycles
+  // and unpacked-at-zero-skip 203.0k — unpacked is cheaper even before
+  // skipping because packed depthwise runs the scalar per-channel tap
+  // loop (5.2/MAC; the dual-MAC trick cannot feed one accumulator from
+  // a per-channel filter) while unpacked pairs taps at 5.5/pair, i.e.
+  // 2.75/MAC. These constants anchor every DSE latency number; a silent
+  // change here re-prices all depthwise trade-offs, so pin them.
+  const CortexM33CostTable t;
+  EXPECT_DOUBLE_EQ(t.packed_depthwise_per_mac, 5.2);
+  EXPECT_DOUBLE_EQ(t.unpacked_per_pair, 5.5);
+  // Per-MAC ordering the calibration established: packed scalar loop
+  // above the fast conv pair rate, unpacked pair rate in between.
+  EXPECT_GT(t.packed_depthwise_per_mac, t.packed_fast_per_pair);
+  EXPECT_LT(t.unpacked_per_pair / 2.0, t.packed_depthwise_per_mac);
+
+  // The modeled relationship on the kernel_micro layer shape: unpacked
+  // depthwise at zero skip is cheaper than packed, and the advantage is
+  // the per-MAC rate gap (about 1.5x here), not a rounding artifact.
+  const QDepthwiseConv2D dw =
+      make_random_qdw(16, 16, 24, /*kernel=*/3, /*stride=*/1, /*pad=*/1, 7);
+  const int64_t taps = static_cast<int64_t>(dw.kernel) * dw.kernel;
+  const int64_t pairs_per_chan = taps / 2;
+  const int64_t singles_per_chan = taps % 2;
+  const int64_t packed = packed_depthwise_cycles(dw);
+  const int64_t unpacked = unpacked_depthwise_cycles(
+      dw, pairs_per_chan * dw.channels, singles_per_chan * dw.channels);
+  EXPECT_GT(packed, unpacked);
+  EXPECT_GT(static_cast<double>(packed), 1.3 * static_cast<double>(unpacked));
+  EXPECT_LT(static_cast<double>(packed), 2.0 * static_cast<double>(unpacked));
 }
 
 TEST(MemoryModel, PackedFlashComponents) {

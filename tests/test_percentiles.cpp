@@ -1,0 +1,156 @@
+// Unit tests for the traffic-replay utilities (bench/replay_common.hpp):
+// nearest-rank percentile semantics on crafted vectors, edge cases,
+// per-class bucketing, and seeded-trace reproducibility. The replay
+// harness (bench/traffic_replay.cpp) consumes exactly these helpers, so
+// pinning them here keeps the bench's reported p50/p95/p99 trustworthy
+// without running a server in a unit test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/replay_common.hpp"
+#include "src/common/error.hpp"
+
+namespace ataman::bench {
+namespace {
+
+// --- nearest-rank percentile ---------------------------------------------
+
+TEST(Percentile, NearestRankOnCraftedVectors) {
+  // 10 samples: rank(p) = ceil(p/100 * 10), 1-indexed into the sorted
+  // vector. Values are deliberately unsorted on input.
+  const std::vector<double> v = {10, 1, 9, 2, 8, 3, 7, 4, 6, 5};
+  EXPECT_EQ(percentile(v, 50.0), 5.0);   // ceil(5) = 5th smallest
+  EXPECT_EQ(percentile(v, 95.0), 10.0);  // ceil(9.5) = 10th
+  EXPECT_EQ(percentile(v, 99.0), 10.0);  // ceil(9.9) = 10th
+  EXPECT_EQ(percentile(v, 100.0), 10.0);
+  EXPECT_EQ(percentile(v, 10.0), 1.0);  // ceil(1) = 1st
+  EXPECT_EQ(percentile(v, 0.0), 1.0);   // p0 clamps to the smallest
+}
+
+TEST(Percentile, ExactRankBoundaries) {
+  // 4 samples: p50 -> ceil(2) = 2nd, p75 -> ceil(3) = 3rd; just past a
+  // boundary jumps to the next rank: p51 -> ceil(2.04) = 3rd.
+  const std::vector<double> v = {4, 3, 2, 1};
+  EXPECT_EQ(percentile(v, 50.0), 2.0);
+  EXPECT_EQ(percentile(v, 51.0), 3.0);
+  EXPECT_EQ(percentile(v, 75.0), 3.0);
+  EXPECT_EQ(percentile(v, 76.0), 4.0);
+}
+
+TEST(Percentile, EmptyAndSingleElementEdges) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);  // no traffic -> zero row
+  EXPECT_EQ(percentile({}, 99.0), 0.0);
+  const std::vector<double> one = {42.5};
+  EXPECT_EQ(percentile(one, 0.0), 42.5);
+  EXPECT_EQ(percentile(one, 50.0), 42.5);
+  EXPECT_EQ(percentile(one, 99.0), 42.5);
+  EXPECT_EQ(percentile(one, 100.0), 42.5);
+}
+
+TEST(Percentile, RejectsOutOfRangeRanks) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_THROW(percentile(v, -1.0), Error);
+  EXPECT_THROW(percentile(v, 100.5), Error);
+}
+
+TEST(Percentile, DoesNotMutateCallerSamples) {
+  const std::vector<double> v = {3, 1, 2};
+  const std::vector<double> before = v;
+  (void)percentile(v, 99.0);
+  EXPECT_EQ(v, before);
+}
+
+TEST(Percentile, SummaryIsMonotoneAcrossRanks) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(static_cast<double>(i) * 0.25);
+  const LatencySummary s = summarize_latency(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_EQ(s.p50, 50 * 0.25);
+  EXPECT_EQ(s.p95, 95 * 0.25);
+  EXPECT_EQ(s.p99, 99 * 0.25);
+  EXPECT_EQ(s.max, 100 * 0.25);
+}
+
+// --- per-class bucketing -------------------------------------------------
+
+TEST(ClassBucketsTest, BucketsSamplesByClassAndReportsEmptyClasses) {
+  ClassBuckets b;
+  b.add("vww", 1.0);
+  b.add("ae_anomaly", 2.0);
+  b.add("vww", 3.0);
+  ASSERT_EQ(b.samples("vww").size(), 2u);
+  EXPECT_EQ(b.samples("vww")[0], 1.0);
+  EXPECT_EQ(b.samples("vww")[1], 3.0);
+  ASSERT_EQ(b.samples("ae_anomaly").size(), 1u);
+  EXPECT_TRUE(b.samples("never-seen").empty());
+  EXPECT_EQ(percentile(b.samples("never-seen"), 99.0), 0.0);
+  EXPECT_EQ(b.all().size(), 2u);
+}
+
+// --- seeded trace --------------------------------------------------------
+
+TEST(Trace, SameSeedReproducesTheTraceBitForBit) {
+  const auto a = make_trace(123, 200, 4, 64, 1.5);
+  const auto b = make_trace(123, 200, 4, 64, 1.5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model_class, b[i].model_class) << i;
+    EXPECT_EQ(a[i].image_index, b[i].image_index) << i;
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms) << i;  // exact doubles
+  }
+}
+
+TEST(Trace, DifferentSeedsDiverge) {
+  const auto a = make_trace(123, 100, 4, 64, 1.5);
+  const auto b = make_trace(124, 100, 4, 64, 1.5);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].model_class != b[i].model_class ||
+              a[i].image_index != b[i].image_index ||
+              a[i].arrival_ms != b[i].arrival_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trace, EventsAreWellFormed) {
+  const auto t = make_trace(7, 500, 3, 10, 2.0);
+  ASSERT_EQ(t.size(), 500u);
+  double prev = 0.0;
+  double total_gap = 0.0;
+  std::vector<int> class_counts(3, 0);
+  for (const TraceEvent& e : t) {
+    EXPECT_GE(e.model_class, 0);
+    EXPECT_LT(e.model_class, 3);
+    EXPECT_GE(e.image_index, 0);
+    EXPECT_LT(e.image_index, 10);
+    EXPECT_GE(e.arrival_ms, prev);  // arrivals never go backwards
+    total_gap = e.arrival_ms;
+    prev = e.arrival_ms;
+    ++class_counts[static_cast<size_t>(e.model_class)];
+  }
+  // Exponential gaps with mean 2.0ms: the 500-event total concentrates
+  // near 1000ms; a [300, 3000] band is far beyond any realistic
+  // deviation for a fixed seed, and every class gets traffic.
+  EXPECT_GT(total_gap, 300.0);
+  EXPECT_LT(total_gap, 3000.0);
+  for (const int c : class_counts) EXPECT_GT(c, 0);
+}
+
+TEST(Trace, ZeroGapCollapsesArrivalsToInstantBurst) {
+  const auto t = make_trace(9, 50, 2, 4, 0.0);
+  for (const TraceEvent& e : t) EXPECT_EQ(e.arrival_ms, 0.0);
+}
+
+TEST(Trace, RejectsDegenerateParameters) {
+  EXPECT_THROW(make_trace(1, -1, 4, 64, 1.0), Error);
+  EXPECT_THROW(make_trace(1, 10, 0, 64, 1.0), Error);
+  EXPECT_THROW(make_trace(1, 10, 4, 0, 1.0), Error);
+  EXPECT_THROW(make_trace(1, 10, 4, 64, -0.5), Error);
+}
+
+}  // namespace
+}  // namespace ataman::bench

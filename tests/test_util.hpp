@@ -235,4 +235,81 @@ inline QModel make_residual_qmodel(uint64_t seed) {
   return m;
 }
 
+// VWW-shaped fixture: the depthwise backbone + binary head of the vww
+// zoo workload at test scale. conv -> dw -> avgpool -> fc(2), with
+// chained quantization params. in: 8x8x3 u8 image.
+inline QModel make_tiny_vww_qmodel(uint64_t seed) {
+  QModel m;
+  m.name = "tiny-vww-test";
+  m.topology = "1+1ds-1";
+  m.in_h = 8;
+  m.in_w = 8;
+  m.in_c = 3;
+  m.input = {1.0f / 255.0f, -128};
+
+  ConvGeom g;
+  g.in_h = 8; g.in_w = 8; g.in_c = 3;
+  g.out_c = 6; g.kernel = 3; g.stride = 1; g.pad = 1;
+  QConv2D c1 = make_random_qconv(g, seed * 71 + 1, /*folded_relu=*/true);
+  c1.in = m.input;
+  c1.requant = quantize_multiplier(
+      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  c1.act_min = c1.out.zero_point;
+
+  QDepthwiseConv2D dw = make_random_qdw(8, 8, 6, /*kernel=*/3, /*stride=*/1,
+                                        /*pad=*/1, seed * 71 + 2,
+                                        /*folded_relu=*/true);
+  dw.in = c1.out;
+  dw.requant = quantize_multiplier(
+      static_cast<double>(dw.in.scale) * dw.w_scale / dw.out.scale);
+  dw.act_min = dw.out.zero_point;
+
+  QAvgPool pool;
+  pool.in_h = 8; pool.in_w = 8; pool.channels = 6;
+  pool.kernel = 2; pool.stride = 2;
+
+  QDense fc = make_random_qdense(4 * 4 * 6, 2, seed * 71 + 3);
+  fc.in = dw.out;
+  fc.requant = quantize_multiplier(
+      static_cast<double>(fc.in.scale) * fc.w_scale / fc.out.scale);
+
+  m.layers.emplace_back(std::move(c1));
+  m.layers.emplace_back(std::move(dw));
+  m.layers.emplace_back(pool);
+  m.layers.emplace_back(std::move(fc));
+  return m;
+}
+
+// Autoencoder-shaped fixture with a scored head: dense-only bottleneck
+// whose final layer reconstructs the input (out_dim == in pixels), head
+// = kScore with a fixed threshold. Zero approximable layers — the DSE
+// degenerate path. in: 4x4x3 u8 image.
+inline QModel make_tiny_scored_qmodel(uint64_t seed,
+                                      float threshold = 0.02f) {
+  QModel m;
+  m.name = "tiny-ae-test";
+  m.topology = "d16-d48";
+  m.in_h = 4;
+  m.in_w = 4;
+  m.in_c = 3;
+  m.input = {1.0f / 255.0f, -128};
+  m.head = TaskHead::kScore;
+  m.score_threshold = threshold;
+
+  QDense enc = make_random_qdense(48, 16, seed * 91 + 1);
+  enc.in = m.input;
+  enc.requant = quantize_multiplier(
+      static_cast<double>(enc.in.scale) * enc.w_scale / enc.out.scale);
+  enc.act_min = enc.out.zero_point;  // folded relu
+
+  QDense dec = make_random_qdense(16, 48, seed * 91 + 2);
+  dec.in = enc.out;
+  dec.requant = quantize_multiplier(
+      static_cast<double>(dec.in.scale) * dec.w_scale / dec.out.scale);
+
+  m.layers.emplace_back(std::move(enc));
+  m.layers.emplace_back(std::move(dec));
+  return m;
+}
+
 }  // namespace ataman::testing
