@@ -76,7 +76,8 @@ void packed_conv2d(const QConv2D& layer, const PackedWeights& packed,
         const int32_t acc = packed_dot(
             packed, oc, col.data(), layer.bias[static_cast<size_t>(oc)]);
         const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, layer.requant) +
+            multiply_by_quantized_multiplier(
+                acc, layer.requant[static_cast<size_t>(oc)]) +
             layer.out.zero_point;
         orow[oc] = static_cast<int8_t>(
             std::clamp(scaled, layer.act_min, layer.act_max));
@@ -129,7 +130,8 @@ void packed_depthwise_conv2d(const QDepthwiseConv2D& layer,
                      layer.weights[static_cast<size_t>(t) * c + ch]);
         }
         const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, layer.requant) +
+            multiply_by_quantized_multiplier(
+                acc, layer.requant[static_cast<size_t>(ch)]) +
             layer.out.zero_point;
         orow[ch] = static_cast<int8_t>(
             std::clamp(scaled, layer.act_min, layer.act_max));
@@ -241,10 +243,9 @@ void packed_conv2d_batch(const QConv2D& layer, const PackedWeights& packed,
                            layer.bias[static_cast<size_t>(oc)], acc);
           for (int j = 0; j < bn; ++j) {
             out[static_cast<size_t>(b0 + j) * out_elems + orow_off + oc] =
-                static_cast<int8_t>(requant_clamp(acc[j], layer.requant,
-                                                  layer.out.zero_point,
-                                                  layer.act_min,
-                                                  layer.act_max));
+                static_cast<int8_t>(requant_clamp(
+                    acc[j], layer.requant[static_cast<size_t>(oc)],
+                    layer.out.zero_point, layer.act_min, layer.act_max));
           }
         }
       }
@@ -316,10 +317,9 @@ void packed_depthwise_conv2d_batch(const QDepthwiseConv2D& layer,
           }
           for (int j = 0; j < bn; ++j) {
             out[static_cast<size_t>(b0 + j) * out_elems + orow_off + ch] =
-                static_cast<int8_t>(requant_clamp(acc[j], layer.requant,
-                                                  layer.out.zero_point,
-                                                  layer.act_min,
-                                                  layer.act_max));
+                static_cast<int8_t>(requant_clamp(
+                    acc[j], layer.requant[static_cast<size_t>(ch)],
+                    layer.out.zero_point, layer.act_min, layer.act_max));
           }
         }
       }

@@ -48,7 +48,16 @@ int32_t rounding_divide_by_pot(int32_t x, int exponent) {
 int32_t multiply_by_quantized_multiplier(int32_t x, QuantizedMultiplier qm) {
   const int left_shift = qm.shift > 0 ? qm.shift : 0;
   const int right_shift = qm.shift > 0 ? 0 : -qm.shift;
-  const int32_t shifted = x * (1 << left_shift);
+  // Pre-shift in int64: quantize_multiplier admits exponents up to 30
+  // (QAdd requant ratios above 1 reach them), where `x << shift` overflows
+  // int32 — signed-overflow UB. Saturate to int32 instead; every consumer
+  // clamps the result to int8 range anyway, so saturation is exact for all
+  // representable outputs and merely well-defined for the rest.
+  const int64_t wide = static_cast<int64_t>(x) << left_shift;
+  constexpr int64_t kMin = std::numeric_limits<int32_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int32_t>::max();
+  const auto shifted =
+      static_cast<int32_t>(wide < kMin ? kMin : (wide > kMax ? kMax : wide));
   return rounding_divide_by_pot(
       saturating_rounding_doubling_high_mul(shifted, qm.mult), right_shift);
 }

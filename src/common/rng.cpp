@@ -65,7 +65,18 @@ double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
-float Rng::next_float() { return static_cast<float>(next_double()); }
+float Rng::to_float01(double d) {
+  // static_cast rounds to nearest: any d >= 1 - 2^-25 lands on exactly
+  // 1.0f, violating the [0, 1) contract (and letting next_uniform(lo, hi)
+  // return hi). Clamp to the largest float below 1. Clamping (rather than
+  // rederiving from 24 high bits) keeps every non-pathological draw
+  // bit-identical to the historical stream, so seeded datasets and weight
+  // init reproduce unchanged.
+  const float f = static_cast<float>(d);
+  return f < 1.0f ? f : 0x1.fffffep-1f;
+}
+
+float Rng::next_float() { return to_float01(next_double()); }
 
 float Rng::next_uniform(float lo, float hi) {
   return lo + (hi - lo) * next_float();

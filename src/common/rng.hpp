@@ -31,6 +31,10 @@ class Rng {
   // Uniform in [0, 1).
   double next_double();
   float next_float();
+  // Double-to-float conversion behind next_float(). Exposed (and static)
+  // so the [0, 1) contract is testable on worst-case bit patterns: a
+  // plain static_cast rounds any d >= 1 - 2^-25 up to exactly 1.0f.
+  static float to_float01(double d);
   // Uniform in [lo, hi).
   float next_uniform(float lo, float hi);
   // Standard normal via Box-Muller (stateless pairing for determinism).

@@ -111,8 +111,11 @@ QModel get_or_build_qmodel(const ZooSpec& spec, const std::string& cache_dir) {
   // float model by hashing the architecture name + dataset + training
   // configuration through the float cache path machinery: simplest is to
   // derive it from the float model file itself.
+  // "q8pc" = int8 with per-channel conv/depthwise weight scales; the
+  // scheme tag keys the artifact so pre-per-channel caches (q8) are not
+  // picked up — those requantize from the cached float model instead.
   std::ostringstream key;
-  key << spec.arch.name << "_q8_" << spec.data.seed << "_"
+  key << spec.arch.name << "_q8pc_" << spec.data.seed << "_"
       << spec.data.train_images << "_" << spec.train.epochs << "_"
       << static_cast<int>(spec.data.task) << "_"
       << static_cast<int>(spec.train.loss) << "_"

@@ -51,7 +51,8 @@ void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
       for (int oc = 0; oc < g.out_c; ++oc) {
         const int32_t acc = conv_accumulate_ref(layer, in, oy, ox, oc, skip);
         const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, layer.requant) +
+            multiply_by_quantized_multiplier(
+                acc, layer.requant[static_cast<size_t>(oc)]) +
             layer.out.zero_point;
         orow[oc] = static_cast<int8_t>(
             std::clamp(scaled, layer.act_min, layer.act_max));
@@ -109,7 +110,8 @@ void depthwise_conv2d_ref(const QDepthwiseConv2D& layer,
         const int32_t acc =
             depthwise_accumulate_ref(layer, in, oy, ox, ch, skip);
         const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, layer.requant) +
+            multiply_by_quantized_multiplier(
+                acc, layer.requant[static_cast<size_t>(ch)]) +
             layer.out.zero_point;
         orow[ch] = static_cast<int8_t>(
             std::clamp(scaled, layer.act_min, layer.act_max));

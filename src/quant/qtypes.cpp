@@ -18,6 +18,36 @@ float QuantParams::dequantize(int8_t q) const {
   return scale * static_cast<float>(static_cast<int32_t>(q) - zero_point);
 }
 
+void refresh_requant(QConv2D& conv) {
+  check(static_cast<int>(conv.w_scales.size()) == conv.geom.out_c,
+        "QConv2D::w_scales must have one entry per output channel");
+  conv.requant.resize(conv.w_scales.size());
+  for (size_t c = 0; c < conv.w_scales.size(); ++c) {
+    conv.requant[c] = quantize_multiplier(static_cast<double>(conv.in.scale) *
+                                          conv.w_scales[c] / conv.out.scale);
+  }
+}
+
+void refresh_requant(QDepthwiseConv2D& dw) {
+  check(static_cast<int>(dw.w_scales.size()) == dw.channels,
+        "QDepthwiseConv2D::w_scales must have one entry per channel");
+  dw.requant.resize(dw.w_scales.size());
+  for (size_t c = 0; c < dw.w_scales.size(); ++c) {
+    dw.requant[c] = quantize_multiplier(static_cast<double>(dw.in.scale) *
+                                        dw.w_scales[c] / dw.out.scale);
+  }
+}
+
+void set_pertensor_wscale(QConv2D& conv, float w_scale) {
+  conv.w_scales.assign(static_cast<size_t>(conv.geom.out_c), w_scale);
+  refresh_requant(conv);
+}
+
+void set_pertensor_wscale(QDepthwiseConv2D& dw, float w_scale) {
+  dw.w_scales.assign(static_cast<size_t>(dw.channels), w_scale);
+  refresh_requant(dw);
+}
+
 OpDescriptor describe_layer(const QLayer& layer) {
   OpDescriptor d;
   if (const auto* conv = std::get_if<QConv2D>(&layer)) {

@@ -2,10 +2,11 @@
 //
 // Scheme (TFLite-Micro / CMSIS-NN int8 convention):
 //   * activations: asymmetric per-tensor  real = scale * (q - zero_point)
-//   * weights:     symmetric  per-tensor  real = scale * q
-//   * bias:        int32 at scale in_scale * w_scale, zero_point 0
+//   * weights:     symmetric, per-output-channel for conv/depthwise
+//     (real = w_scales[c] * q), per-tensor for dense (real = w_scale * q)
+//   * bias:        int32 at scale in_scale * w_scale(s)[c], zero_point 0
 //   * accumulators: int32; rescaled to the output tensor with a
-//     fixed-point multiplier (see common/fixed_point.hpp)
+//     fixed-point multiplier per output channel (see common/fixed_point.hpp)
 //   * ReLU is folded into the conv/fc output clamp (act_min/act_max)
 //
 // Layer weight layout is [out_c][kernel][kernel][in_c] for conv,
@@ -37,10 +38,13 @@ struct QuantParams {
 struct QConv2D {
   ConvGeom geom;
   std::vector<int8_t> weights;  // [out_c][k][k][in_c]
-  std::vector<int32_t> bias;    // [out_c], scale = in.scale * w_scale
+  std::vector<int32_t> bias;    // [out_c], scale = in.scale * w_scales[c]
   QuantParams in, out;
-  float w_scale = 1.0f;
-  QuantizedMultiplier requant;
+  // Per-output-channel symmetric weight scales and the matching requant
+  // multipliers (size out_c each). Per-tensor quantization is the
+  // degenerate all-equal case — see set_pertensor_wscale().
+  std::vector<float> w_scales;
+  std::vector<QuantizedMultiplier> requant;
   int32_t act_min = -128;  // output clamp (ReLU folding raises act_min)
   int32_t act_max = 127;
 };
@@ -79,10 +83,11 @@ struct QDepthwiseConv2D {
   int in_h = 0, in_w = 0, channels = 0;
   int kernel = 1, stride = 1, pad = 0;
   std::vector<int8_t> weights;  // [k][k][channels], channel innermost
-  std::vector<int32_t> bias;    // [channels], scale = in.scale * w_scale
+  std::vector<int32_t> bias;    // [channels], scale = in.scale * w_scales[c]
   QuantParams in, out;
-  float w_scale = 1.0f;
-  QuantizedMultiplier requant;
+  // Per-channel weight scales + requant multipliers (size `channels`).
+  std::vector<float> w_scales;
+  std::vector<QuantizedMultiplier> requant;
   int32_t act_min = -128;
   int32_t act_max = 127;
 
@@ -104,6 +109,18 @@ struct QDepthwiseConv2D {
 inline size_t dw_weight_index(int channel, int tap, int channels) {
   return static_cast<size_t>(tap) * channels + channel;
 }
+
+// Per-channel requant maintenance. refresh_requant() recomputes
+// requant[c] = in.scale * w_scales[c] / out.scale for every channel (call
+// after changing in/out activation params or the scale vector);
+// set_pertensor_wscale() broadcasts one shared scale to all channels and
+// refreshes — the per-tensor special case used by legacy artifact loads,
+// test fixtures and the per-channel-off ablation mode. Broadcast vectors
+// are bitwise-identical in effect to the historical scalar scheme.
+void refresh_requant(QConv2D& conv);
+void refresh_requant(QDepthwiseConv2D& dw);
+void set_pertensor_wscale(QConv2D& conv, float w_scale);
+void set_pertensor_wscale(QDepthwiseConv2D& dw, float w_scale);
 
 // Int8 average pool: sum over the window, round-half-away-from-zero
 // divide (the TFLite-Micro AVERAGE_POOL_2D reference op). Input and

@@ -24,12 +24,90 @@ float quantize_weights(const std::vector<float>& w, std::vector<int8_t>& out) {
   return scale;
 }
 
+float scale_from_absmax(float absmax) {
+  return absmax > 0.0f ? absmax / 127.0f : 1e-8f;
+}
+
+// Per-output-channel symmetric quantization of a conv weight tensor
+// ([out_c][k][k][in_c]: one contiguous patch per output channel). With
+// per_channel off, every channel shares the tensor-wide max-abs scale —
+// bitwise-identical to the historical per-tensor path.
+std::vector<float> quantize_conv_weights(const std::vector<float>& w,
+                                         int out_c, std::vector<int8_t>& out,
+                                         bool per_channel) {
+  check(out_c > 0 && w.size() % static_cast<size_t>(out_c) == 0,
+        "conv weight tensor not divisible into output channels");
+  const size_t patch = w.size() / static_cast<size_t>(out_c);
+  std::vector<float> scales(static_cast<size_t>(out_c));
+  if (per_channel) {
+    for (size_t c = 0; c < scales.size(); ++c) {
+      float absmax = 0.0f;
+      for (size_t i = c * patch; i < (c + 1) * patch; ++i)
+        absmax = std::max(absmax, std::abs(w[i]));
+      scales[c] = scale_from_absmax(absmax);
+    }
+  } else {
+    float absmax = 0.0f;
+    for (const float v : w) absmax = std::max(absmax, std::abs(v));
+    scales.assign(scales.size(), scale_from_absmax(absmax));
+  }
+  out.resize(w.size());
+  for (size_t c = 0; c < scales.size(); ++c)
+    for (size_t i = c * patch; i < (c + 1) * patch; ++i)
+      out[i] = saturate_int8(round_to_int32(w[i] / scales[c]));
+  return scales;
+}
+
+// Per-channel quantization of a depthwise weight tensor ([k][k][channels],
+// channel innermost: channel c's taps sit at stride `channels`).
+std::vector<float> quantize_dw_weights(const std::vector<float>& w,
+                                       int channels, std::vector<int8_t>& out,
+                                       bool per_channel) {
+  check(channels > 0 && w.size() % static_cast<size_t>(channels) == 0,
+        "depthwise weight tensor not divisible into channels");
+  const int taps = static_cast<int>(w.size()) / channels;
+  std::vector<float> scales(static_cast<size_t>(channels));
+  if (per_channel) {
+    for (int c = 0; c < channels; ++c) {
+      float absmax = 0.0f;
+      for (int t = 0; t < taps; ++t)
+        absmax = std::max(absmax, std::abs(w[dw_weight_index(c, t, channels)]));
+      scales[static_cast<size_t>(c)] = scale_from_absmax(absmax);
+    }
+  } else {
+    float absmax = 0.0f;
+    for (const float v : w) absmax = std::max(absmax, std::abs(v));
+    scales.assign(scales.size(), scale_from_absmax(absmax));
+  }
+  out.resize(w.size());
+  for (int c = 0; c < channels; ++c)
+    for (int t = 0; t < taps; ++t) {
+      const size_t i = dw_weight_index(c, t, channels);
+      out[i] =
+          saturate_int8(round_to_int32(w[i] / scales[static_cast<size_t>(c)]));
+    }
+  return scales;
+}
+
 std::vector<int32_t> quantize_bias(const std::vector<float>& b,
                                    float in_scale, float w_scale) {
   std::vector<int32_t> out(b.size());
   const double s = static_cast<double>(in_scale) * w_scale;
   for (size_t i = 0; i < b.size(); ++i)
     out[i] = static_cast<int32_t>(std::llround(b[i] / s));
+  return out;
+}
+
+// Per-channel bias: bias[c] lives at scale in_scale * w_scales[c].
+std::vector<int32_t> quantize_bias(const std::vector<float>& b, float in_scale,
+                                   const std::vector<float>& w_scales) {
+  check(b.size() == w_scales.size(),
+        "bias / per-channel weight scale length mismatch");
+  std::vector<int32_t> out(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    const double s = static_cast<double>(in_scale) * w_scales[i];
+    out[i] = static_cast<int32_t>(std::llround(b[i] / s));
+  }
   return out;
 }
 
@@ -125,11 +203,12 @@ QModel quantize_model(Network& net, const Dataset& calib,
       QConv2D q;
       q.geom = conv->geom();
       q.in = act;
-      q.w_scale = quantize_weights(conv->weights(), q.weights);
-      q.bias = quantize_bias(conv->bias(), act.scale, q.w_scale);
+      q.w_scales = quantize_conv_weights(conv->weights(), q.geom.out_c,
+                                         q.weights,
+                                         config.per_channel_weights);
+      q.bias = quantize_bias(conv->bias(), act.scale, q.w_scales);
       q.out = out_obs.to_affine_params();
-      q.requant = quantize_multiplier(
-          static_cast<double>(act.scale) * q.w_scale / q.out.scale);
+      refresh_requant(q);
       q.act_min = relu_next ? q.out.zero_point : -128;
       q.act_max = 127;
       act = q.out;
@@ -146,11 +225,11 @@ QModel quantize_model(Network& net, const Dataset& calib,
       q.stride = dw->geom().stride;
       q.pad = dw->geom().pad;
       q.in = act;
-      q.w_scale = quantize_weights(dw->weights(), q.weights);
-      q.bias = quantize_bias(dw->bias(), act.scale, q.w_scale);
+      q.w_scales = quantize_dw_weights(dw->weights(), q.channels, q.weights,
+                                       config.per_channel_weights);
+      q.bias = quantize_bias(dw->bias(), act.scale, q.w_scales);
       q.out = out_obs.to_affine_params();
-      q.requant = quantize_multiplier(
-          static_cast<double>(act.scale) * q.w_scale / q.out.scale);
+      refresh_requant(q);
       q.act_min = relu_next ? q.out.zero_point : -128;
       q.act_max = 127;
       act = q.out;
@@ -265,9 +344,11 @@ void save_qmodel(const QModel& m, const std::string& path) {
       w.i32(conv->in.zero_point);
       w.f32(conv->out.scale);
       w.i32(conv->out.zero_point);
-      w.f32(conv->w_scale);
-      w.i32(conv->requant.mult);
-      w.i32(conv->requant.shift);
+      // Legacy inline slots carry channel 0; the full per-channel vectors
+      // live in the trailer (see below) so pre-PR-9 readers still parse.
+      w.f32(conv->w_scales.at(0));
+      w.i32(conv->requant.at(0).mult);
+      w.i32(conv->requant.at(0).shift);
       w.i32(conv->act_min);
       w.i32(conv->act_max);
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
@@ -306,9 +387,9 @@ void save_qmodel(const QModel& m, const std::string& path) {
       w.i32(dw->in.zero_point);
       w.f32(dw->out.scale);
       w.i32(dw->out.zero_point);
-      w.f32(dw->w_scale);
-      w.i32(dw->requant.mult);
-      w.i32(dw->requant.shift);
+      w.f32(dw->w_scales.at(0));
+      w.i32(dw->requant.at(0).mult);
+      w.i32(dw->requant.at(0).shift);
       w.i32(dw->act_min);
       w.i32(dw->act_max);
     } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
@@ -349,6 +430,36 @@ void save_qmodel(const QModel& m, const std::string& path) {
   // scheme): absent means the pre-scored default, an argmax head.
   w.u32(static_cast<uint32_t>(m.head));
   w.f32(m.score_threshold);
+  // Per-channel requant trailer (append-only versioning, PR 9): one row
+  // per conv/depthwise layer in stored order — u32 channel count, then
+  // (f32 scale, i32 mult, i32 shift) per channel. Absent (pre-PR-9
+  // artifacts) means the inline per-tensor scalars broadcast.
+  uint32_t pc_rows = 0;
+  for (const QLayer& layer : m.layers)
+    if (std::holds_alternative<QConv2D>(layer) ||
+        std::holds_alternative<QDepthwiseConv2D>(layer))
+      ++pc_rows;
+  w.u32(pc_rows);
+  for (const QLayer& layer : m.layers) {
+    const std::vector<float>* scales = nullptr;
+    const std::vector<QuantizedMultiplier>* rq = nullptr;
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      scales = &conv->w_scales;
+      rq = &conv->requant;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      scales = &dw->w_scales;
+      rq = &dw->requant;
+    }
+    if (scales == nullptr) continue;
+    check(scales->size() == rq->size(),
+          "w_scales / requant length mismatch while saving " + m.name);
+    w.u32(static_cast<uint32_t>(scales->size()));
+    for (size_t c = 0; c < scales->size(); ++c) {
+      w.f32((*scales)[c]);
+      w.i32((*rq)[c].mult);
+      w.i32((*rq)[c].shift);
+    }
+  }
   w.close();
 }
 
@@ -380,9 +491,16 @@ QModel load_qmodel(const std::string& path) {
       conv.in.zero_point = r.i32();
       conv.out.scale = r.f32();
       conv.out.zero_point = r.i32();
-      conv.w_scale = r.f32();
-      conv.requant.mult = r.i32();
-      conv.requant.shift = r.i32();
+      // Inline per-tensor scalars broadcast across channels; the
+      // per-channel trailer (when present) overrides them below. The
+      // stored multiplier is reused verbatim — never recomputed — so
+      // pre-PR-9 artifacts stay bitwise-identical.
+      const float w_scale = r.f32();
+      QuantizedMultiplier rq;
+      rq.mult = r.i32();
+      rq.shift = r.i32();
+      conv.w_scales.assign(static_cast<size_t>(conv.geom.out_c), w_scale);
+      conv.requant.assign(static_cast<size_t>(conv.geom.out_c), rq);
       conv.act_min = r.i32();
       conv.act_max = r.i32();
       m.layers.emplace_back(std::move(conv));
@@ -424,9 +542,12 @@ QModel load_qmodel(const std::string& path) {
       dw.in.zero_point = r.i32();
       dw.out.scale = r.f32();
       dw.out.zero_point = r.i32();
-      dw.w_scale = r.f32();
-      dw.requant.mult = r.i32();
-      dw.requant.shift = r.i32();
+      const float w_scale = r.f32();
+      QuantizedMultiplier rq;
+      rq.mult = r.i32();
+      rq.shift = r.i32();
+      dw.w_scales.assign(static_cast<size_t>(dw.channels), w_scale);
+      dw.requant.assign(static_cast<size_t>(dw.channels), rq);
       dw.act_min = r.i32();
       dw.act_max = r.i32();
       m.layers.emplace_back(std::move(dw));
@@ -476,6 +597,38 @@ QModel load_qmodel(const std::string& path) {
     check(head <= 1, "bad head tag in " + path);
     m.head = static_cast<TaskHead>(head);
     m.score_threshold = r.f32();
+  }
+  // Per-channel requant trailer (absent in pre-PR-9 artifacts: the inline
+  // broadcast above already holds).
+  if (!r.at_end()) {
+    uint32_t expect_rows = 0;
+    for (const QLayer& layer : m.layers)
+      if (std::holds_alternative<QConv2D>(layer) ||
+          std::holds_alternative<QDepthwiseConv2D>(layer))
+        ++expect_rows;
+    const uint32_t rows = r.u32();
+    check(rows == expect_rows, "per-channel trailer row count mismatch in " +
+                                   path);
+    for (QLayer& layer : m.layers) {
+      std::vector<float>* scales = nullptr;
+      std::vector<QuantizedMultiplier>* rq = nullptr;
+      if (auto* conv = std::get_if<QConv2D>(&layer)) {
+        scales = &conv->w_scales;
+        rq = &conv->requant;
+      } else if (auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+        scales = &dw->w_scales;
+        rq = &dw->requant;
+      }
+      if (scales == nullptr) continue;
+      const uint32_t channels = r.u32();
+      check(channels == scales->size(),
+            "per-channel trailer channel count mismatch in " + path);
+      for (uint32_t c = 0; c < channels; ++c) {
+        (*scales)[c] = r.f32();
+        (*rq)[c].mult = r.i32();
+        (*rq)[c].shift = r.i32();
+      }
+    }
   }
   return m;
 }

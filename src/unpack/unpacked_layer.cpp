@@ -68,7 +68,6 @@ UnpackedConv UnpackedConv::build(const QConv2D& layer, const uint8_t* skip) {
   u.geom = layer.geom;
   u.in_q = layer.in;
   u.out_q = layer.out;
-  u.requant = layer.requant;
   u.act_min = layer.act_min;
   u.act_max = layer.act_max;
 
@@ -79,9 +78,11 @@ UnpackedConv UnpackedConv::build(const QConv2D& layer, const uint8_t* skip) {
         layer.weights.data() + static_cast<size_t>(oc) * patch;
     const uint8_t* sk =
         skip != nullptr ? skip + static_cast<size_t>(oc) * patch : nullptr;
-    u.channels[static_cast<size_t>(oc)] = build_channel_program(
-        layer.bias[static_cast<size_t>(oc)], patch, sk,
-        [&](uint32_t i) { return w[i]; });
+    ChannelProgram& prog = u.channels[static_cast<size_t>(oc)];
+    prog = build_channel_program(layer.bias[static_cast<size_t>(oc)], patch,
+                                 sk, [&](uint32_t i) { return w[i]; });
+    // Per-output-channel requant constant, baked like the bias.
+    prog.requant = layer.requant[static_cast<size_t>(oc)];
   }
   return u;
 }
@@ -138,8 +139,9 @@ void UnpackedConv::run(std::span<const int8_t> in,
           acc = smlabb(pack_q15_pair(0, prog.single.weight),
                        pack_q15_pair(0, col[prog.single.operand]), acc);
         }
-        const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
+        const int32_t scaled = multiply_by_quantized_multiplier(
+                                   acc, prog.requant) +
+                               out_q.zero_point;
         orow[oc] =
             static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
       }
@@ -222,7 +224,7 @@ void UnpackedConv::run_batch(std::span<const int8_t> in,
           }
           for (int j = 0; j < bn; ++j) {
             const int32_t scaled =
-                multiply_by_quantized_multiplier(acc[j], requant) +
+                multiply_by_quantized_multiplier(acc[j], prog.requant) +
                 out_q.zero_point;
             out[static_cast<size_t>(b0 + j) * out_elems + orow_off + oc] =
                 static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
@@ -263,7 +265,6 @@ UnpackedDepthwise UnpackedDepthwise::build(const QDepthwiseConv2D& layer,
   u.pad = layer.pad;
   u.in_q = layer.in;
   u.out_q = layer.out;
-  u.requant = layer.requant;
   u.act_min = layer.act_min;
   u.act_max = layer.act_max;
 
@@ -272,11 +273,13 @@ UnpackedDepthwise UnpackedDepthwise::build(const QDepthwiseConv2D& layer,
   for (int ch = 0; ch < layer.channels; ++ch) {
     const uint8_t* sk =
         skip != nullptr ? skip + static_cast<size_t>(ch) * patch : nullptr;
-    u.channels[static_cast<size_t>(ch)] = build_channel_program(
+    ChannelProgram& prog = u.channels[static_cast<size_t>(ch)];
+    prog = build_channel_program(
         layer.bias[static_cast<size_t>(ch)], patch, sk, [&](uint32_t p) {
           return layer.weights[dw_weight_index(ch, static_cast<int>(p),
                                                layer.channels)];
         });
+    prog.requant = layer.requant[static_cast<size_t>(ch)];
   }
   return u;
 }
@@ -331,8 +334,9 @@ void UnpackedDepthwise::run(std::span<const int8_t> in,
                   0, col[static_cast<size_t>(prog.single.operand) * c + ch]),
               acc);
         }
-        const int32_t scaled =
-            multiply_by_quantized_multiplier(acc, requant) + out_q.zero_point;
+        const int32_t scaled = multiply_by_quantized_multiplier(
+                                   acc, prog.requant) +
+                               out_q.zero_point;
         orow[ch] =
             static_cast<int8_t>(std::clamp(scaled, act_min, act_max));
       }
@@ -414,7 +418,7 @@ void UnpackedDepthwise::run_batch(std::span<const int8_t> in,
           }
           for (int j = 0; j < bn; ++j) {
             const int32_t scaled =
-                multiply_by_quantized_multiplier(acc[j], requant) +
+                multiply_by_quantized_multiplier(acc[j], prog.requant) +
                 out_q.zero_point;
             out[static_cast<size_t>(b0 + j) * out_elems + orow_off + ch] =
                 static_cast<int8_t>(std::clamp(scaled, act_min, act_max));

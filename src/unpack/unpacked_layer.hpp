@@ -37,6 +37,10 @@ struct MacSingleOp {
 
 struct ChannelProgram {
   int32_t bias = 0;
+  // Baked per-channel requant constant (per-output-channel weight
+  // quantization: each program rescales with its own multiplier, exactly
+  // like its bias is its own constant).
+  QuantizedMultiplier requant;
   std::vector<MacPairOp> pairs;
   bool has_single = false;
   MacSingleOp single;
@@ -49,7 +53,6 @@ struct ChannelProgram {
 struct UnpackedConv {
   ConvGeom geom;
   QuantParams in_q, out_q;
-  QuantizedMultiplier requant;
   int32_t act_min = -128, act_max = 127;
   std::vector<ChannelProgram> channels;
 
@@ -87,7 +90,6 @@ struct UnpackedDepthwise {
   int in_h = 0, in_w = 0, channel_count = 0;
   int kernel = 1, stride = 1, pad = 0;
   QuantParams in_q, out_q;
-  QuantizedMultiplier requant;
   int32_t act_min = -128, act_max = 127;
   std::vector<ChannelProgram> channels;
 

@@ -84,8 +84,7 @@ QModel single_conv_model(int in_c, int out_c, int kernel, int stride,
   g.out_c = out_c; g.kernel = kernel; g.stride = stride; g.pad = pad;
   QConv2D conv = ataman::testing::make_random_qconv(g, seed);
   conv.in = m.input;
-  conv.requant = quantize_multiplier(
-      static_cast<double>(conv.in.scale) * conv.w_scale / conv.out.scale);
+  refresh_requant(conv);
   m.layers.emplace_back(std::move(conv));
   return m;
 }
@@ -144,6 +143,59 @@ int main(void) {
         dir + "/runner < " + img_path + " > " + dir + "/out.txt";
     ASSERT_EQ(std::system(run.c_str()), 0);
 
+    std::ifstream in(dir + "/out.txt");
+    std::vector<int8_t> got;
+    int v = 0;
+    while (in >> v) got.push_back(static_cast<int8_t>(v));
+    EXPECT_EQ(got, engine.run(img)) << "trial " << trial;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Per-channel requant: spread every conv channel's weight scale apart so
+// the emitted programs carry genuinely distinct requant constants, then
+// compile the generated C on the host and compare bitwise against the
+// unpacked engine (which bakes the same per-channel constants).
+TEST_F(CodegenCompile, PerChannelRequantMatchesEngineBitExact) {
+  if (!have_cc()) GTEST_SKIP() << "no host C compiler";
+  QModel m = make_tiny_qmodel(85);
+  testing::spread_model_wscales(m, 86);
+
+  const std::string dir = "/tmp/ataman_codegen_perchannel";
+  std::filesystem::remove_all(dir);
+  write_text_file(dir + "/model.c", emit_model_c(m));
+  const std::string driver = R"(
+#include <stdint.h>
+#include <stdio.h>
+extern void ataman_run(const uint8_t* image, int8_t* logits);
+extern const int ataman_num_classes;
+int main(void) {
+  uint8_t img[12*12*3];
+  if (fread(img, 1, sizeof img, stdin) != sizeof img) return 1;
+  int8_t logits[64];
+  ataman_run(img, logits);
+  for (int i = 0; i < ataman_num_classes; ++i) printf("%d\n", (int)logits[i]);
+  return 0;
+}
+)";
+  write_text_file(dir + "/main.c", driver);
+  const std::string compile = "cc -std=c99 -O2 " + dir + "/model.c " + dir +
+                              "/main.c -o " + dir + "/runner 2> " + dir +
+                              "/cc.log";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << "generated C failed to compile";
+
+  const UnpackedEngine engine(&m);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto img = testing::make_random_image(12 * 12 * 3, 950 + trial);
+    {
+      std::ofstream out(dir + "/img.bin", std::ios::binary);
+      out.write(reinterpret_cast<const char*>(img.data()),
+                static_cast<std::streamsize>(img.size()));
+    }
+    ASSERT_EQ(std::system((dir + "/runner < " + dir + "/img.bin > " + dir +
+                           "/out.txt")
+                              .c_str()),
+              0);
     std::ifstream in(dir + "/out.txt");
     std::vector<int8_t> got;
     int v = 0;

@@ -319,18 +319,15 @@ QModel make_overlap_qmodel(uint64_t seed) {
 
   QConv2D c1 = testing::make_random_qconv(g, seed * 71 + 1, true);
   c1.in = m.input;
-  c1.requant = quantize_multiplier(
-      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  refresh_requant(c1);
   c1.act_min = c1.out.zero_point;
   QConv2D c2 = testing::make_random_qconv(g, seed * 71 + 2, true);
   c2.in = c1.out;
-  c2.requant = quantize_multiplier(
-      static_cast<double>(c2.in.scale) * c2.w_scale / c2.out.scale);
+  refresh_requant(c2);
   c2.act_min = c2.out.zero_point;
   QConv2D c3 = testing::make_random_qconv(g, seed * 71 + 3, true);
   c3.in = c2.out;
-  c3.requant = quantize_multiplier(
-      static_cast<double>(c3.in.scale) * c3.w_scale / c3.out.scale);
+  refresh_requant(c3);
   c3.act_min = c3.out.zero_point;
 
   Rng rng(seed * 71 + 4);

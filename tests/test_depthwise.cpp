@@ -239,15 +239,13 @@ QModel make_ds_block_qmodel(uint64_t seed) {
   g.out_c = 6; g.kernel = 3; g.stride = 1; g.pad = 1;
   QConv2D conv = testing::make_random_qconv(g, seed + 1, /*folded_relu=*/true);
   conv.in = m.input;
-  conv.requant = quantize_multiplier(
-      static_cast<double>(conv.in.scale) * conv.w_scale / conv.out.scale);
+  refresh_requant(conv);
   conv.act_min = conv.out.zero_point;
 
   QDepthwiseConv2D dw = make_random_qdw(12, 12, 6, 3, 1, 1, seed + 2,
                                         /*folded_relu=*/true);
   dw.in = conv.out;
-  dw.requant = quantize_multiplier(
-      static_cast<double>(dw.in.scale) * dw.w_scale / dw.out.scale);
+  refresh_requant(dw);
   dw.act_min = dw.out.zero_point;
 
   QAvgPool pool;

@@ -121,7 +121,7 @@ TEST(EdgeCases, RequantSaturationClampsToActRange) {
   QConv2D conv = make_random_qconv(g, 8);
   conv.weights = {127};
   conv.bias = {2'000'000'000};  // dominates everything
-  conv.requant = quantize_multiplier(0.9);
+  conv.requant = {quantize_multiplier(0.9)};
   conv.act_min = -100;
   conv.act_max = 100;
   const auto in = make_random_input(9, 9);

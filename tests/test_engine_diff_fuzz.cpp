@@ -93,8 +93,7 @@ QModel make_random_model(uint64_t seed) {
     g.pad = g.kernel / 2;
     QConv2D conv = make_random_qconv(g, rng.next_u64(), /*folded_relu=*/true);
     conv.in = upstream;
-    conv.requant = quantize_multiplier(static_cast<double>(conv.in.scale) *
-                                       conv.w_scale / conv.out.scale);
+    refresh_requant(conv);
     conv.act_min = conv.out.zero_point;
     upstream = conv.out;
     c = g.out_c;
@@ -105,8 +104,7 @@ QModel make_random_model(uint64_t seed) {
                                             rng.next_u64(),
                                             /*folded_relu=*/true);
       dw.in = upstream;
-      dw.requant = quantize_multiplier(static_cast<double>(dw.in.scale) *
-                                       dw.w_scale / dw.out.scale);
+      refresh_requant(dw);
       dw.act_min = dw.out.zero_point;
       upstream = dw.out;
       push(std::move(dw));
@@ -152,8 +150,7 @@ QModel make_random_model(uint64_t seed) {
     g.pad = g.kernel / 2;
     QConv2D conv = make_random_qconv(g, rng.next_u64(), /*folded_relu=*/true);
     conv.in = upstream;
-    conv.requant = quantize_multiplier(static_cast<double>(conv.in.scale) *
-                                       conv.w_scale / conv.out.scale);
+    refresh_requant(conv);
     conv.act_min = conv.out.zero_point;
     upstream = conv.out;
     push(std::move(conv));
@@ -163,8 +160,7 @@ QModel make_random_model(uint64_t seed) {
                                             rng.next_u64(),
                                             /*folded_relu=*/true);
       dw.in = upstream;
-      dw.requant = quantize_multiplier(static_cast<double>(dw.in.scale) *
-                                       dw.w_scale / dw.out.scale);
+      refresh_requant(dw);
       dw.act_min = dw.out.zero_point;
       upstream = dw.out;
       push(std::move(dw));
@@ -423,6 +419,110 @@ TEST(EngineDiffFuzz, BatchParityAcrossEnginesAndBatchSizes) {
         for (int i = 0; i < batch; ++i) {
           EXPECT_EQ(logits[static_cast<size_t>(i)], engine->run(images[i]))
               << "image " << i;
+        }
+      }
+    }
+  }
+}
+
+// Per-channel requant dimension: the make_random_* builders produce
+// uniform (per-tensor style) w_scales vectors, so the other fuzz tests
+// never see channels with *different* requant constants. This test takes
+// each random model through two rounds:
+//   * a spread round — every conv/depthwise channel gets its own random
+//     weight scale (requant rebaked per channel) and all four engines
+//     plus the masked-unpacked path and run_batch must stay bit-exact
+//     with the reference oracle;
+//   * a degenerate round — all-equal per-channel vectors must carry
+//     exactly the multiplier the per-tensor scheme would have computed,
+//     i.e. the pre-per-channel behavior is reproduced bitwise.
+TEST(EngineDiffFuzz, PerChannelRequantParityAcrossEngines) {
+  const uint64_t base = base_seed();
+
+  for (int iter = 0; iter < kModels; ++iter) {
+    const uint64_t model_seed =
+        base + 900 + static_cast<uint64_t>(iter) * 1000;
+    SCOPED_TRACE("model_seed=" + std::to_string(model_seed) +
+                 " (replay: ATAMAN_FUZZ_SEED=" + std::to_string(base) + ")");
+
+    // --- degenerate round: uniform vectors == per-tensor bitwise --------
+    const QModel uniform = make_random_model(model_seed);
+    for (const QLayer& layer : uniform.layers) {
+      if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+        const QuantizedMultiplier want = quantize_multiplier(
+            static_cast<double>(conv->in.scale) * conv->w_scales[0] /
+            conv->out.scale);
+        for (size_t c = 0; c < conv->requant.size(); ++c) {
+          EXPECT_EQ(conv->requant[c].mult, want.mult) << "channel " << c;
+          EXPECT_EQ(conv->requant[c].shift, want.shift) << "channel " << c;
+          EXPECT_EQ(conv->w_scales[c], conv->w_scales[0]) << "channel " << c;
+        }
+      } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+        const QuantizedMultiplier want = quantize_multiplier(
+            static_cast<double>(dw->in.scale) * dw->w_scales[0] /
+            dw->out.scale);
+        for (size_t c = 0; c < dw->requant.size(); ++c) {
+          EXPECT_EQ(dw->requant[c].mult, want.mult) << "channel " << c;
+          EXPECT_EQ(dw->requant[c].shift, want.shift) << "channel " << c;
+          EXPECT_EQ(dw->w_scales[c], dw->w_scales[0]) << "channel " << c;
+        }
+      }
+    }
+
+    // --- spread round: distinct per-channel constants, full parity ------
+    QModel m = make_random_model(model_seed);
+    testing::spread_model_wscales(m, model_seed + 41);
+    const int64_t pixels = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+    const RefEngine oracle(&m);
+    EngineConfig cfg;
+    cfg.model = &m;
+
+    for (const char* name : {"ref", "cmsis", "unpacked", "xcube"}) {
+      const auto engine = EngineRegistry::instance().create(name, cfg);
+      for (int i = 0; i < kParityImages; ++i) {
+        const auto img = make_random_image(pixels, model_seed + 877 + i);
+        EXPECT_EQ(engine->run(img), oracle.run(img))
+            << name << " image " << i;
+        EXPECT_EQ(engine->classify(img), oracle.classify(img))
+            << name << " image " << i;
+      }
+    }
+
+    // Masked parity: skipping operands composes with per-channel requant.
+    const int approx_count = m.approx_layer_count();
+    const Dataset calib = make_calib_set(m, 12, model_seed + 5);
+    const auto stats = capture_activation_stats(m, calib, -1);
+    const auto significance = compute_model_significance(m, stats);
+    const SkipMask mask = make_skip_mask(
+        m, significance, ApproxConfig::uniform(approx_count, 0.08));
+    EngineConfig masked_cfg = cfg;
+    masked_cfg.mask = &mask;
+    const auto masked_ref = EngineRegistry::instance().create("ref", masked_cfg);
+    const auto unpacked =
+        EngineRegistry::instance().create("unpacked", masked_cfg);
+    for (int i = 0; i < kParityImages; ++i) {
+      const auto img = make_random_image(pixels, model_seed + 977 + i);
+      EXPECT_EQ(masked_ref->run(img), unpacked->run(img)) << "image " << i;
+    }
+
+    // Batch parity: the lane-blocked paths index requant per channel too.
+    std::vector<std::vector<uint8_t>> pool;
+    for (int i = 0; i < 5; ++i)
+      pool.push_back(make_random_image(pixels, model_seed + 777 + i));
+    for (const char* name : {"ref", "cmsis", "unpacked", "xcube"}) {
+      const auto engine = EngineRegistry::instance().create(name, cfg);
+      Rng pick(model_seed + 23);
+      for (const int batch : {3, 7}) {
+        std::vector<std::span<const uint8_t>> images;
+        for (int i = 0; i < batch; ++i)
+          images.emplace_back(
+              pool[static_cast<size_t>(pick.next_int(0, 4))]);
+        std::vector<std::vector<int8_t>> logits;
+        engine->run_batch(images, logits);
+        ASSERT_EQ(logits.size(), images.size());
+        for (int i = 0; i < batch; ++i) {
+          EXPECT_EQ(logits[static_cast<size_t>(i)], engine->run(images[i]))
+              << name << " batch " << batch << " image " << i;
         }
       }
     }

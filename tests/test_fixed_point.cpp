@@ -81,6 +81,49 @@ INSTANTIATE_TEST_SUITE_P(Multipliers, RequantProperty,
                                            0.0625, 0.1, 0.24999, 0.5, 0.75,
                                            0.999999));
 
+// Multipliers above 1 (positive shift) arise from QAdd requant ratios —
+// a residual add whose output scale is much smaller than an input scale.
+// For accumulators whose pre-shift fits int32 the result must still match
+// double arithmetic.
+TEST(Requant, LargeRatioPositiveShiftMatchesDoubleInRange) {
+  for (const double m : {1.5, 12.5, 300.0, 1.0e6}) {
+    const auto qm = quantize_multiplier(m);
+    ASSERT_GT(qm.shift, 0) << "m=" << m;
+    const auto bound =
+        static_cast<int32_t>(std::numeric_limits<int32_t>::max() >> qm.shift);
+    Rng rng(static_cast<uint64_t>(m) + 99);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const int32_t x = rng.next_int(-bound, bound);
+      const int32_t got = multiply_by_quantized_multiplier(x, qm);
+      const double want = std::nearbyint(static_cast<double>(x) * m);
+      EXPECT_NEAR(static_cast<double>(got), want, 2.0)
+          << "x=" << x << " m=" << m;
+    }
+  }
+}
+
+// Regression for the int32 pre-shift UB: with shift == 30 (admitted by
+// quantize_multiplier, reachable via extreme QAdd scale ratios) the old
+// `x * (1 << left_shift)` was signed-overflow UB for any |x| > 1 — this
+// test trips it under the ASan/UBSan CI job. The fix pre-shifts in int64
+// and saturates to int32, so overflowing accumulators now requantize to
+// the saturated value deterministically.
+TEST(Requant, MaxShiftPreShiftSaturatesInsteadOfOverflowing) {
+  const auto qm = quantize_multiplier(static_cast<double>(1 << 29));
+  ASSERT_EQ(qm.shift, 30);
+  const int32_t max32 = std::numeric_limits<int32_t>::max();
+  const int32_t min32 = std::numeric_limits<int32_t>::min();
+  // Overflowing pre-shifts saturate (old path: UB).
+  EXPECT_EQ(multiply_by_quantized_multiplier(1 << 20, qm),
+            saturating_rounding_doubling_high_mul(max32, qm.mult));
+  EXPECT_EQ(multiply_by_quantized_multiplier(-(1 << 20), qm),
+            saturating_rounding_doubling_high_mul(min32, qm.mult));
+  // In-range pre-shifts stay exact.
+  EXPECT_EQ(multiply_by_quantized_multiplier(0, qm), 0);
+  EXPECT_EQ(multiply_by_quantized_multiplier(1, qm), 1 << 29);
+  EXPECT_EQ(multiply_by_quantized_multiplier(-1, qm), -(1 << 29));
+}
+
 TEST(Requant, TypicalConvMultiplierExactSpotChecks) {
   // in_scale * w_scale / out_scale of a real layer.
   const auto qm = quantize_multiplier((1.0 / 255.0) * 0.01 / 0.05);

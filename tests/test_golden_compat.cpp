@@ -1,0 +1,146 @@
+// Backward compatibility against a checked-in pre-per-channel artifact.
+//
+// tests/golden/micronet_pertensor_pr8.qm was serialized by the per-tensor
+// quantizer (before the per-channel weight-quantization change): it has
+// no per-channel trailer, only the inline scalar w_scale/requant slots.
+// The loader must broadcast those scalars into per-channel vectors and
+// reproduce the recorded logits bitwise on every backend — old deployed
+// artifacts keep working, bit for bit.
+//
+// The golden logits were recorded with the pre-change library on four
+// deterministic formula images (no RNG involved, so the inputs are
+// regenerable forever): img[k][i] = uint8((i*31 + k*97 + 13) & 0xFF).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine_iface.hpp"
+#include "src/quant/quantizer.hpp"
+
+#ifndef ATAMAN_TEST_DATA_DIR
+#error "ATAMAN_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace ataman {
+namespace {
+
+const std::string kGoldenDir = std::string(ATAMAN_TEST_DATA_DIR) + "/golden";
+
+std::vector<uint8_t> formula_image(int k, int64_t elems) {
+  std::vector<uint8_t> img(static_cast<size_t>(elems));
+  for (int64_t i = 0; i < elems; ++i) {
+    img[static_cast<size_t>(i)] = static_cast<uint8_t>(
+        (static_cast<uint32_t>(i) * 31u + static_cast<uint32_t>(k) * 97u +
+         13u) &
+        0xFF);
+  }
+  return img;
+}
+
+struct GoldenLogits {
+  int images = 0;
+  int classes = 0;
+  std::vector<std::vector<int8_t>> logits;
+};
+
+GoldenLogits load_golden_logits(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  GoldenLogits g;
+  std::string key;
+  char eq = 0;
+  // Header line: "images=N logits=M".
+  in >> key;
+  EXPECT_EQ(key.substr(0, 7), "images=");
+  g.images = std::stoi(key.substr(7));
+  in >> key;
+  EXPECT_EQ(key.substr(0, 7), "logits=");
+  g.classes = std::stoi(key.substr(7));
+  (void)eq;
+  for (int k = 0; k < g.images; ++k) {
+    std::vector<int8_t> row;
+    for (int c = 0; c < g.classes; ++c) {
+      int v = 0;
+      in >> v;
+      row.push_back(static_cast<int8_t>(v));
+    }
+    g.logits.push_back(std::move(row));
+  }
+  return g;
+}
+
+TEST(GoldenCompat, PerTensorArtifactLoadsAsBroadcastVectors) {
+  const QModel m = load_qmodel(kGoldenDir + "/micronet_pertensor_pr8.qm");
+  int conv_layers = 0;
+  for (const QLayer& layer : m.layers) {
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      ++conv_layers;
+      ASSERT_EQ(static_cast<int>(conv->w_scales.size()), conv->geom.out_c);
+      ASSERT_EQ(conv->w_scales.size(), conv->requant.size());
+      // Pre-per-channel artifact: one scalar broadcast to every channel.
+      for (size_t c = 1; c < conv->w_scales.size(); ++c) {
+        EXPECT_EQ(conv->w_scales[c], conv->w_scales[0]) << "channel " << c;
+        EXPECT_EQ(conv->requant[c].mult, conv->requant[0].mult)
+            << "channel " << c;
+        EXPECT_EQ(conv->requant[c].shift, conv->requant[0].shift)
+            << "channel " << c;
+      }
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      ASSERT_EQ(static_cast<int>(dw->w_scales.size()), dw->channels);
+      ASSERT_EQ(dw->w_scales.size(), dw->requant.size());
+      for (size_t c = 1; c < dw->w_scales.size(); ++c) {
+        EXPECT_EQ(dw->w_scales[c], dw->w_scales[0]) << "channel " << c;
+      }
+    }
+  }
+  EXPECT_GT(conv_layers, 0);
+}
+
+TEST(GoldenCompat, PerTensorArtifactReproducesGoldenLogitsOnAllEngines) {
+  const QModel m = load_qmodel(kGoldenDir + "/micronet_pertensor_pr8.qm");
+  const GoldenLogits golden =
+      load_golden_logits(kGoldenDir + "/micronet_pertensor_pr8_logits.txt");
+  ASSERT_EQ(golden.images, 4);
+  const int64_t elems = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+
+  EngineConfig cfg;
+  cfg.model = &m;
+  for (const char* name : {"ref", "cmsis", "unpacked", "xcube"}) {
+    const auto engine = EngineRegistry::instance().create(name, cfg);
+    for (int k = 0; k < golden.images; ++k) {
+      const auto img = formula_image(k, elems);
+      EXPECT_EQ(engine->run(img), golden.logits[static_cast<size_t>(k)])
+          << name << " image " << k;
+    }
+  }
+}
+
+TEST(GoldenCompat, ReserializedArtifactStaysBitCompatible) {
+  // Loading the legacy artifact and saving it back appends the (all-
+  // broadcast) per-channel trailer; reloading that must reproduce the
+  // golden logits too — save/load is idempotent across the format bump.
+  const QModel m = load_qmodel(kGoldenDir + "/micronet_pertensor_pr8.qm");
+  const std::string tmp = "/tmp/ataman_golden_resave.qm";
+  save_qmodel(m, tmp);
+  const QModel reloaded = load_qmodel(tmp);
+  std::remove(tmp.c_str());
+
+  const GoldenLogits golden =
+      load_golden_logits(kGoldenDir + "/micronet_pertensor_pr8_logits.txt");
+  const int64_t elems = static_cast<int64_t>(m.in_h) * m.in_w * m.in_c;
+  EngineConfig cfg;
+  cfg.model = &reloaded;
+  const auto engine = EngineRegistry::instance().create("ref", cfg);
+  for (int k = 0; k < golden.images; ++k) {
+    EXPECT_EQ(engine->run(formula_image(k, elems)),
+              golden.logits[static_cast<size_t>(k)])
+        << "image " << k;
+  }
+}
+
+}  // namespace
+}  // namespace ataman

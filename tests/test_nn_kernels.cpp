@@ -24,8 +24,9 @@ float float_conv_output(const QConv2D& conv, const std::vector<int8_t>& in,
   const ConvGeom& g = conv.geom;
   const int patch = g.patch_size();
   const int8_t* w = conv.weights.data() + static_cast<size_t>(oc) * patch;
+  const float w_scale = conv.w_scales[static_cast<size_t>(oc)];
   double acc = static_cast<double>(conv.bias[static_cast<size_t>(oc)]) *
-               conv.in.scale * conv.w_scale;
+               conv.in.scale * w_scale;
   int idx = 0;
   for (int ky = 0; ky < g.kernel; ++ky) {
     const int iy = oy * g.stride - g.pad + ky;
@@ -37,7 +38,7 @@ float float_conv_output(const QConv2D& conv, const std::vector<int8_t>& in,
             inside ? in[(static_cast<size_t>(iy) * g.in_w + ix) * g.in_c + c]
                    : conv.in.zero_point;
         acc += conv.in.scale * static_cast<double>(x - conv.in.zero_point) *
-               conv.w_scale * static_cast<double>(w[idx]);
+               w_scale * static_cast<double>(w[idx]);
       }
     }
   }

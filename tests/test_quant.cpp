@@ -152,18 +152,64 @@ TEST_F(QuantizedMicronet, SaveLoadRoundTripBitExact) {
   std::remove(path.c_str());
 }
 
+TEST_F(QuantizedMicronet, SaveLoadPreservesPerChannelVectors) {
+  // The per-channel trailer must round-trip the full w_scales/requant
+  // vectors bitwise (distinct scales, not just the channel-0 scalar the
+  // legacy inline slots carry).
+  const std::string path = "/tmp/ataman_qm_perchannel_roundtrip.qm";
+  save_qmodel(*qmodel_, path);
+  const QModel loaded = load_qmodel(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.layers.size(), qmodel_->layers.size());
+  for (size_t l = 0; l < loaded.layers.size(); ++l) {
+    const auto* want = std::get_if<QConv2D>(&qmodel_->layers[l]);
+    if (want == nullptr) continue;
+    const auto* got = std::get_if<QConv2D>(&loaded.layers[l]);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->w_scales, want->w_scales) << "layer " << l;
+    ASSERT_EQ(got->requant.size(), want->requant.size()) << "layer " << l;
+    for (size_t c = 0; c < want->requant.size(); ++c) {
+      EXPECT_EQ(got->requant[c].mult, want->requant[c].mult)
+          << "layer " << l << " channel " << c;
+      EXPECT_EQ(got->requant[c].shift, want->requant[c].shift)
+          << "layer " << l << " channel " << c;
+    }
+  }
+}
+
 TEST_F(QuantizedMicronet, BiasScaleConsistency) {
-  // Bias is stored at in_scale*w_scale: requant of (bias-only) output must
-  // approximate the float bias in the output scale.
+  // Bias channel c is stored at in_scale*w_scales[c]: requant of a
+  // (bias-only) output must approximate the float bias in the output
+  // scale.
   for (const QLayer& layer : qmodel_->layers) {
     const auto* conv = std::get_if<QConv2D>(&layer);
     if (conv == nullptr) continue;
-    const double bias_scale =
-        static_cast<double>(conv->in.scale) * conv->w_scale;
-    // Sanity: dequantized bias magnitudes are small (trained with weight
-    // decay; bias real values < 2).
-    for (const int32_t b : conv->bias)
-      EXPECT_LT(std::abs(static_cast<double>(b) * bias_scale), 4.0);
+    ASSERT_EQ(conv->w_scales.size(), conv->bias.size());
+    for (size_t c = 0; c < conv->bias.size(); ++c) {
+      const double bias_scale =
+          static_cast<double>(conv->in.scale) * conv->w_scales[c];
+      // Sanity: dequantized bias magnitudes are small (trained with
+      // weight decay; bias real values < 2).
+      EXPECT_LT(std::abs(static_cast<double>(conv->bias[c]) * bias_scale),
+                4.0);
+    }
+  }
+}
+
+TEST_F(QuantizedMicronet, PerChannelScalesVaryAcrossChannels) {
+  // Per-channel quantization must actually produce distinct scales on a
+  // trained net (all-equal would mean the per-tensor path leaked in).
+  for (const QLayer& layer : qmodel_->layers) {
+    const auto* conv = std::get_if<QConv2D>(&layer);
+    if (conv == nullptr) continue;
+    ASSERT_EQ(static_cast<int>(conv->w_scales.size()), conv->geom.out_c);
+    ASSERT_EQ(conv->w_scales.size(), conv->requant.size());
+    bool distinct = false;
+    for (const float s : conv->w_scales) {
+      EXPECT_GT(s, 0.0f);
+      if (s != conv->w_scales[0]) distinct = true;
+    }
+    EXPECT_TRUE(distinct);
   }
 }
 

@@ -76,6 +76,43 @@ TEST(Rng, DoubleInUnitInterval) {
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
 
+TEST(Rng, FloatConversionHonorsHalfOpenInterval) {
+  // Worst-case bit patterns: static_cast<float> rounds any double
+  // >= 1 - 2^-25 up to exactly 1.0f (the pre-fix bug, which let
+  // next_uniform(lo, hi) return hi). The clamp must keep [0, 1).
+  const float max_below_one = 0x1.fffffep-1f;
+  // Exact round-to-nearest-even boundary: halfway between max_below_one
+  // and 1.0, ties-to-even picks 1.0 — the smallest double that trips it.
+  EXPECT_EQ(Rng::to_float01(1.0 - std::ldexp(1.0, -25)), max_below_one);
+  // Largest double below 1.
+  EXPECT_EQ(Rng::to_float01(std::nextafter(1.0, 0.0)), max_below_one);
+  EXPECT_LT(Rng::to_float01(std::nextafter(1.0, 0.0)), 1.0f);
+  // Non-pathological draws pass through bit-identically (stream
+  // preservation: seeded datasets / weight init must not shift).
+  EXPECT_EQ(Rng::to_float01(0.0), 0.0f);
+  EXPECT_EQ(Rng::to_float01(0.5), 0.5f);
+  EXPECT_EQ(Rng::to_float01(0.25 + std::ldexp(1.0, -30)),
+            static_cast<float>(0.25 + std::ldexp(1.0, -30)));
+  // 1 - 2^-24 is exactly the largest float below 1: representable, kept.
+  EXPECT_EQ(Rng::to_float01(1.0 - std::ldexp(1.0, -24)), max_below_one);
+}
+
+TEST(Rng, FloatStreamStaysBelowOne) {
+  Rng rng(21);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.next_float();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+  }
+  // next_uniform must never return hi even at the clamp boundary.
+  Rng rng2(22);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng2.next_uniform(-2.0f, 3.0f);
+    ASSERT_GE(u, -2.0f);
+    ASSERT_LT(u, 3.0f);
+  }
+}
+
 TEST(Rng, NormalMoments) {
   Rng rng(11);
   double sum = 0.0, sq = 0.0;

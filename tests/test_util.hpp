@@ -25,14 +25,13 @@ inline QConv2D make_random_qconv(const ConvGeom& geom, uint64_t seed,
   conv.geom = geom;
   conv.in = random_act_params(rng);
   conv.out = random_act_params(rng);
-  conv.w_scale = rng.next_uniform(0.002f, 0.05f);
+  const float w_scale = rng.next_uniform(0.002f, 0.05f);
   conv.weights.resize(static_cast<size_t>(geom.weight_count()));
   for (auto& w : conv.weights)
     w = static_cast<int8_t>(rng.next_int(-127, 127));
   conv.bias.resize(static_cast<size_t>(geom.out_c));
   for (auto& b : conv.bias) b = rng.next_int(-4000, 4000);
-  conv.requant = quantize_multiplier(
-      static_cast<double>(conv.in.scale) * conv.w_scale / conv.out.scale);
+  set_pertensor_wscale(conv, w_scale);
   conv.act_min = folded_relu ? conv.out.zero_point : -128;
   conv.act_max = 127;
   return conv;
@@ -52,14 +51,13 @@ inline QDepthwiseConv2D make_random_qdw(int in_h, int in_w, int channels,
   dw.pad = pad;
   dw.in = random_act_params(rng);
   dw.out = random_act_params(rng);
-  dw.w_scale = rng.next_uniform(0.002f, 0.05f);
+  const float w_scale = rng.next_uniform(0.002f, 0.05f);
   dw.weights.resize(static_cast<size_t>(dw.weight_count()));
   for (auto& w : dw.weights)
     w = static_cast<int8_t>(rng.next_int(-127, 127));
   dw.bias.resize(static_cast<size_t>(channels));
   for (auto& b : dw.bias) b = rng.next_int(-4000, 4000);
-  dw.requant = quantize_multiplier(
-      static_cast<double>(dw.in.scale) * dw.w_scale / dw.out.scale);
+  set_pertensor_wscale(dw, w_scale);
   dw.act_min = folded_relu ? dw.out.zero_point : -128;
   dw.act_max = 127;
   return dw;
@@ -105,6 +103,28 @@ inline QAdd make_qadd(int h, int w, int channels, const QuantParams& a,
   return q;
 }
 
+// Spread a layer's per-channel weight scales apart by random factors and
+// rebake the requant constants. Turns the uniform (per-tensor style)
+// vectors the make_random_* builders produce into genuinely per-channel
+// quantization, for fuzzing the per-channel requant paths.
+template <typename ConvLike>
+inline void spread_wscales(ConvLike& layer, Rng& rng) {
+  for (float& s : layer.w_scales) s *= rng.next_uniform(0.25f, 4.0f);
+  refresh_requant(layer);
+}
+
+// Apply spread_wscales to every conv/depthwise layer of a model.
+inline void spread_model_wscales(QModel& m, uint64_t seed) {
+  Rng rng(seed);
+  for (QLayer& layer : m.layers) {
+    if (auto* conv = std::get_if<QConv2D>(&layer)) {
+      spread_wscales(*conv, rng);
+    } else if (auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      spread_wscales(*dw, rng);
+    }
+  }
+}
+
 inline std::vector<int8_t> make_random_input(int64_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<int8_t> v(static_cast<size_t>(n));
@@ -146,8 +166,7 @@ inline QModel make_tiny_qmodel(uint64_t seed) {
   g1.out_c = 6; g1.kernel = 3; g1.stride = 1; g1.pad = 1;
   QConv2D c1 = make_random_qconv(g1, seed * 31 + 1, /*folded_relu=*/true);
   c1.in = m.input;
-  c1.requant = quantize_multiplier(
-      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  refresh_requant(c1);
   c1.act_min = c1.out.zero_point;
 
   QMaxPool p1;
@@ -158,8 +177,7 @@ inline QModel make_tiny_qmodel(uint64_t seed) {
   g2.out_c = 8; g2.kernel = 3; g2.stride = 1; g2.pad = 1;
   QConv2D c2 = make_random_qconv(g2, seed * 31 + 2, /*folded_relu=*/true);
   c2.in = c1.out;
-  c2.requant = quantize_multiplier(
-      static_cast<double>(c2.in.scale) * c2.w_scale / c2.out.scale);
+  refresh_requant(c2);
   c2.act_min = c2.out.zero_point;
 
   QDense fc = make_random_qdense(6 * 6 * 8, 10, seed * 31 + 3);
@@ -195,14 +213,12 @@ inline QModel make_residual_qmodel(uint64_t seed) {
 
   QConv2D c1 = make_random_qconv(g, seed * 61 + 1, /*folded_relu=*/true);
   c1.in = m.input;
-  c1.requant = quantize_multiplier(
-      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  refresh_requant(c1);
   c1.act_min = c1.out.zero_point;
 
   QConv2D c2 = make_random_qconv(g, seed * 61 + 2, /*folded_relu=*/true);
   c2.in = c1.out;
-  c2.requant = quantize_multiplier(
-      static_cast<double>(c2.in.scale) * c2.w_scale / c2.out.scale);
+  refresh_requant(c2);
   c2.act_min = c2.out.zero_point;
 
   Rng rng(seed * 61 + 3);
@@ -211,8 +227,7 @@ inline QModel make_residual_qmodel(uint64_t seed) {
 
   QConv2D c3 = make_random_qconv(g, seed * 61 + 4, /*folded_relu=*/true);
   c3.in = a1.out;
-  c3.requant = quantize_multiplier(
-      static_cast<double>(c3.in.scale) * c3.w_scale / c3.out.scale);
+  refresh_requant(c3);
   c3.act_min = c3.out.zero_point;
 
   // add2 reads tensor 4 (c3 out) and tensor 3 (add1 out) — nested with
@@ -252,16 +267,14 @@ inline QModel make_tiny_vww_qmodel(uint64_t seed) {
   g.out_c = 6; g.kernel = 3; g.stride = 1; g.pad = 1;
   QConv2D c1 = make_random_qconv(g, seed * 71 + 1, /*folded_relu=*/true);
   c1.in = m.input;
-  c1.requant = quantize_multiplier(
-      static_cast<double>(c1.in.scale) * c1.w_scale / c1.out.scale);
+  refresh_requant(c1);
   c1.act_min = c1.out.zero_point;
 
   QDepthwiseConv2D dw = make_random_qdw(8, 8, 6, /*kernel=*/3, /*stride=*/1,
                                         /*pad=*/1, seed * 71 + 2,
                                         /*folded_relu=*/true);
   dw.in = c1.out;
-  dw.requant = quantize_multiplier(
-      static_cast<double>(dw.in.scale) * dw.w_scale / dw.out.scale);
+  refresh_requant(dw);
   dw.act_min = dw.out.zero_point;
 
   QAvgPool pool;
