@@ -2,12 +2,9 @@
 // tests (tests/test_percentiles.cpp) can pin their semantics without
 // running the full replay.
 //
-// Percentiles use the nearest-rank definition: the p-th percentile of N
-// samples is the ceil(p/100 * N)-th smallest (1-indexed). It needs no
-// interpolation, is exact on small sample counts, and matches what SLO
-// dashboards typically report. An empty sample set reports 0.0 rather
-// than throwing — replay classes that received no traffic render as
-// zero rows, not crashes.
+// Percentiles come from ataman::percentile (src/common/metrics.hpp) —
+// nearest-rank, shared with bench/streaming_reuse so every latency
+// report in the repo uses the same definition.
 //
 // Trace generation is fully deterministic: one seeded Rng drives both
 // the workload-class choice and the Poisson-style arrival process
@@ -23,23 +20,10 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/rng.hpp"
 
 namespace ataman::bench {
-
-// Nearest-rank percentile of `values` at rank q in [0, 100].
-// Takes a copy: sorting the caller's sample buffer in place would make
-// later percentile calls on the same data order-dependent.
-inline double percentile(std::vector<double> values, double q) {
-  check(q >= 0.0 && q <= 100.0, "percentile rank must be in [0, 100]");
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double n = static_cast<double>(values.size());
-  size_t rank = static_cast<size_t>(std::ceil(q / 100.0 * n));
-  if (rank < 1) rank = 1;  // p0 still reports the smallest sample
-  if (rank > values.size()) rank = values.size();
-  return values[rank - 1];
-}
 
 // The latency digest every replay row reports.
 struct LatencySummary {

@@ -1,9 +1,11 @@
 // Shared scalar metrics. Header-only so both the float training substrate
 // (MSE autoencoder test metric) and the quantized evaluator (scored-head
-// reporting) use the exact same AUC definition.
+// reporting) use the exact same AUC definition, and so every latency
+// bench (traffic_replay, streaming_reuse) reports the same percentile.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <numeric>
 #include <span>
@@ -12,6 +14,25 @@
 #include "src/common/error.hpp"
 
 namespace ataman {
+
+// Nearest-rank percentile of `values` at rank q in [0, 100]: the p-th
+// percentile of N samples is the ceil(p/100 * N)-th smallest
+// (1-indexed). Needs no interpolation, is exact on small sample counts,
+// and matches what SLO dashboards typically report. An empty sample set
+// reports 0.0 rather than throwing — bench classes that received no
+// traffic render as zero rows, not crashes. Takes a copy: sorting the
+// caller's sample buffer in place would make later percentile calls on
+// the same data order-dependent. Pinned by tests/test_percentiles.cpp.
+inline double percentile(std::vector<double> values, double q) {
+  check(q >= 0.0 && q <= 100.0, "percentile rank must be in [0, 100]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  size_t rank = static_cast<size_t>(std::ceil(q / 100.0 * n));
+  if (rank < 1) rank = 1;  // p0 still reports the smallest sample
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
 
 // Rank-based ROC AUC: the probability that a positive (label 1) scores
 // higher than a negative (label 0), with ties credited 0.5 (average-rank

@@ -58,12 +58,25 @@ double InferenceEngine::score(std::span<const uint8_t> image) const {
   return reconstruction_score(model(), quantize_input(image), run(image));
 }
 
+void InferenceEngine::decline_capability(const char* api,
+                                         const char* gate) const {
+  fail("engine '" + design_name_ + "' does not support " + api + " (check " +
+       gate + "() before calling; callers without a fallback should pick a "
+       "capable backend)");
+}
+
 std::vector<int8_t> InferenceEngine::run_from(
     int layer_begin, std::span<const int8_t> activations) const {
   (void)layer_begin;
   (void)activations;
-  fail("engine '" + design_name_ + "' does not support run_from " +
-       "(check supports_run_from() before resuming at a layer boundary)");
+  decline_capability("run_from", "supports_run_from");
+}
+
+std::vector<int8_t> InferenceEngine::run_incremental(
+    StreamState& state, std::span<const uint8_t> new_columns) const {
+  (void)state;
+  (void)new_columns;
+  decline_capability("run_incremental", "supports_run_incremental");
 }
 
 void InferenceEngine::run_batch(
@@ -76,8 +89,7 @@ void InferenceEngine::run_batch(
 
 void InferenceEngine::rebind_mask(const SkipMask* mask) {
   (void)mask;
-  fail("engine '" + design_name_ + "' does not support mask rebinding " +
-       "(check supports_mask_rebind(); pools key such engines per mask)");
+  decline_capability("rebind_mask", "supports_mask_rebind");
 }
 
 const std::vector<LayerProfile>& InferenceEngine::layer_profile() const {

@@ -14,6 +14,7 @@
 // all three; report consumers treat zeros as "not modeled".
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -67,6 +68,34 @@ double reconstruction_score(const QModel& model,
 inline int scored_class(const QModel& model, double score) {
   return score > model.score_threshold ? 1 : 0;
 }
+
+// Cross-frame state of one streaming session (docs/SERVING.md
+// "Streaming sessions"). Engine-independent data: a short ring of the
+// previous frames' full per-tensor int8 activations — past[d-1][t] is
+// tensor t of frame n-d (tensor 0 = the quantized input, tensor l+1 =
+// the output of layer l) — plus the column stride each retained frame
+// was pushed with and the reuse counters. Owned by the caller
+// (serve::StreamSession or a bench loop); engines only read and advance
+// it inside run_incremental. Not thread-safe on its own: the serve
+// queue guarantees at most one in-flight frame per session.
+struct StreamState {
+  std::deque<std::vector<std::vector<int8_t>>> past;  // newest first
+  std::vector<int> past_strides;  // columns pushed, aligned with `past`
+  int frames = 0;                 // frames executed so far
+  // Mask identity of the session's first frame: a streaming session is
+  // one fixed configuration — splicing activations produced under a
+  // different mask would splice different arithmetic. Engines reject a
+  // mid-session mask change.
+  const SkipMask* bound_mask = nullptr;
+
+  // Reuse accounting, maintained by run_incremental.
+  int64_t last_recomputed_macs = 0;  // most recent frame
+  int64_t last_spliced_elems = 0;
+  int64_t total_recomputed_macs = 0;
+  int64_t total_full_macs = 0;  // what reuse-off run() would have executed
+
+  bool started() const { return frames > 0; }
+};
 
 class InferenceEngine {
  public:
@@ -128,6 +157,26 @@ class InferenceEngine {
   virtual std::vector<int8_t> run_from(
       int layer_begin, std::span<const int8_t> activations) const;
 
+  // Whether this backend executes streaming frames incrementally via
+  // run_incremental. Only the reference engine does today: column
+  // splicing needs per-column access to fully materialized activation
+  // tensors, which the packed/unpacked deployment pipelines do not
+  // expose. Non-incremental backends serve streaming sessions through
+  // full run() fallback (serve::StreamSession arranges that).
+  virtual bool supports_run_incremental() const { return false; }
+
+  // Streaming-frame inference with temporal activation reuse.
+  // `new_columns` holds the `s` newest input columns in [h][s][c] u8
+  // layout (s = new_columns.size() / (in_h * in_c)); the first frame of
+  // a session must push a full window (s == in_w). Returns the final
+  // int8 logits, bitwise identical to run() on the full assembled
+  // window — src/mcu/stream_plan.hpp derives why splicing is exact.
+  // Advances `state` (ring of past activations, strides, reuse
+  // counters). Throws unless supports_run_incremental(), and on a
+  // mid-session mask rebind (state.bound_mask is pinned by frame 0).
+  virtual std::vector<int8_t> run_incremental(
+      StreamState& state, std::span<const uint8_t> new_columns) const;
+
   // Top-1 class; ties broken lowest-index-wins (argmax_lowest_index).
   // On scored models (TaskHead::kScore) the decision is instead
   // scored_class(reconstruction_score(...)): 1 = anomalous.
@@ -183,6 +232,14 @@ class InferenceEngine {
     check(model != nullptr, "engine needs a model");
     check(!model->layers.empty(), "model has no layers");
   }
+
+  // Uniform refusal for the optional capabilities (run_from,
+  // run_incremental, rebind_mask): every decline throws the same
+  // message shape, naming the engine, the declined API and the
+  // capability gate the caller should have checked. Pinned by the
+  // contract test in tests/test_streaming.cpp.
+  [[noreturn]] void decline_capability(const char* api,
+                                       const char* gate) const;
 
   // Shared run_batch entry validation: empty batches are a hard error
   // everywhere (a silent zero-output success would hide scheduler bugs).

@@ -1,0 +1,87 @@
+#include "src/data/frame_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ataman {
+
+FrameStream::FrameStream(const FrameStreamSpec& spec) : spec_(spec) {
+  check(spec_.shape.height >= 1 && spec_.shape.width >= 1 &&
+            spec_.shape.channels >= 1,
+        "frame stream needs a non-empty window shape");
+  check(spec_.frames >= 1, "frame stream needs at least one frame");
+  check(spec_.stride_cols >= 1 && spec_.stride_cols <= spec_.shape.width,
+        "frame stream stride must be in [1, window width]");
+
+  const int h = spec_.shape.height;
+  const int c = spec_.shape.channels;
+  const int cols = total_cols();
+  signal_.resize(static_cast<size_t>(h) * cols * c);
+
+  // Structured signal: per-channel drifting waves keep neighbouring
+  // columns correlated (like a spectrogram), the Rng adds per-pixel
+  // noise so no column is trivially constant. Column-major generation
+  // order is part of the contract — it makes the signal independent of
+  // how many frames view it (a longer stream extends the signal, it
+  // does not reshuffle it).
+  Rng rng(spec_.seed);
+  std::vector<float> freq(static_cast<size_t>(c)), phase(freq.size());
+  for (int ch = 0; ch < c; ++ch) {
+    freq[static_cast<size_t>(ch)] =
+        0.05f + 0.30f * static_cast<float>(rng.next_double());
+    phase[static_cast<size_t>(ch)] =
+        6.2831853f * static_cast<float>(rng.next_double());
+  }
+  for (int x = 0; x < cols; ++x) {
+    for (int y = 0; y < h; ++y) {
+      for (int ch = 0; ch < c; ++ch) {
+        const float wave =
+            std::sin(freq[static_cast<size_t>(ch)] * static_cast<float>(x) +
+                     0.21f * static_cast<float>(y) +
+                     phase[static_cast<size_t>(ch)]);
+        const float noise = static_cast<float>(rng.next_double()) - 0.5f;
+        const float v = 127.5f + 90.0f * wave + 60.0f * noise;
+        const float clamped = v < 0.0f ? 0.0f : (v > 255.0f ? 255.0f : v);
+        signal_[(static_cast<size_t>(y) * cols + x) * c + ch] =
+            static_cast<uint8_t>(clamped + 0.5f);
+      }
+    }
+  }
+}
+
+int FrameStream::total_cols() const {
+  return spec_.shape.width + (spec_.frames - 1) * spec_.stride_cols;
+}
+
+std::vector<uint8_t> FrameStream::columns(int col_lo, int cols) const {
+  const int h = spec_.shape.height;
+  const int c = spec_.shape.channels;
+  const int total = total_cols();
+  std::vector<uint8_t> out(static_cast<size_t>(h) * cols * c);
+  for (int y = 0; y < h; ++y) {
+    const uint8_t* src =
+        signal_.data() + (static_cast<size_t>(y) * total + col_lo) * c;
+    uint8_t* dst = out.data() + static_cast<size_t>(y) * cols * c;
+    std::copy_n(src, static_cast<size_t>(cols) * c, dst);
+  }
+  return out;
+}
+
+std::vector<uint8_t> FrameStream::frame(int index) const {
+  check(index >= 0 && index < spec_.frames, "frame index out of range");
+  return columns(index * spec_.stride_cols, spec_.shape.width);
+}
+
+std::vector<uint8_t> FrameStream::new_columns(int index) const {
+  check(index >= 0 && index < spec_.frames, "frame index out of range");
+  if (index == 0) return frame(0);
+  // The last stride_cols columns of window `index` are the ones window
+  // `index - 1` could not see.
+  const int window_end = index * spec_.stride_cols + spec_.shape.width;
+  return columns(window_end - spec_.stride_cols, spec_.stride_cols);
+}
+
+}  // namespace ataman

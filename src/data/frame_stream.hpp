@@ -1,0 +1,66 @@
+// FrameStream: a deterministic stand-in for a sensor that slides a fixed
+// window over a continuous signal — the input shape of streaming
+// inference (dscnn keyword spotting processes overlapping spectrogram
+// windows that advance a few frames of audio at a time).
+//
+// The generator renders one wide signal of total_cols() columns and
+// serves two views of it:
+//   frame(i)        the full h x w x c window starting at column
+//                   i * stride_cols — what a from-scratch inference
+//                   consumes, and what StreamSession's fallback path
+//                   reconstructs internally;
+//   new_columns(i)  only the stride_cols columns frame i exposes beyond
+//                   frame i-1 ([h][s][c]) — what a streaming client
+//                   pushes per frame. new_columns(0) is the whole first
+//                   window: a session's first frame has no history.
+//
+// Consecutive frames therefore overlap in w - stride_cols columns by
+// construction, which is exactly the overlap the temporal-reuse splice
+// (src/mcu/stream_plan.hpp) exploits. The signal is generated from the
+// seed alone (structured drifting waves + per-pixel noise), so streams
+// are bit-reproducible across runs, platforms and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+
+namespace ataman {
+
+struct FrameStreamSpec {
+  ImageShape shape;     // the per-frame window (dscnn default: 32x32x3)
+  int frames = 8;       // number of windows the stream serves
+  int stride_cols = 2;  // columns the window advances per frame
+  uint64_t seed = 42;
+
+  bool operator==(const FrameStreamSpec&) const = default;
+};
+
+class FrameStream {
+ public:
+  // Renders the full signal up front; O(h * total_cols * c) memory.
+  explicit FrameStream(const FrameStreamSpec& spec);
+
+  const FrameStreamSpec& spec() const { return spec_; }
+  int frames() const { return spec_.frames; }
+
+  // Width of the underlying signal: w + (frames - 1) * stride_cols.
+  int total_cols() const;
+
+  // Full window of frame `index` ([h][w][c] u8, shape().pixels() bytes).
+  std::vector<uint8_t> frame(int index) const;
+
+  // Columns frame `index` adds over its predecessor ([h][s][c]);
+  // new_columns(0) is the entire first window.
+  std::vector<uint8_t> new_columns(int index) const;
+
+ private:
+  // Copy of signal columns [col_lo, col_lo + cols) for every row.
+  std::vector<uint8_t> columns(int col_lo, int cols) const;
+
+  FrameStreamSpec spec_;
+  std::vector<uint8_t> signal_;  // [h][total_cols][c]
+};
+
+}  // namespace ataman

@@ -20,6 +20,12 @@ Json result_to_json(const DseResult& r) {
   o.emplace("cycles", static_cast<int64_t>(r.cycles));
   o.emplace("latency_reduction", r.latency_reduction);
   o.emplace("flash_bytes", static_cast<int64_t>(r.flash_bytes));
+  // Omitted when the sweep did not model streaming (version 3).
+  if (r.stream_cycles_per_frame > 0) {
+    o.emplace("stream_cycles_per_frame",
+              static_cast<int64_t>(r.stream_cycles_per_frame));
+    o.emplace("stream_energy_mj_per_frame", r.stream_energy_mj_per_frame);
+  }
   return Json(std::move(o));
 }
 
@@ -36,6 +42,13 @@ DseResult result_from_json(const Json& j) {
   r.cycles = j.at("cycles").as_int();
   r.latency_reduction = j.at("latency_reduction").as_number();
   r.flash_bytes = j.at("flash_bytes").as_int();
+  // Absent in pre-version-3 files and for non-streaming sweeps: both
+  // mean "streaming not modeled" (0).
+  if (j.contains("stream_cycles_per_frame")) {
+    r.stream_cycles_per_frame = j.at("stream_cycles_per_frame").as_int();
+    r.stream_energy_mj_per_frame =
+        j.at("stream_energy_mj_per_frame").as_number();
+  }
   return r;
 }
 
@@ -47,7 +60,10 @@ DseResult result_from_json(const Json& j) {
 //   2: adds "version" and the fast-sweep statistics cache_hits /
 //     images_evaluated / early_exits. Loading stays backward compatible:
 //     missing statistics default to 0.
-constexpr int64_t kDseFormatVersion = 2;
+//   3: adds the optional per-result steady-state streaming row
+//     (stream_cycles_per_frame / stream_energy_mj_per_frame). Missing
+//     fields load as 0 ("streaming not modeled").
+constexpr int64_t kDseFormatVersion = 3;
 
 Json dse_outcome_to_json(const DseOutcome& outcome) {
   JsonObject o;

@@ -99,7 +99,7 @@ DseOutcome run_dse(const ConfigEvaluator& evaluator, int conv_count,
 }
 
 int select_design(const DseOutcome& outcome, double max_accuracy_loss,
-                  int64_t flash_capacity) {
+                  int64_t flash_capacity, double max_stream_energy_mj) {
   const double floor_acc = outcome.exact_accuracy - max_accuracy_loss;
   int best = -1;
   for (size_t i = 0; i < outcome.results.size(); ++i) {
@@ -109,6 +109,13 @@ int select_design(const DseOutcome& outcome, double max_accuracy_loss,
     if (r.partial_eval) continue;
     if (r.accuracy + 1e-12 < floor_acc) continue;
     if (flash_capacity > 0 && r.flash_bytes > flash_capacity) continue;
+    // An active streaming-energy budget needs a modeled row to check
+    // against; results swept without set_stream_stride never qualify.
+    if (max_stream_energy_mj > 0.0 &&
+        (r.stream_energy_mj_per_frame <= 0.0 ||
+         r.stream_energy_mj_per_frame > max_stream_energy_mj)) {
+      continue;
+    }
     if (best < 0 ||
         r.cycles < outcome.results[static_cast<size_t>(best)].cycles) {
       best = static_cast<int>(i);

@@ -64,9 +64,14 @@ DseOutcome run_dse(const ConfigEvaluator& evaluator, int conv_count,
 // Latency-optimized design meeting `accuracy >= exact - max_loss`
 // and fitting `flash_capacity` (bytes; <=0 disables the check).
 // Early-exited results (DseResult::partial_eval) are never selected —
-// their accuracies are partial samples. Returns results index, or -1
-// when nothing qualifies.
+// their accuracies are partial samples. `max_stream_energy_mj` (<= 0
+// disables) additionally caps the steady-state streaming
+// energy-per-frame row; when active it rejects results without one
+// (stream_energy_mj_per_frame <= 0 means the sweep did not model
+// streaming — an unmodeled row must not pass an energy budget).
+// Returns results index, or -1 when nothing qualifies.
 int select_design(const DseOutcome& outcome, double max_accuracy_loss,
-                  int64_t flash_capacity = 0);
+                  int64_t flash_capacity = 0,
+                  double max_stream_energy_mj = 0.0);
 
 }  // namespace ataman

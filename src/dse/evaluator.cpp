@@ -64,6 +64,13 @@ ConfigEvaluator::ConfigEvaluator(
   fc_total_macs_ = model_->mac_count() - conv_total_macs_;
 }
 
+void ConfigEvaluator::set_stream_stride(int stride_cols) {
+  check(stride_cols >= 0, "stream stride must be >= 0 (0 disables)");
+  stream_stride_ = stride_cols;
+  stream_plan_ = stride_cols > 0 ? plan_stream_steady(*model_, stride_cols)
+                                 : StreamPlan{};
+}
+
 DseResult ConfigEvaluator::evaluate(const ApproxConfig& config) const {
   check(static_cast<int>(config.tau.size()) == model_->approx_layer_count(),
         "config does not match model");
@@ -103,40 +110,80 @@ DseResult ConfigEvaluator::static_metrics(const ApproxConfig& config,
           : 0.0;
 
   // Unpacked deployment cycles: unpacked conv/depthwise + packed
-  // FC/pool/softmax.
+  // FC/pool/softmax. When a stream stride is set, a second accumulator
+  // prices the same deployment's steady-state streaming frame: the
+  // conv/depthwise position terms scale to the splice plan's recomputed
+  // positions (the plan is pure geometry, shared across configs) plus
+  // the band copy; everything else recomputes in full.
+  const bool streaming = stream_stride_ > 0;
   double cycles = 0.0;
+  double stream_cycles = 0.0;
   int ordinal = 0;
   int out_dim = 0;
-  for (const QLayer& layer : model_->layers) {
+  for (size_t l = 0; l < model_->layers.size(); ++l) {
+    const QLayer& layer = model_->layers[l];
+    const StreamLayerPlan* lp =
+        streaming ? &stream_plan_.layers[l] : nullptr;
     if (const auto* conv = std::get_if<QConv2D>(&layer)) {
       cycles += static_cast<double>(unpacked_conv_cycles(
           *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
           stats.static_singles[static_cast<size_t>(ordinal)], costs_));
+      if (streaming) {
+        stream_cycles += static_cast<double>(unpacked_conv_stream_cycles(
+            *conv, stats.static_pairs[static_cast<size_t>(ordinal)],
+            stats.static_singles[static_cast<size_t>(ordinal)],
+            lp->recomputed_positions, costs_));
+      }
       ++ordinal;
     } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
       cycles += static_cast<double>(unpacked_depthwise_cycles(
           *dw, stats.static_pairs[static_cast<size_t>(ordinal)],
           stats.static_singles[static_cast<size_t>(ordinal)], costs_));
+      if (streaming) {
+        stream_cycles += static_cast<double>(unpacked_depthwise_stream_cycles(
+            *dw, stats.static_pairs[static_cast<size_t>(ordinal)],
+            stats.static_singles[static_cast<size_t>(ordinal)],
+            lp->recomputed_positions, costs_));
+      }
       ++ordinal;
     } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
       cycles += costs_.layer_dispatch +
                 static_cast<double>(pool_cycles(*pool, costs_));
+      stream_cycles += costs_.layer_dispatch +
+                       static_cast<double>(pool_cycles(*pool, costs_));
     } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
       cycles += costs_.layer_dispatch +
                 static_cast<double>(avgpool_cycles(*pool, costs_));
+      stream_cycles += costs_.layer_dispatch +
+                       static_cast<double>(avgpool_cycles(*pool, costs_));
     } else if (const auto* fc = std::get_if<QDense>(&layer)) {
       cycles += costs_.layer_dispatch +
                 static_cast<double>(dense_cycles(*fc, costs_));
+      stream_cycles += costs_.layer_dispatch +
+                       static_cast<double>(dense_cycles(*fc, costs_));
       out_dim = fc->out_dim;
     } else if (const auto* add = std::get_if<QAdd>(&layer)) {
       // Residual adds are never unpacked or approximated: same
       // requantize-and-add cost as the deploying engine charges.
       cycles += costs_.layer_dispatch +
                 static_cast<double>(qadd_cycles(*add, costs_));
+      stream_cycles += costs_.layer_dispatch +
+                       static_cast<double>(qadd_cycles(*add, costs_));
+    }
+    if (streaming && lp->spliced) {
+      stream_cycles += costs_.stream_splice_per_elem *
+                       static_cast<double>(lp->splice_hi - lp->splice_lo) *
+                       static_cast<double>(lp->out_rows) * lp->out_ch;
     }
   }
   cycles += costs_.softmax_per_logit * out_dim;
+  stream_cycles += costs_.softmax_per_logit * out_dim;
   r.cycles = static_cast<int64_t>(cycles);
+  if (streaming) {
+    r.stream_cycles_per_frame = static_cast<int64_t>(stream_cycles);
+    r.stream_energy_mj_per_frame =
+        BoardSpec{}.energy_mj(r.stream_cycles_per_frame);
+  }
   r.latency_reduction =
       1.0 - static_cast<double>(r.cycles) /
                 static_cast<double>(baseline_cycles_);

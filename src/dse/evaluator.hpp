@@ -13,6 +13,7 @@
 #include "src/mcu/board.hpp"
 #include "src/mcu/cost_model.hpp"
 #include "src/mcu/memory_model.hpp"
+#include "src/mcu/stream_plan.hpp"
 #include "src/sig/skip_plan.hpp"
 
 namespace ataman {
@@ -36,6 +37,13 @@ struct DseResult {
   int64_t cycles = 0;               // unpacked deployment cycles
   double latency_reduction = 0.0;   // vs. packed exact baseline
   int64_t flash_bytes = 0;          // unpacked deployment flash
+  // Steady-state streaming row (0 when the evaluator has no stream
+  // stride set): per-frame unpacked cycles / paper-board energy when
+  // serving overlapping windows with temporal reuse
+  // (src/mcu/stream_plan.hpp). A constrainable objective in
+  // select_design.
+  int64_t stream_cycles_per_frame = 0;
+  double stream_energy_mj_per_frame = 0.0;
 };
 
 // Static (per-layer) unpacking statistics induced by a skip mask.
@@ -72,6 +80,15 @@ class ConfigEvaluator {
   int64_t baseline_cycles() const { return baseline_cycles_; }
   int64_t conv_total_macs() const { return conv_total_macs_; }
 
+  // Enable the steady-state streaming row: every subsequent result also
+  // prices the per-frame unpacked deployment of overlapping windows
+  // advancing `stride_cols` columns per frame (0 disables; the splice
+  // plan is geometry-only, so it is computed once here, not per config).
+  // Energy uses the default BoardSpec — the paper board. Not
+  // thread-safe: set before the sweep starts.
+  void set_stream_stride(int stride_cols);
+  int stream_stride() const { return stream_stride_; }
+
   // Wiring the fast sweep path needs (run_dse builds the prefix cache
   // from the same model/significance/eval set this evaluator scores).
   const QModel& model() const { return *model_; }
@@ -99,6 +116,8 @@ class ConfigEvaluator {
   int64_t baseline_cycles_ = 0;
   int64_t conv_total_macs_ = 0;
   int64_t fc_total_macs_ = 0;
+  int stream_stride_ = 0;
+  StreamPlan stream_plan_;  // steady-state plan when stream_stride_ > 0
 };
 
 }  // namespace ataman

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/mcu/stream_plan.hpp"
 
 namespace ataman {
 
@@ -150,6 +151,108 @@ BatchedCycleRow batched_packed_model_cycles(const QModel& model, int batch,
   row.per_image_cycles = static_cast<double>(row.total_cycles) /
                          static_cast<double>(batch);
   return row;
+}
+
+StreamingCostRow steady_state_stream_cost(const QModel& model, int stride_cols,
+                                          const CortexM33CostTable& t) {
+  const StreamPlan plan = plan_stream_steady(model, stride_cols);
+  StreamingCostRow row;
+  row.stride_cols = stride_cols;
+  row.full_cycles = packed_model_cycles(model, t);
+  row.macs_per_frame = plan.frame_macs;
+  row.full_macs = plan.full_macs;
+  row.spliced_elems = plan.spliced_elems;
+  row.reuse_ratio = plan.reuse_ratio();
+
+  double total = 0.0;
+  int out_dim = 0;
+  for (size_t l = 0; l < model.layers.size(); ++l) {
+    const QLayer& layer = model.layers[l];
+    const StreamLayerPlan& lp = plan.layers[l];
+    total += t.layer_dispatch;
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      // Every packed-conv term (im2col, MACs, epilogue) is proportional
+      // to output positions, so the streamed layer scales by the
+      // recomputed fraction of the plan.
+      total += static_cast<double>(packed_conv_cycles(*conv, t)) *
+               static_cast<double>(lp.recomputed_positions) /
+               static_cast<double>(lp.total_positions);
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      total += static_cast<double>(packed_depthwise_cycles(*dw, t)) *
+               static_cast<double>(lp.recomputed_positions) /
+               static_cast<double>(lp.total_positions);
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      total += static_cast<double>(pool_cycles(*pool, t));
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      total += static_cast<double>(avgpool_cycles(*pool, t));
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      total += static_cast<double>(dense_cycles(*fc, t));
+      out_dim = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      total += static_cast<double>(qadd_cycles(*add, t));
+    }
+    if (lp.spliced) {
+      total += t.stream_splice_per_elem *
+               static_cast<double>(lp.splice_hi - lp.splice_lo) *
+               static_cast<double>(lp.out_rows) * lp.out_ch;
+    }
+  }
+  total += t.softmax_per_logit * out_dim;
+  row.cycles_per_frame = static_cast<int64_t>(std::llround(total));
+  return row;
+}
+
+int64_t unpacked_conv_stream_cycles(const QConv2D& layer, int64_t static_pairs,
+                                    int64_t static_singles,
+                                    int64_t recomputed_positions,
+                                    const CortexM33CostTable& t) {
+  check(static_pairs >= 0 && static_singles >= 0,
+        "negative retained op counts");
+  check(recomputed_positions >= 0 &&
+            recomputed_positions <= layer.geom.positions(),
+        "recomputed positions out of range");
+  double cycles = t.unpacked_layer_setup;
+  cycles += t.unpacked_per_pair *
+            static_cast<double>(static_pairs * recomputed_positions);
+  cycles += t.unpacked_per_single *
+            static_cast<double>(static_singles * recomputed_positions);
+  cycles += t.unpacked_chan_epilogue *
+            static_cast<double>(recomputed_positions * layer.geom.out_c);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+int64_t unpacked_depthwise_stream_cycles(const QDepthwiseConv2D& layer,
+                                         int64_t static_pairs,
+                                         int64_t static_singles,
+                                         int64_t recomputed_positions,
+                                         const CortexM33CostTable& t) {
+  check(static_pairs >= 0 && static_singles >= 0,
+        "negative retained op counts");
+  check(recomputed_positions >= 0 &&
+            recomputed_positions <= layer.positions(),
+        "recomputed positions out of range");
+  double cycles = t.unpacked_layer_setup;
+  cycles += t.unpacked_per_pair *
+            static_cast<double>(static_pairs * recomputed_positions);
+  cycles += t.unpacked_per_single *
+            static_cast<double>(static_singles * recomputed_positions);
+  cycles += t.unpacked_chan_epilogue *
+            static_cast<double>(recomputed_positions * layer.channels);
+  return static_cast<int64_t>(std::llround(cycles));
+}
+
+void attach_streaming_row(DeployReport& report, const QModel& model,
+                          int stride_cols, const BoardSpec& board,
+                          const CortexM33CostTable& t) {
+  const StreamingCostRow row =
+      steady_state_stream_cost(model, stride_cols, t);
+  report.stream_stride_cols = stride_cols;
+  report.steady_state_cycles_per_frame = row.cycles_per_frame;
+  report.stream_reuse_ratio = row.reuse_ratio;
+  report.steady_state_latency_ms_per_frame =
+      board.cycles_to_ms(row.cycles_per_frame);
+  report.steady_state_energy_mj_per_frame =
+      board.energy_mj(row.cycles_per_frame);
 }
 
 }  // namespace ataman

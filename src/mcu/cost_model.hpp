@@ -41,6 +41,7 @@
 
 #include <cstdint>
 
+#include "src/mcu/deploy_report.hpp"
 #include "src/quant/qtypes.hpp"
 
 namespace ataman {
@@ -90,6 +91,13 @@ struct CortexM33CostTable {
   // rounding multiply + shift each), add, saturate, store. Identical for
   // every engine — QAdd has no weights to pack or unpack.
   double qadd_per_elem = 9.0;
+
+  // -- streaming splice --
+  // Per int8 element copied from the activation ring instead of
+  // recomputed (steady-state streaming, src/mcu/stream_plan.hpp). Bands
+  // are contiguous per row, so the copy runs word-wide LDR/STR (~0.5
+  // cycles/byte) plus a little per-row loop overhead.
+  double stream_splice_per_elem = 0.6;
 };
 
 // True when the layer qualifies for the CMSIS fast (dual-SMLAD) path.
@@ -152,5 +160,49 @@ struct BatchedCycleRow {
 
 BatchedCycleRow batched_packed_model_cycles(const QModel& model, int batch,
                                             const CortexM33CostTable& t = {});
+
+// Streaming (temporal reuse) ---------------------------------------------
+//
+// Steady-state per-frame cost of serving overlapping windows that
+// advance `stride_cols` input columns per frame, with the splice plan of
+// src/mcu/stream_plan.hpp applied: conv/depthwise position-proportional
+// terms scale to the recomputed positions, spliced elements pay the copy
+// rate, and pools / dense / QAdd / dispatch / softmax recompute in full.
+
+struct StreamingCostRow {
+  int stride_cols = 0;
+  int64_t cycles_per_frame = 0;  // packed engine, steady state, reuse on
+  int64_t full_cycles = 0;       // packed_model_cycles: the reuse-off frame
+  int64_t macs_per_frame = 0;    // recomputed MACs (StreamPlan::frame_macs)
+  int64_t full_macs = 0;
+  int64_t spliced_elems = 0;
+  double reuse_ratio = 0.0;      // full_macs / macs_per_frame
+};
+
+StreamingCostRow steady_state_stream_cost(const QModel& model, int stride_cols,
+                                          const CortexM33CostTable& t = {});
+
+// Streaming variants of the unpacked kernels (per-config DSE pricing):
+// the position-proportional pair/single/epilogue terms scale to
+// `recomputed_positions` of the steady-state plan; the per-layer setup
+// is paid in full every frame. Splice copy cycles are charged separately
+// by the caller (they depend on the plan's band, not the mask).
+int64_t unpacked_conv_stream_cycles(const QConv2D& layer, int64_t static_pairs,
+                                    int64_t static_singles,
+                                    int64_t recomputed_positions,
+                                    const CortexM33CostTable& t = {});
+
+int64_t unpacked_depthwise_stream_cycles(const QDepthwiseConv2D& layer,
+                                         int64_t static_pairs,
+                                         int64_t static_singles,
+                                         int64_t recomputed_positions,
+                                         const CortexM33CostTable& t = {});
+
+// Fill the DeployReport steady-state streaming row (stride, cycles,
+// latency, energy-per-frame from `board`, reuse ratio) for `model`
+// served at `stride_cols` columns per frame.
+void attach_streaming_row(DeployReport& report, const QModel& model,
+                          int stride_cols, const BoardSpec& board,
+                          const CortexM33CostTable& t = {});
 
 }  // namespace ataman

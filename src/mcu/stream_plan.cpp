@@ -1,0 +1,174 @@
+#include "src/mcu/stream_plan.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "src/common/error.hpp"
+
+namespace ataman {
+
+namespace {
+
+// Ceiling division for non-negative a, positive b.
+inline int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Propagate one input band through a windowed layer (conv / depthwise /
+// pool). Returns the invalid band when the shift misaligns with the
+// layer stride or the surviving window range is empty. See the header
+// for the derivation of the lo/hi formulas.
+ColumnBand propagate_window(const ColumnBand& in, int kernel, int stride,
+                            int pad, int out_w) {
+  ColumnBand out;
+  if (!in.valid() || in.shift % stride != 0) return out;
+  // When in.hi + pad < kernel no window fits inside the band at all
+  // (also keeps the floor division below on non-negative ground).
+  if (in.hi + pad < kernel) return out;
+  const int out_shift = in.shift / stride;
+  int lo = ceil_div(in.lo + pad, stride);
+  int hi = (in.hi + pad - kernel) / stride + 1;
+  lo = std::max(lo, 0);
+  hi = std::min(hi, out_w - out_shift);  // splice source must exist
+  if (hi <= lo) return out;
+  out.lo = lo;
+  out.hi = hi;
+  out.shift = out_shift;
+  return out;
+}
+
+}  // namespace
+
+StreamPlan plan_stream(const QModel& model,
+                       std::span<const int> recent_strides,
+                       int available_lookback) {
+  check(model.in_w >= 1, "plan_stream: model has no width axis");
+  const int depth = std::min<int>(
+      {static_cast<int>(recent_strides.size()), available_lookback,
+       kMaxStreamLookback});
+  for (int i = 0; i < depth; ++i) {
+    check(recent_strides[static_cast<size_t>(i)] >= 1 &&
+              recent_strides[static_cast<size_t>(i)] <= model.in_w,
+          "plan_stream: frame stride out of [1, in_w]");
+  }
+
+  StreamPlan plan;
+  plan.recent_strides.assign(recent_strides.begin(),
+                             recent_strides.begin() + depth);
+  plan.full_macs = model.mac_count();
+  plan.layers.resize(model.layers.size());
+
+  // Per-tensor bands, indexed [tensor][d - 1] for lookback d in
+  // [1, depth]. Tensor 0 is the network input.
+  const size_t tensor_count = model.layers.size() + 1;
+  std::vector<std::array<ColumnBand, kMaxStreamLookback>> bands(tensor_count);
+  {
+    int shift = 0;
+    for (int d = 1; d <= depth; ++d) {
+      shift += recent_strides[static_cast<size_t>(d - 1)];
+      if (shift < model.in_w) {
+        bands[0][static_cast<size_t>(d - 1)] = {0, model.in_w - shift, shift};
+      }
+    }
+  }
+
+  for (size_t l = 0; l < model.layers.size(); ++l) {
+    const QLayer& layer = model.layers[l];
+    StreamLayerPlan& lp = plan.layers[l];
+    const std::vector<int> ins = model.inputs_of(static_cast<int>(l));
+    const auto& in_bands = bands[static_cast<size_t>(ins[0])];
+    auto& out_bands = bands[l + 1];
+
+    // Window geometry per kind; dense/QAdd leave `windowed` false and
+    // their output bands invalid (default-constructed).
+    int kernel = 0, stride = 1, pad = 0, out_w = 0;
+    bool windowed = false;
+    bool spliceable = false;  // conv/depthwise only; pools recompute
+    if (const auto* conv = std::get_if<QConv2D>(&layer)) {
+      kernel = conv->geom.kernel;
+      stride = conv->geom.stride;
+      pad = conv->geom.pad;
+      out_w = conv->geom.out_w();
+      lp.out_rows = conv->geom.out_h();
+      lp.out_ch = conv->geom.out_c;
+      windowed = spliceable = true;
+    } else if (const auto* dw = std::get_if<QDepthwiseConv2D>(&layer)) {
+      kernel = dw->kernel;
+      stride = dw->stride;
+      pad = dw->pad;
+      out_w = dw->out_w();
+      lp.out_rows = dw->out_h();
+      lp.out_ch = dw->channels;
+      windowed = spliceable = true;
+    } else if (const auto* pool = std::get_if<QMaxPool>(&layer)) {
+      kernel = pool->kernel;
+      stride = pool->stride;
+      out_w = pool->out_w();
+      lp.out_rows = pool->out_h();
+      lp.out_ch = pool->channels;
+      windowed = true;
+    } else if (const auto* pool = std::get_if<QAvgPool>(&layer)) {
+      kernel = pool->kernel;
+      stride = pool->stride;
+      out_w = pool->out_w();
+      lp.out_rows = pool->out_h();
+      lp.out_ch = pool->channels;
+      windowed = true;
+    } else if (const auto* fc = std::get_if<QDense>(&layer)) {
+      lp.out_ch = fc->out_dim;
+    } else if (const auto* add = std::get_if<QAdd>(&layer)) {
+      lp.out_rows = add->h;
+      lp.out_ch = add->channels;
+      lp.out_cols = add->w;
+    }
+
+    if (windowed) {
+      lp.out_cols = out_w;
+      for (int d = 1; d <= depth; ++d) {
+        out_bands[static_cast<size_t>(d - 1)] = propagate_window(
+            in_bands[static_cast<size_t>(d - 1)], kernel, stride, pad, out_w);
+      }
+    }
+
+    lp.total_positions =
+        static_cast<int64_t>(lp.out_rows) * std::max(lp.out_cols, 1);
+    lp.recomputed_cols = std::max(lp.out_cols, 1);
+    if (spliceable) {
+      // Smallest valid lookback has suffered the least halo erosion and
+      // therefore splices the widest band.
+      for (int d = 1; d <= depth; ++d) {
+        const ColumnBand& b = out_bands[static_cast<size_t>(d - 1)];
+        if (!b.valid()) continue;
+        lp.spliced = true;
+        lp.lookback = d;
+        lp.splice_lo = b.lo;
+        lp.splice_hi = b.hi;
+        lp.splice_shift = b.shift;
+        lp.recomputed_cols = lp.out_cols - (b.hi - b.lo);
+        break;
+      }
+    }
+    lp.recomputed_positions =
+        static_cast<int64_t>(lp.recomputed_cols) * lp.out_rows;
+
+    const OpDescriptor op = describe_layer(layer);
+    if (op.macs > 0) {
+      // conv/depthwise/dense MACs scale with positions; pools and QAdd
+      // carry none. (Dense: total_positions == 1, full recompute.)
+      lp.recomputed_macs = op.macs / lp.total_positions *
+                           lp.recomputed_positions;
+    }
+    plan.frame_macs += lp.recomputed_macs;
+    if (lp.spliced) {
+      plan.spliced_elems += static_cast<int64_t>(lp.splice_hi - lp.splice_lo) *
+                            lp.out_rows * lp.out_ch;
+    }
+  }
+  return plan;
+}
+
+StreamPlan plan_stream_steady(const QModel& model, int stride_cols) {
+  const std::array<int, kMaxStreamLookback> strides = {
+      stride_cols, stride_cols, stride_cols, stride_cols};
+  return plan_stream(model, strides, kMaxStreamLookback);
+}
+
+}  // namespace ataman

@@ -73,6 +73,18 @@ class RefEngine : public InferenceEngine {
   std::vector<int8_t> run_from(
       int layer_begin, std::span<const int8_t> activations) const override;
 
+  // Streaming-frame execution with temporal column reuse (the temporal
+  // analogue of run_from's cross-config prefix reuse). Splices the
+  // per-layer output columns that src/mcu/stream_plan.hpp proves
+  // bitwise-equal to a retained past frame, recomputes the rest through
+  // the column-restricted reference kernels, and advances the ring in
+  // `state`. Runs under the bound mask; the mask identity is pinned by
+  // the session's first frame. See InferenceEngine::run_incremental.
+  bool supports_run_incremental() const override { return true; }
+  std::vector<int8_t> run_incremental(
+      StreamState& state,
+      std::span<const uint8_t> new_columns) const override;
+
   // Full inference with an explicit mask and optional conv-input tap.
   std::vector<int8_t> run(std::span<const uint8_t> image,
                           const SkipMask* mask,

@@ -36,6 +36,12 @@ int32_t conv_accumulate_ref(const QConv2D& layer, std::span<const int8_t> in,
 
 void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
                 std::span<int8_t> out, const uint8_t* skip) {
+  conv2d_ref_cols(layer, in, out, 0, layer.geom.out_w(), skip);
+}
+
+void conv2d_ref_cols(const QConv2D& layer, std::span<const int8_t> in,
+                     std::span<int8_t> out, int ox_begin, int ox_end,
+                     const uint8_t* skip) {
   const ConvGeom& g = layer.geom;
   check(static_cast<int64_t>(in.size()) ==
             static_cast<int64_t>(g.in_h) * g.in_w * g.in_c,
@@ -43,10 +49,12 @@ void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
   check(static_cast<int64_t>(out.size()) ==
             static_cast<int64_t>(g.positions()) * g.out_c,
         "conv output size mismatch");
+  check(ox_begin >= 0 && ox_end <= g.out_w() && ox_begin <= ox_end,
+        "conv column range out of bounds");
 
   const int oh = g.out_h(), ow = g.out_w();
   for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
+    for (int ox = ox_begin; ox < ox_end; ++ox) {
       int8_t* orow = out.data() + (static_cast<size_t>(oy) * ow + ox) * g.out_c;
       for (int oc = 0; oc < g.out_c; ++oc) {
         const int32_t acc = conv_accumulate_ref(layer, in, oy, ox, oc, skip);
@@ -94,16 +102,25 @@ int32_t depthwise_accumulate_ref(const QDepthwiseConv2D& layer,
 void depthwise_conv2d_ref(const QDepthwiseConv2D& layer,
                           std::span<const int8_t> in, std::span<int8_t> out,
                           const uint8_t* skip) {
+  depthwise_conv2d_ref_cols(layer, in, out, 0, layer.out_w(), skip);
+}
+
+void depthwise_conv2d_ref_cols(const QDepthwiseConv2D& layer,
+                               std::span<const int8_t> in,
+                               std::span<int8_t> out, int ox_begin, int ox_end,
+                               const uint8_t* skip) {
   check(static_cast<int64_t>(in.size()) ==
             static_cast<int64_t>(layer.in_h) * layer.in_w * layer.channels,
         "depthwise input size mismatch");
   check(static_cast<int64_t>(out.size()) ==
             static_cast<int64_t>(layer.positions()) * layer.channels,
         "depthwise output size mismatch");
+  check(ox_begin >= 0 && ox_end <= layer.out_w() && ox_begin <= ox_end,
+        "depthwise column range out of bounds");
 
   const int oh = layer.out_h(), ow = layer.out_w();
   for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
+    for (int ox = ox_begin; ox < ox_end; ++ox) {
       int8_t* orow =
           out.data() + (static_cast<size_t>(oy) * ow + ox) * layer.channels;
       for (int ch = 0; ch < layer.channels; ++ch) {

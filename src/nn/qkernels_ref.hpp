@@ -17,11 +17,26 @@ namespace ataman {
 void conv2d_ref(const QConv2D& layer, std::span<const int8_t> in,
                 std::span<int8_t> out, const uint8_t* skip = nullptr);
 
+// Column-restricted conv: fills output columns [ox_begin, ox_end) of
+// every row, leaving the rest of `out` untouched. `in`/`out` are still
+// the full tensors. The streaming executor (RefEngine::run_incremental)
+// uses this to recompute only the columns its splice plan says changed;
+// conv2d_ref is the [0, out_w) special case.
+void conv2d_ref_cols(const QConv2D& layer, std::span<const int8_t> in,
+                     std::span<int8_t> out, int ox_begin, int ox_end,
+                     const uint8_t* skip = nullptr);
+
 // out[pos][ch]; `skip` is nullptr or [channels * k*k] indexed
 // channel * patch + (ky*k + kx) — SkipMask's depthwise operand order.
 void depthwise_conv2d_ref(const QDepthwiseConv2D& layer,
                           std::span<const int8_t> in, std::span<int8_t> out,
                           const uint8_t* skip = nullptr);
+
+// Column-restricted depthwise; contract mirrors conv2d_ref_cols.
+void depthwise_conv2d_ref_cols(const QDepthwiseConv2D& layer,
+                               std::span<const int8_t> in,
+                               std::span<int8_t> out, int ox_begin, int ox_end,
+                               const uint8_t* skip = nullptr);
 
 void maxpool_ref(const QMaxPool& layer, std::span<const int8_t> in,
                  std::span<int8_t> out);

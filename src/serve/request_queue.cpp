@@ -1,6 +1,7 @@
 #include "src/serve/request_queue.hpp"
 
 #include "src/common/error.hpp"
+#include "src/serve/stream_session.hpp"
 
 namespace ataman::serve {
 
@@ -25,23 +26,58 @@ bool RequestQueue::push(QueuedJob job) {
 bool RequestQueue::pop_batch(std::vector<QueuedJob>& out) {
   out.clear();
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
-  if (jobs_.empty()) return false;  // closed and drained
+  // The head of the batch is the oldest *eligible* job: frames of a
+  // session that already has an in-flight batch are skipped (they must
+  // wait for session_done), everything else keeps strict FIFO priority.
+  auto eligible_head = [&] {
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->session == nullptr ||
+          busy_sessions_.count(it->session->id()) == 0) {
+        return it;
+      }
+    }
+    return jobs_.end();
+  };
+  std::deque<QueuedJob>::iterator head;
+  cv_.wait(lock, [&] {
+    head = eligible_head();
+    // Ineligible leftovers after close() are not "drained": the worker
+    // holding their session will call session_done and wake us.
+    return head != jobs_.end() || (closed_ && jobs_.empty());
+  });
+  if (head == jobs_.end()) return false;  // closed and drained
 
-  out.push_back(std::move(jobs_.front()));
-  jobs_.pop_front();
-  // Coalesce later same-key arrivals (arrival order preserved — we scan
-  // front to back and never reorder survivors).
+  out.push_back(std::move(*head));
+  jobs_.erase(head);
+  const StreamSession* session = out.front().session.get();
+  // Coalesce later compatible arrivals (arrival order preserved — we
+  // scan front to back and never reorder survivors). Session batches
+  // take only frames of the same session; one-shot batches take only
+  // one-shots sharing the head's (engine, mask) key.
   for (auto it = jobs_.begin();
        it != jobs_.end() && static_cast<int>(out.size()) < max_batch_;) {
-    if (same_key(out.front().request, it->request)) {
+    const bool take =
+        session != nullptr
+            ? it->session.get() == session
+            : it->session == nullptr &&
+                  same_key(out.front().request, it->request);
+    if (take) {
       out.push_back(std::move(*it));
       it = jobs_.erase(it);
     } else {
       ++it;
     }
   }
+  if (session != nullptr) busy_sessions_.insert(session->id());
   return true;
+}
+
+void RequestQueue::session_done(uint64_t session_id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    busy_sessions_.erase(session_id);
+  }
+  cv_.notify_all();
 }
 
 void RequestQueue::close() {

@@ -14,6 +14,18 @@
 // one configuration cannot starve others — the oldest job always leaves
 // with the next batch, and foreign-key jobs keep their queue position.
 //
+// Streaming sessions: a job carrying a `session` pointer is one frame
+// of a long-lived StreamSession. Frames must execute in push order and
+// never concurrently (they advance shared cross-frame state), so the
+// queue keeps a busy set: while one worker holds a session's frames,
+// that session's later frames are ineligible and the head scan skips
+// over them to the first eligible job. Session frames coalesce only
+// with later frames of the *same* session (order preserved); one-shots
+// never ride a session batch. Fairness is unchanged in both directions:
+// a session pumping frames still surrenders the head slot like any
+// other key, and one-shots parked behind a busy session's frames are
+// picked immediately (pinned by tests/test_streaming.cpp).
+//
 // Shutdown: close() stops admissions but lets queued jobs drain;
 // cancel_pending() additionally strips the still-queued jobs and hands
 // them back so the owner can resolve their futures as cancelled.
@@ -22,6 +34,7 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "src/serve/request.hpp"
@@ -32,11 +45,16 @@
 
 namespace ataman::serve {
 
+class StreamSession;
+
 struct QueuedJob {
   uint64_t id = 0;  // submission order, unique per server
   InferRequest request;
   std::shared_ptr<detail::FutureState> state;
   std::chrono::steady_clock::time_point enqueued{};
+  // Non-null: this job is one frame of a streaming session and
+  // request.image holds the frame's new columns, not a full window.
+  std::shared_ptr<StreamSession> session;
 };
 
 class RequestQueue {
@@ -46,10 +64,19 @@ class RequestQueue {
   // Enqueue one job; false (job untouched) once the queue is closed.
   bool push(QueuedJob job);
 
-  // Blocks until a job is available or the queue is closed; extracts one
-  // micro-batch into `out` (cleared first). False means closed-and-empty:
-  // the calling worker should exit.
+  // Blocks until an eligible job is available or the queue is closed and
+  // drained; extracts one micro-batch into `out` (cleared first). A
+  // popped session batch marks the session busy — the worker MUST call
+  // session_done() after executing it, or the session's later frames
+  // deadlock. False means closed-and-empty: the calling worker should
+  // exit. (Frames of a busy session left behind at close() still drain:
+  // the worker holding the session wakes the queue via session_done.)
   bool pop_batch(std::vector<QueuedJob>& out);
+
+  // Releases a session's exclusive-execution slot after a popped session
+  // batch finished (success or failure), making its queued frames
+  // eligible again.
+  void session_done(uint64_t session_id);
 
   // Stop accepting jobs; queued ones still drain through pop_batch.
   void close();
@@ -72,6 +99,7 @@ class RequestQueue {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<QueuedJob> jobs_;
+  std::set<uint64_t> busy_sessions_;  // sessions with an in-flight batch
   const int max_batch_;
   bool closed_ = false;
 };

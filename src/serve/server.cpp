@@ -76,12 +76,116 @@ std::vector<InferFuture> InferenceServer::submit_all(
   return futures;
 }
 
+std::shared_ptr<StreamSession> InferenceServer::open_session(
+    StreamSessionOptions options) {
+  check(EngineRegistry::instance().contains(options.engine),
+        "open_session: unknown engine '" + options.engine + "'");
+  if (options.mask != nullptr) options.mask->validate(*model_);
+  uint64_t id;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    id = next_session_id_++;
+  }
+  // The constructor validates the head kind; count the session only once
+  // it exists.
+  std::shared_ptr<StreamSession> session(
+      new StreamSession(id, model_, std::move(options)));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++sessions_;
+  }
+  return session;
+}
+
+InferFuture InferenceServer::push_frame(
+    const std::shared_ptr<StreamSession>& session,
+    std::vector<uint8_t> columns) {
+  check(session != nullptr, "push_frame: null session");
+  // Fail on the caller's thread, before anything is queued.
+  session->validate_push(columns.size());
+
+  QueuedJob job;
+  job.request.engine = session->options().engine;
+  job.request.mask = session->options().mask;
+  job.request.image = std::move(columns);
+  job.session = session;
+  job.state = std::make_shared<detail::FutureState>();
+  job.enqueued = std::chrono::steady_clock::now();
+  InferFuture future(job.state);
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    job.id = next_id_++;
+    ++submitted_;
+  }
+  if (!queue_.push(std::move(job))) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      --submitted_;
+    }
+    drain_cv_.notify_all();
+    fail("push_frame: server is stopped");
+  }
+  return future;
+}
+
 void InferenceServer::worker_main(int worker_id) {
   // One lane of the serving pool: any parallel_for issued while running
   // a request stays serial on this thread (see parallel.hpp).
   const SerialRegionScope serial;
   std::vector<QueuedJob> batch;
   while (queue_.pop_batch(batch)) {
+    if (batch.front().session != nullptr) {
+      // A session batch: consecutive frames of one streaming session,
+      // in push order. The queue guarantees exclusivity (no other
+      // worker holds this session until session_done), so the session's
+      // cross-frame state is touched single-threaded; frames execute
+      // one by one — each depends on the previous frame's ring.
+      const std::shared_ptr<StreamSession> session = batch.front().session;
+      InferenceEngine* engine = nullptr;
+      std::string setup_error;
+      try {
+        engine = &pool_.engine_for(worker_id, session->options().engine,
+                                   session->options().mask);
+      } catch (const std::exception& e) {
+        setup_error = e.what();
+      }
+      int64_t incremental = 0;
+      for (QueuedJob& job : batch) {
+        if (engine == nullptr) {
+          job.state->fail_with("engine setup failed: " + setup_error,
+                               /*was_cancelled=*/false);
+          continue;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          InferResult r = session->execute_frame(*engine, job.request.image);
+          const auto end = std::chrono::steady_clock::now();
+          r.queue_ms = ms_between(job.enqueued, start);
+          r.run_ms = ms_between(start, end);
+          r.worker = worker_id;
+          r.batch_size = static_cast<int>(batch.size());
+          if (engine->supports_run_incremental()) ++incremental;
+          job.state->complete(std::move(r));
+        } catch (const std::exception& e) {
+          job.state->fail_with(e.what(), /*was_cancelled=*/false);
+        }
+      }
+      queue_.session_done(session->id());
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const int64_t n = static_cast<int64_t>(batch.size());
+        completed_ += n;
+        ++batches_;
+        if (n > 1) coalesced_ += n;
+        if (n > max_batch_seen_) max_batch_seen_ = n;
+        session_frames_ += n;
+        incremental_frames_ += incremental;
+        per_worker_done_[static_cast<size_t>(worker_id)] += n;
+      }
+      drain_cv_.notify_all();
+      continue;
+    }
     // A batch shares one (engine, mask) key; bind the engine once and
     // run the images back-to-back, evaluate_batch-style.
     InferenceEngine* engine = nullptr;
@@ -197,6 +301,9 @@ ServeStats InferenceServer::stats() const {
     s.batches = batches_;
     s.coalesced = coalesced_;
     s.max_batch_seen = max_batch_seen_;
+    s.sessions = sessions_;
+    s.session_frames = session_frames_;
+    s.incremental_frames = incremental_frames_;
     s.per_worker = per_worker_done_;
   }
   s.pool = pool_.stats();

@@ -38,6 +38,7 @@
 #include "src/serve/engine_pool.hpp"
 #include "src/serve/request.hpp"
 #include "src/serve/request_queue.hpp"
+#include "src/serve/stream_session.hpp"
 
 namespace ataman::serve {
 
@@ -59,6 +60,9 @@ struct ServeStats {
   int64_t batches = 0;         // micro-batches executed
   int64_t coalesced = 0;       // requests that rode a batch of size > 1
   int64_t max_batch_seen = 0;  // largest micro-batch executed
+  int64_t sessions = 0;            // streaming sessions opened
+  int64_t session_frames = 0;      // frames executed across all sessions
+  int64_t incremental_frames = 0;  // of those, via run_incremental
   EnginePoolStats pool{};
   std::vector<int64_t> per_worker;  // requests executed per worker
 };
@@ -79,6 +83,21 @@ class InferenceServer {
 
   // Convenience fan-in: submit in order, futures in the same order.
   std::vector<InferFuture> submit_all(std::vector<InferRequest> requests);
+
+  // Open a long-lived streaming session pinned to one (engine, mask)
+  // configuration. Throws on unknown backends, bad masks, or scored
+  // heads. The session outlives the server gracefully: frames pushed
+  // after stop() just fail like one-shot submits.
+  std::shared_ptr<StreamSession> open_session(StreamSessionOptions options = {});
+
+  // Enqueue the next frame of `session`. `columns` is the s newest
+  // [h][s][c] u8 time columns of the sliding window (the session's
+  // first frame must be a full window, s == in_w). Frames of one
+  // session execute in push order, never concurrently, interleaved
+  // fairly with one-shot jobs; the resulting logits/top1 are bitwise
+  // identical to running the full assembled window through the engine.
+  InferFuture push_frame(const std::shared_ptr<StreamSession>& session,
+                         std::vector<uint8_t> columns);
 
   // Block until every accepted request has been resolved. The server
   // keeps accepting; drain() is a barrier, not a shutdown.
@@ -116,6 +135,10 @@ class InferenceServer {
   int64_t batches_ = 0;
   int64_t coalesced_ = 0;
   int64_t max_batch_seen_ = 0;
+  int64_t sessions_ = 0;
+  int64_t session_frames_ = 0;
+  int64_t incremental_frames_ = 0;
+  uint64_t next_session_id_ = 0;
   std::vector<int64_t> per_worker_done_;
 
   std::mutex stop_mutex_;  // serializes stop(); protects joined_

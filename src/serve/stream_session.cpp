@@ -1,0 +1,106 @@
+#include "src/serve/stream_session.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ataman::serve {
+
+StreamSession::StreamSession(uint64_t id, const QModel* model,
+                             StreamSessionOptions options)
+    : id_(id), model_(model), options_(std::move(options)) {
+  check(model != nullptr, "StreamSession needs a model");
+  check(model->head != TaskHead::kScore,
+        "open_session: model '" + model->name +
+            "' has a scored head — its reduction reads the whole window "
+            "per frame, so streaming sessions support classify heads only");
+}
+
+StreamSessionStats StreamSession::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void StreamSession::validate_push(size_t column_bytes) {
+  const QModel& m = *model_;
+  const int64_t col_elems = static_cast<int64_t>(m.in_h) * m.in_c;
+  check(column_bytes > 0 &&
+            static_cast<int64_t>(column_bytes) % col_elems == 0,
+        "push_frame: frame must be whole [h][s][c] columns (column is " +
+            std::to_string(col_elems) + " bytes)");
+  const int s = static_cast<int>(static_cast<int64_t>(column_bytes) /
+                                 col_elems);
+  check(s <= m.in_w,
+        "push_frame: " + std::to_string(s) +
+            " columns exceed the input width " + std::to_string(m.in_w));
+  const std::lock_guard<std::mutex> lock(push_mutex_);
+  check(pushed_ > 0 || s == m.in_w,
+        "push_frame: a session's first frame must be a full window (" +
+            std::to_string(m.in_w) + " columns)");
+  ++pushed_;
+}
+
+InferResult StreamSession::execute_frame(InferenceEngine& engine,
+                                         std::span<const uint8_t> columns) {
+  check(!poisoned_,
+        "stream session " + std::to_string(id_) +
+            " is poisoned by an earlier frame error (the failed frame was "
+            "never applied, so the window is out of sync): " +
+            poison_error_);
+
+  InferResult r;
+  bool incremental = false;
+  int64_t recomputed = 0, spliced = 0;
+  const int64_t full = engine.mac_ops();
+  try {
+    if (engine.supports_run_incremental()) {
+      r.logits = engine.run_incremental(state_, columns);
+      incremental = true;
+      recomputed = state_.last_recomputed_macs;
+      spliced = state_.last_spliced_elems;
+    } else {
+      // Fallback: maintain the rolling u8 window and recompute in full.
+      const QModel& m = *model_;
+      const size_t row_bytes = static_cast<size_t>(m.in_w) * m.in_c;
+      const size_t col_bytes = static_cast<size_t>(m.in_c);
+      const int s = static_cast<int>(columns.size() /
+                                     (static_cast<size_t>(m.in_h) * m.in_c));
+      if (window_.empty()) {
+        window_.assign(columns.begin(), columns.end());
+      } else {
+        for (int y = 0; y < m.in_h; ++y) {
+          uint8_t* row = window_.data() + static_cast<size_t>(y) * row_bytes;
+          std::copy(row + static_cast<size_t>(s) * col_bytes,
+                    row + row_bytes, row);
+          std::copy_n(columns.data() +
+                          static_cast<size_t>(y) * s * col_bytes,
+                      static_cast<size_t>(s) * col_bytes,
+                      row + static_cast<size_t>(m.in_w - s) * col_bytes);
+        }
+      }
+      r.logits = engine.run(window_);
+      recomputed = full;
+    }
+  } catch (const std::exception& e) {
+    poisoned_ = true;
+    poison_error_ = e.what();
+    throw;
+  }
+  r.top1 = argmax_lowest_index(r.logits);
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames;
+    if (incremental) {
+      ++stats_.incremental_frames;
+    } else {
+      ++stats_.fallback_frames;
+    }
+    stats_.recomputed_macs += recomputed;
+    stats_.full_macs += full;
+    stats_.spliced_elems += spliced;
+  }
+  return r;
+}
+
+}  // namespace ataman::serve

@@ -2,7 +2,7 @@
 // of the prefix-cached exact sweep with the per-config evaluator, the
 // adaptive early-exit invariants (all-exact config and every Pareto
 // member fully evaluated), determinism across thread counts, and the
-// dse_io format-version-2 round trip with version-1 backward compat.
+// dse_io format-version-3 round trip with version-1 backward compat.
 //
 // This suite carries the `dse-smoke` ctest label: it is the tiny
 // fast-vs-exact sweep CI runs in the OMP_NUM_THREADS={1,4} matrix.
@@ -257,14 +257,14 @@ TEST_F(DseFastFixture, NonResumableAccuracyBackendFallsBack) {
             static_cast<int64_t>(configs.size()) * 40);
 }
 
-// --- dse_io: format version 2 + backward compat -------------------------
+// --- dse_io: format version 3 + backward compat -------------------------
 
-TEST_F(DseFastFixture, OutcomeJsonV2RoundTripCarriesSweepStats) {
+TEST_F(DseFastFixture, OutcomeJsonRoundTripCarriesSweepStats) {
   const ConfigEvaluator ev(model_, sig_, eval_, 48);
   const DseOutcome a = run_dse(ev, sweep_configs(),
                                aggressive_adaptive_options());
   const Json j = dse_outcome_to_json(a);
-  EXPECT_EQ(j.at("version").as_int(), 2);
+  EXPECT_EQ(j.at("version").as_int(), 3);
 
   const DseOutcome b = dse_outcome_from_json(j);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
